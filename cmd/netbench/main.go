@@ -1,0 +1,84 @@
+// netbench regenerates the paper's evaluation: every figure and
+// quantitative claim, plus the scaling and ablation extensions, as
+// text tables.
+//
+//	netbench              # all experiments
+//	netbench -table seed  # one experiment
+//	netbench -quick       # trimmed scaling sweep
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	table := flag.String("table", "all",
+		"experiment to run: seed, simplify, linearity, pervar, figures, interpretation, ablation, rules, complement, scale, all")
+	quick := flag.Bool("quick", false, "trim the scaling sweep")
+	format := flag.String("format", "text", "output format: text or json")
+	flag.Parse()
+
+	emit := func(tables []*bench.Table) {
+		if *format == "json" {
+			payload := make([]map[string]any, len(tables))
+			for i, t := range tables {
+				payload[i] = t.JSON()
+			}
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(payload); err != nil {
+				fmt.Fprintln(os.Stderr, "netbench:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		for _, t := range tables {
+			fmt.Println(t.Render())
+		}
+	}
+	run := func(t *bench.Table, err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netbench:", err)
+			os.Exit(1)
+		}
+		emit([]*bench.Table{t})
+	}
+
+	switch *table {
+	case "seed":
+		run(bench.SeedTable())
+	case "simplify":
+		run(bench.SimplifyTable())
+	case "linearity":
+		run(bench.LinearityTable())
+	case "pervar":
+		run(bench.PerVarTable())
+	case "figures":
+		run(bench.FigureTable())
+	case "interpretation":
+		run(bench.InterpretationTable())
+	case "ablation":
+		run(bench.AblationTable())
+	case "rules":
+		run(bench.RuleFireTable())
+	case "complement":
+		run(bench.ComplementTable())
+	case "scale":
+		run(bench.ScaleTable(*quick))
+	case "all":
+		tables, err := bench.All(*quick)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netbench:", err)
+			os.Exit(1)
+		}
+		emit(tables)
+	default:
+		fmt.Fprintf(os.Stderr, "netbench: unknown table %q\n", *table)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,177 @@
+// netexplain synthesizes a scenario and generates the localized
+// explanation for one router — the paper's end-to-end pipeline.
+//
+//	netexplain -scenario scenario1 -router R1
+//	netexplain -scenario scenario3 -router R2 -req Req1     # per-requirement
+//	netexplain -scenario scenario1 -router R1 -var 'R1_to_P1/100/action'
+//	netexplain -rules                                       # list the 15 rules
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/rewrite"
+	"repro/internal/scenarios"
+	"repro/internal/spec"
+	"repro/internal/synth"
+)
+
+func main() {
+	scenario := flag.String("scenario", "scenario1", "paper scenario: scenario1, scenario2, scenario3")
+	router := flag.String("router", "R1", "router to explain")
+	reqName := flag.String("req", "", "explain one requirement block only (e.g. Req1)")
+	varSpec := flag.String("var", "", "explain a single field: MAP/SEQ/action | MAP/SEQ/match/I | MAP/SEQ/set/I")
+	noLift := flag.Bool("nolift", false, "skip subspecification lifting (print residual constraints only)")
+	validate := flag.Bool("validate", false, "validate the deployed configuration against the lifted subspecification")
+	all := flag.Bool("all", false, "print the explanation report for every configured router")
+	complement := flag.Bool("complement", false, "explain what the REST of the network must do, holding -router fixed")
+	interp2 := flag.Bool("interp2", false, "synthesize and explain under interpretation 2 (unlisted preference paths as last resorts)")
+	rules := flag.Bool("rules", false, "list the 15 simplification rules and exit")
+	flag.Parse()
+
+	if *rules {
+		for _, r := range rewrite.AllRules {
+			fmt.Printf("%-20s %s\n", r, rewrite.Describe(r))
+		}
+		return
+	}
+
+	sc, err := scenarios.ByName(*scenario)
+	if err != nil {
+		fail(err)
+	}
+	sopts := synth.DefaultOptions()
+	sopts.AllowUnspecified = *interp2
+	res, err := synth.Synthesize(sc.Net, sc.Sketch, sc.Requirements(), sopts)
+	if err != nil {
+		fail(err)
+	}
+	reqs := sc.Requirements()
+	if *reqName != "" {
+		b := sc.Spec.Block(*reqName)
+		if b == nil {
+			fail(fmt.Errorf("no requirement block %q", *reqName))
+		}
+		reqs = b.Reqs
+	}
+
+	opts := core.DefaultOptions()
+	opts.Synth = sopts
+	opts.Lift = !*noLift
+	explainer, err := core.NewExplainer(sc.Net, reqs, res.Deployment, opts)
+	if err != nil {
+		fail(err)
+	}
+
+	if *all {
+		report, err := explainer.Report()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(report)
+		return
+	}
+	if *complement {
+		comp, err := explainer.ExplainComplement(*router)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("holding %s fixed, the rest of the network must guarantee:\n", *router)
+		fmt.Printf("(seed %d atoms -> %d after %d passes)\n\n", comp.SeedSize, comp.SimplifiedSize, comp.Passes)
+		for _, r := range comp.Routers() {
+			fmt.Printf("--- %s ---\n", r)
+			for _, c := range comp.Assumptions[r] {
+				fmt.Printf("  %s\n", c)
+			}
+		}
+		return
+	}
+
+	var ex *core.Explanation
+	if *varSpec != "" {
+		tgt, err := parseTarget(*varSpec)
+		if err != nil {
+			fail(err)
+		}
+		ex, err = explainer.Explain(*router, []core.Target{tgt})
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		ex, err = explainer.ExplainAll(*router)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	fmt.Printf("router %s: %d symbolic variables\n", ex.Router, len(ex.HoleVars))
+	for name, was := range ex.Replaced {
+		fmt.Printf("  %s (was %s)\n", name, was)
+	}
+	fmt.Printf("\nseed specification: %d constraints, %d atoms\n", ex.SeedConstraints, ex.SeedSize)
+	fmt.Printf("simplified (%d passes): %d atoms, reduction %.0fx\n", ex.Passes, ex.SimplifiedSize, ex.Reduction())
+	fmt.Printf("\nresidual constraints on %s's variables:\n%s\n", ex.Router, indent(ex.ResidualText()))
+	if ex.Subspec != nil {
+		fmt.Printf("\nsubspecification:\n%s", spec.PrintBlock(ex.Subspec))
+		if ex.SubspecComplete {
+			fmt.Println("(verified complete: necessary and sufficient)")
+		} else {
+			fmt.Println("(necessary; sufficiency not fully verified)")
+		}
+		if *validate && !ex.Subspec.IsEmpty() {
+			checks, err := explainer.CheckSubspec(*router, ex.Subspec)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("\nvalidating the deployed configuration against the subspecification:\n%s", core.FormatChecks(checks))
+		}
+	}
+}
+
+// parseTarget parses MAP/SEQ/action, MAP/SEQ/match/I, MAP/SEQ/set/I.
+func parseTarget(s string) (core.Target, error) {
+	parts := strings.Split(s, "/")
+	if len(parts) < 3 {
+		return core.Target{}, fmt.Errorf("bad -var %q", s)
+	}
+	seq, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return core.Target{}, fmt.Errorf("bad clause sequence %q", parts[1])
+	}
+	t := core.Target{Map: parts[0], Seq: seq}
+	switch parts[2] {
+	case "action":
+		t.Field = core.FieldAction
+		return t, nil
+	case "match", "set":
+		if len(parts) != 4 {
+			return core.Target{}, fmt.Errorf("%s target needs an index: MAP/SEQ/%s/I", parts[2], parts[2])
+		}
+		idx, err := strconv.Atoi(parts[3])
+		if err != nil {
+			return core.Target{}, fmt.Errorf("bad index %q", parts[3])
+		}
+		t.Index = idx
+		if parts[2] == "match" {
+			t.Field = core.FieldMatch
+		} else {
+			t.Field = core.FieldSet
+		}
+		return t, nil
+	}
+	return core.Target{}, fmt.Errorf("field must be action, match, or set")
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(s, "\n", "\n  ")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "netexplain:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestParseTarget(t *testing.T) {
+	cases := []struct {
+		in   string
+		want core.Target
+	}{
+		{"R1_to_P1/100/action", core.Target{Map: "R1_to_P1", Seq: 100, Field: core.FieldAction}},
+		{"m/10/match/0", core.Target{Map: "m", Seq: 10, Field: core.FieldMatch, Index: 0}},
+		{"m/10/set/2", core.Target{Map: "m", Seq: 10, Field: core.FieldSet, Index: 2}},
+	}
+	for _, c := range cases {
+		got, err := parseTarget(c.in)
+		if err != nil {
+			t.Errorf("parseTarget(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("parseTarget(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+	bad := []string{"", "m", "m/10", "m/x/action", "m/10/weird", "m/10/match", "m/10/set/x"}
+	for _, s := range bad {
+		if _, err := parseTarget(s); err == nil {
+			t.Errorf("parseTarget(%q) should fail", s)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// netspec parses, lints, and normalizes intent specifications.
+//
+//	netspec -spec intents.txt -topology net.txt   # lint against a topology
+//	netspec -scenario scenario3                   # print a scenario's spec
+//	echo 'Req { !(P1->...->P2) }' | netspec       # format stdin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/scenarios"
+	"repro/internal/spec"
+	"repro/internal/topology"
+)
+
+func main() {
+	specFile := flag.String("spec", "", "specification file ('-' or empty reads stdin)")
+	topoFile := flag.String("topology", "", "optional topology file to lint node references against")
+	scenario := flag.String("scenario", "", "print a paper scenario's specification instead")
+	flag.Parse()
+
+	if *scenario != "" {
+		sc, err := scenarios.ByName(*scenario)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(spec.Print(sc.Spec))
+		return
+	}
+
+	var src []byte
+	var err error
+	if *specFile == "" || *specFile == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(*specFile)
+	}
+	if err != nil {
+		fail(err)
+	}
+	s, err := spec.Parse(string(src))
+	if err != nil {
+		fail(err)
+	}
+
+	warnings := 0
+	if *topoFile != "" {
+		topoSrc, err := os.ReadFile(*topoFile)
+		if err != nil {
+			fail(err)
+		}
+		net, err := topology.Parse(string(topoSrc))
+		if err != nil {
+			fail(err)
+		}
+		warnings = lint(s, net)
+	}
+
+	fmt.Print(spec.Print(s))
+	if warnings > 0 {
+		fmt.Fprintf(os.Stderr, "netspec: %d warning(s)\n", warnings)
+		os.Exit(1)
+	}
+}
+
+// lint reports references the topology cannot satisfy.
+func lint(s *spec.Spec, net *topology.Network) int {
+	warnings := 0
+	warn := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "warning: "+format+"\n", args...)
+		warnings++
+	}
+	for _, node := range s.Nodes() {
+		if net.Router(node) == nil {
+			warn("node %q is not in the topology", node)
+		}
+	}
+	for _, b := range s.Blocks {
+		for _, r := range b.Reqs {
+			switch q := r.(type) {
+			case *spec.Preference:
+				checkEndpoints(q.Paths, warn, net)
+			case *spec.Allow:
+				checkEndpoints([]spec.Path{q.Path}, warn, net)
+			}
+		}
+	}
+	return warnings
+}
+
+func checkEndpoints(paths []spec.Path, warn func(string, ...any), net *topology.Network) {
+	for _, p := range paths {
+		dst := p.Last()
+		if r := net.Router(dst); r != nil && !r.HasPrefix {
+			warn("destination %q of %s originates no prefix", dst, p)
+		}
+		// Adjacent concrete hops must be linked.
+		for i := 1; i < len(p); i++ {
+			a, b := p[i-1], p[i]
+			if a == spec.Wildcard || b == spec.Wildcard {
+				continue
+			}
+			if net.Router(a) != nil && net.Router(b) != nil && !net.HasLink(a, b) {
+				warn("path %s uses nonexistent link %s-%s", p, a, b)
+			}
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "netspec:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/spec"
+	"repro/internal/topology"
+)
+
+func TestLintCleanSpec(t *testing.T) {
+	net := topology.Paper()
+	s, err := spec.Parse(`
+Req1 { !(P1->...->P2) }
+Req2 { (C->R3->R1->P1->...->D1) >> (C->R3->R2->P2->...->D1) }
+Req3 { +(P1->R1->R3->C) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lint(s, net); got != 0 {
+		t.Fatalf("clean spec produced %d warnings", got)
+	}
+}
+
+func TestLintFindsProblems(t *testing.T) {
+	net := topology.Paper()
+	s, err := spec.Parse(`
+Bad {
+    !(P9->...->P2)
+    (C->R3->P1) >> (C->R3->R1->P1)
+    +(C->...->R1)
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := lint(s, net)
+	// P9 unknown; R3-P1 link nonexistent; preference/allow destinations
+	// P1 (ok, has prefix) and R1 (no prefix).
+	if got < 3 {
+		t.Fatalf("lint found only %d problems", got)
+	}
+}

@@ -1,0 +1,67 @@
+// netsynth completes a configuration sketch against a path-requirement
+// specification and prints the synthesized router configurations.
+//
+//	netsynth -scenario scenario1          # one of the paper's scenarios
+//	netsynth -workload grid:3x2           # generated workload (see -help)
+//	netsynth -scenario scenario2 -interp2 # unlisted paths as last resort
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/config"
+	"repro/internal/spec"
+	"repro/internal/synth"
+	"repro/internal/verify"
+)
+
+func main() {
+	scenario := flag.String("scenario", "", "paper scenario: scenario1, scenario2, scenario3")
+	workload := flag.String("workload", "", "generated workload: grid:WxH, rand:N:SEED, fattree:K (no-transit intent)")
+	pref := flag.Bool("pref", false, "add the D1 path-preference intent to a generated workload")
+	interp2 := flag.Bool("interp2", false, "treat unlisted preference paths as last resorts (interpretation 2)")
+	quiet := flag.Bool("q", false, "print only the verification verdict")
+	flag.Parse()
+
+	prob, err := loadProblem(*scenario, *workload, *pref)
+	if err != nil {
+		fail(err)
+	}
+	opts := synth.DefaultOptions()
+	opts.AllowUnspecified = *interp2
+	if *workload != "" {
+		opts.MaxPathLen = 7
+		opts.MaxCandidatesPerNode = 8
+	}
+	res, err := synth.Synthesize(prob.net, prob.sketch, prob.spec.Requirements(), opts)
+	if err != nil {
+		fail(err)
+	}
+	if !*quiet {
+		fmt.Println("// specification")
+		fmt.Print(spec.Print(prob.spec))
+		fmt.Println()
+		fmt.Print(config.PrintDeployment(res.Deployment))
+		fmt.Printf("\n// encoding: %d constraints, %d atoms, %d holes\n",
+			res.Encoding.Stats.Constraints, res.Encoding.Stats.ConstraintSize, res.Encoding.Stats.HoleVars)
+	}
+	vs, err := verify.Check(prob.net, res.Deployment, prob.spec.Requirements())
+	if err != nil {
+		fail(err)
+	}
+	if len(vs) == 0 {
+		fmt.Println("// verification: all requirements hold")
+		return
+	}
+	for _, v := range vs {
+		fmt.Printf("// VIOLATION: %s\n", v)
+	}
+	os.Exit(1)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "netsynth:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/netgen"
+	"repro/internal/scenarios"
+	"repro/internal/spec"
+	"repro/internal/topology"
+)
+
+// problem bundles the synthesis inputs, resolved from flags.
+type problem struct {
+	net    *topology.Network
+	spec   *spec.Spec
+	sketch config.Deployment
+}
+
+// loadProblem resolves -scenario / -workload flags into a problem.
+func loadProblem(scenario, workload string, pref bool) (*problem, error) {
+	switch {
+	case scenario != "" && workload != "":
+		return nil, fmt.Errorf("pass either -scenario or -workload, not both")
+	case scenario != "":
+		sc, err := scenarios.ByName(scenario)
+		if err != nil {
+			return nil, err
+		}
+		return &problem{net: sc.Net, spec: sc.Spec, sketch: sc.Sketch}, nil
+	case workload != "":
+		wl, err := parseWorkload(workload, pref)
+		if err != nil {
+			return nil, err
+		}
+		return &problem{net: wl.Net, spec: wl.Spec, sketch: wl.Sketch}, nil
+	}
+	return nil, fmt.Errorf("pass -scenario or -workload")
+}
+
+// parseWorkload parses grid:WxH, rand:N:SEED, fattree:K.
+func parseWorkload(s string, pref bool) (*netgen.Workload, error) {
+	parts := strings.Split(s, ":")
+	switch parts[0] {
+	case "grid":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("grid workload is grid:WxH")
+		}
+		dims := strings.Split(parts[1], "x")
+		if len(dims) != 2 {
+			return nil, fmt.Errorf("grid workload is grid:WxH")
+		}
+		w, err1 := strconv.Atoi(dims[0])
+		h, err2 := strconv.Atoi(dims[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad grid dimensions %q", parts[1])
+		}
+		return netgen.Grid(w, h, pref)
+	case "rand":
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("random workload is rand:N:SEED")
+		}
+		n, err1 := strconv.Atoi(parts[1])
+		seed, err2 := strconv.ParseInt(parts[2], 10, 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad random workload %q", s)
+		}
+		return netgen.Random(n, 2.5, seed, pref)
+	case "fattree":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("fat-tree workload is fattree:K")
+		}
+		k, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad fat-tree arity %q", parts[1])
+		}
+		return netgen.FatTree(k, pref)
+	}
+	return nil, fmt.Errorf("unknown workload family %q (grid, rand, fattree)", parts[0])
+}

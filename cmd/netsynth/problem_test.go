@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestParseWorkload(t *testing.T) {
+	good := []string{"grid:3x2", "rand:8:42", "fattree:2"}
+	for _, s := range good {
+		wl, err := parseWorkload(s, false)
+		if err != nil {
+			t.Errorf("parseWorkload(%q): %v", s, err)
+			continue
+		}
+		if wl.Net == nil || wl.Spec == nil || len(wl.Sketch) == 0 {
+			t.Errorf("parseWorkload(%q): incomplete workload", s)
+		}
+	}
+	bad := []string{"", "grid", "grid:3", "grid:axb", "rand:8", "rand:x:1", "fattree", "fattree:x", "mesh:3"}
+	for _, s := range bad {
+		if _, err := parseWorkload(s, false); err == nil {
+			t.Errorf("parseWorkload(%q) should fail", s)
+		}
+	}
+}
+
+func TestLoadProblem(t *testing.T) {
+	if _, err := loadProblem("scenario1", "", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadProblem("", "grid:2x2", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadProblem("", "", false); err == nil {
+		t.Fatal("no inputs should fail")
+	}
+	if _, err := loadProblem("scenario1", "grid:2x2", false); err == nil {
+		t.Fatal("both inputs should fail")
+	}
+	if _, err := loadProblem("nope", "", false); err == nil {
+		t.Fatal("unknown scenario should fail")
+	}
+}

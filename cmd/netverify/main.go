@@ -1,0 +1,89 @@
+// netverify checks a deployment against a specification by BGP
+// simulation, optionally under single-link failure injection.
+//
+//	netverify -scenario scenario2            # synthesize, then verify
+//	netverify -scenario scenario2 -failures  # also check preference fallbacks
+//	netverify -scenario scenario1 -rib       # dump the converged routing state
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bgp"
+	"repro/internal/scenarios"
+	"repro/internal/spec"
+	"repro/internal/synth"
+	"repro/internal/verify"
+)
+
+func main() {
+	scenario := flag.String("scenario", "scenario1", "paper scenario: scenario1, scenario2, scenario3")
+	failures := flag.Bool("failures", false, "check path preferences under single-link failures")
+	allFailures := flag.Bool("allfailures", false, "re-check forbids under every single-link failure")
+	interp2 := flag.Bool("interp2", false, "tolerate unlisted fallback paths (interpretation 2)")
+	rib := flag.Bool("rib", false, "dump the converged routing state")
+	flag.Parse()
+
+	sc, err := scenarios.ByName(*scenario)
+	if err != nil {
+		fail(err)
+	}
+	res, err := synth.Synthesize(sc.Net, sc.Sketch, sc.Requirements(), synth.DefaultOptions())
+	if err != nil {
+		fail(err)
+	}
+	if *rib {
+		sim, err := bgp.Simulate(sc.Net, res.Deployment)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(sim.Dump())
+		fmt.Println()
+	}
+	vs, err := verify.Check(sc.Net, res.Deployment, sc.Requirements())
+	if err != nil {
+		fail(err)
+	}
+	bad := len(vs)
+	for _, v := range vs {
+		fmt.Printf("VIOLATION: %s\n", v)
+	}
+	if *failures {
+		for _, r := range sc.Requirements() {
+			pref, ok := r.(*spec.Preference)
+			if !ok {
+				continue
+			}
+			fvs, err := verify.CheckUnderFailures(sc.Net, res.Deployment, pref, *interp2)
+			if err != nil {
+				fail(err)
+			}
+			bad += len(fvs)
+			for _, v := range fvs {
+				fmt.Printf("FAILURE VIOLATION: %s\n", v)
+			}
+		}
+	}
+	if *allFailures {
+		fvs, err := verify.CheckUnderAllFailures(sc.Net, res.Deployment, sc.Requirements())
+		if err != nil {
+			fail(err)
+		}
+		bad += len(fvs)
+		for _, v := range fvs {
+			fmt.Printf("FAILURE VIOLATION: %s\n", v)
+		}
+	}
+	if bad == 0 {
+		fmt.Println("all requirements hold")
+		return
+	}
+	os.Exit(1)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "netverify:", err)
+	os.Exit(1)
+}

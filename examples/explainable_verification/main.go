@@ -1,0 +1,91 @@
+// Explainable verification (paper Section 5): the explanation engine
+// needs no synthesizer. A hand-written deployment — the kind an
+// operator already runs — is verified against an intent, and the
+// explainer shows WHY it satisfies it, per router, instead of the
+// verifier's bare yes/no. The complement view then shows the
+// assume/guarantee split the paper sketches.
+//
+//	go run ./examples/explainable_verification
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/spec"
+	"repro/internal/topology"
+	"repro/internal/verify"
+)
+
+func main() {
+	net := topology.Paper()
+	intent, err := spec.Parse(`
+// No transit traffic
+Req1 {
+    !(P1->...->P2)
+    !(P2->...->P1)
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reqs := intent.Requirements()
+
+	// A hand-written deployment: R1 filters by next-hop toward P1, R2
+	// mirrors it toward P2 — structurally unlike anything the
+	// synthesizer emits.
+	r1 := config.New("R1")
+	r1.AddRouteMap(&config.RouteMap{Name: "out_p1", Clauses: []*config.Clause{
+		{Seq: 10, Action: config.Deny, Matches: []*config.Match{{Kind: config.MatchNextHopIs, NextHop: "R2"}}},
+		{Seq: 20, Action: config.Deny, Matches: []*config.Match{{Kind: config.MatchNextHopIs, NextHop: "R3"}}},
+		{Seq: 100, Action: config.Permit},
+	}})
+	r1.AddNeighbor("P1", "", "out_p1")
+
+	r2 := config.New("R2")
+	r2.AddRouteMap(&config.RouteMap{Name: "out_p2", Clauses: []*config.Clause{
+		{Seq: 10, Action: config.Deny, Matches: []*config.Match{{Kind: config.MatchNextHopIs, NextHop: "R1"}}},
+		{Seq: 20, Action: config.Deny, Matches: []*config.Match{{Kind: config.MatchNextHopIs, NextHop: "R3"}}},
+		{Seq: 100, Action: config.Permit},
+	}})
+	r2.AddNeighbor("P2", "", "out_p2")
+
+	dep := config.Deployment{"R1": r1, "R2": r2}
+
+	// The traditional black-box answer:
+	vs, err := verify.Check(net, dep, reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("black-box verifier says: %d violations\n", len(vs))
+	fmt.Println("...but WHY does it hold? Ask the explainer:")
+
+	explainer, err := core.NewExplainer(net, reqs, dep, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := explainer.Report()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(report)
+
+	// And unlike the synthesized Scenario 1 deployment, this
+	// hand-written one keeps customer connectivity:
+	fmt.Println("note: this filter style blocks only fabric-learned routes,")
+	fmt.Println("so P1 still reaches the customer prefix — the behavior the")
+	fmt.Println("paper's administrator wanted all along.")
+
+	// The complement view: holding R1 fixed, what must the others do?
+	comp, err := explainer.ExplainComplement("R1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nholding R1 fixed, the rest of the network must guarantee (%d -> %d atoms):\n",
+		comp.SeedSize, comp.SimplifiedSize)
+	for _, r := range comp.Routers() {
+		fmt.Printf("  %s: %d constraints\n", r, len(comp.Assumptions[r]))
+	}
+}

@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestSeedTable(t *testing.T) {
+	tbl, err := SeedTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tbl.Rows))
+	}
+	// §4-C1: every scenario's seed exceeds 1000 atoms.
+	for _, row := range tbl.Rows {
+		atoms, err := strconv.Atoi(row[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if atoms <= 1000 {
+			t.Errorf("%s: %d atoms, paper claims >1000", row[0], atoms)
+		}
+	}
+}
+
+func TestSimplifyTable(t *testing.T) {
+	tbl, err := SimplifyTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		seed, _ := strconv.Atoi(row[2])
+		simplified, _ := strconv.Atoi(row[3])
+		if simplified >= seed {
+			t.Errorf("%s/%s: no reduction (%d -> %d)", row[0], row[1], seed, simplified)
+		}
+	}
+}
+
+func TestLinearityTable(t *testing.T) {
+	tbl, err := LinearityTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 4 {
+		t.Fatalf("rows = %d, want at least 4", len(tbl.Rows))
+	}
+	// §4-C3: residual grows monotonically and sub-quadratically.
+	prev := 0
+	for i, row := range tbl.Rows {
+		residual, _ := strconv.Atoi(row[1])
+		if residual < prev {
+			t.Errorf("row %d: residual shrank (%d -> %d)", i, prev, residual)
+		}
+		prev = residual
+		n, _ := strconv.Atoi(row[0])
+		if residual > 20*n {
+			t.Errorf("residual %d at %d vars is super-linear", residual, n)
+		}
+	}
+}
+
+func TestPerVarTable(t *testing.T) {
+	tbl, err := PerVarTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 { // R1 in scenario 1 has 4 fields
+		t.Fatalf("rows = %d, want 4", len(tbl.Rows))
+	}
+	// §4-C4: every per-variable residual is tiny.
+	for _, row := range tbl.Rows {
+		atoms, _ := strconv.Atoi(row[2])
+		if atoms > 10 {
+			t.Errorf("%s: per-variable residual %d too large", row[0], atoms)
+		}
+	}
+}
+
+func TestFigureTable(t *testing.T) {
+	tbl, err := FigureTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tbl.Rows))
+	}
+	byFigure := map[string]string{}
+	for _, row := range tbl.Rows {
+		byFigure[row[0]] = row[3]
+	}
+	if !strings.Contains(byFigure["Fig. 5"], "!(P1->R1->R2->P2)") {
+		t.Errorf("Fig. 5 content: %q", byFigure["Fig. 5"])
+	}
+	if byFigure["Fig. 5 (empty)"] != "{ }" {
+		t.Errorf("Fig. 5 empty subspec: %q", byFigure["Fig. 5 (empty)"])
+	}
+	if !strings.Contains(byFigure["Fig. 4"], ">>") {
+		t.Errorf("Fig. 4 misses the preference: %q", byFigure["Fig. 4"])
+	}
+}
+
+func TestInterpretationTable(t *testing.T) {
+	tbl, err := InterpretationTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tbl.Rows))
+	}
+	blocked, _ := strconv.Atoi(tbl.Rows[0][1])
+	lastResort, _ := strconv.Atoi(tbl.Rows[1][1])
+	if lastResort <= blocked {
+		t.Errorf("interpretation 2 must be more redundant: %d vs %d", lastResort, blocked)
+	}
+}
+
+func TestAblationTable(t *testing.T) {
+	tbl, err := AblationTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := map[string]int{}
+	for _, row := range tbl.Rows {
+		n, _ := strconv.Atoi(row[1])
+		sizes[row[0]] = n
+	}
+	full := sizes["full (15 rules, fixpoint)"]
+	noEq := sizes["without S14 eq-propagation"]
+	seed := sizes["unsimplified seed"]
+	if !(full < noEq && noEq < seed) {
+		t.Errorf("ablation ordering broken: full=%d noEq=%d seed=%d", full, noEq, seed)
+	}
+}
+
+func TestRuleFireTable(t *testing.T) {
+	tbl, err := RuleFireTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 15 {
+		t.Fatalf("rows = %d, want 15", len(tbl.Rows))
+	}
+	total := 0
+	for _, row := range tbl.Rows {
+		for _, cell := range row[1:] {
+			n, _ := strconv.Atoi(cell)
+			total += n
+		}
+	}
+	if total == 0 {
+		t.Fatal("no rules fired at all")
+	}
+}
+
+func TestComplementTable(t *testing.T) {
+	tbl, err := ComplementTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 4 {
+		t.Fatalf("rows = %d, want >= 4", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[3] == "R3" {
+			t.Fatal("complement must not constrain the focused router")
+		}
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tbl := &Table{ID: "x", Caption: "c", Columns: []string{"a", "b"}}
+	tbl.AddRow(1, "two")
+	j := tbl.JSON()
+	rows := j["rows"].([]map[string]string)
+	if len(rows) != 1 || rows[0]["a"] != "1" || rows[0]["b"] != "two" {
+		t.Fatalf("JSON = %v", j)
+	}
+}
+
+func TestScaleTableQuick(t *testing.T) {
+	tbl, err := ScaleTable(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 3 {
+		t.Fatalf("rows = %d, want >= 3", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[len(row)-1] != "true" {
+			t.Errorf("%s: verification failed", row[0])
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{ID: "x", Caption: "c", Columns: []string{"a", "bb"}}
+	tbl.AddRow(1, "hello")
+	tbl.AddRow(2.5, "y")
+	out := tbl.Render()
+	for _, want := range []string{"## x", "a    bb", "1    hello", "2.5  y"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render misses %q:\n%s", want, out)
+		}
+	}
+}

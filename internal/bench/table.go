@@ -1,0 +1,86 @@
+// Package bench implements the experiment harness: every figure and
+// quantitative claim of the paper's evaluation (and the scaling /
+// ablation extensions documented in DESIGN.md) is regenerated as a
+// table. cmd/netbench prints them; the repository-root benchmarks
+// exercise the same code paths under testing.B.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's result, rendered as an aligned text table.
+type Table struct {
+	// ID names the experiment (matching the index in DESIGN.md).
+	ID string
+	// Caption describes what the paper reports and what to look for.
+	Caption string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells (stringified by fmt.Sprint).
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// JSON marshals the table (for -format json in cmd/netbench).
+func (t *Table) JSON() map[string]any {
+	rows := make([]map[string]string, len(t.Rows))
+	for i, row := range t.Rows {
+		m := make(map[string]string, len(row))
+		for j, cell := range row {
+			if j < len(t.Columns) {
+				m[t.Columns[j]] = cell
+			}
+		}
+		rows[i] = m
+	}
+	return map[string]any{"id": t.ID, "caption": t.Caption, "rows": rows}
+}
+
+// Render draws the table with aligned columns.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "## %s\n%s\n\n", t.ID, t.Caption)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

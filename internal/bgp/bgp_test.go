@@ -1,0 +1,309 @@
+package bgp
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestCommunity(t *testing.T) {
+	c, err := ParseCommunity("100:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.High != 100 || c.Low != 2 || c.String() != "100:2" {
+		t.Fatalf("community = %+v / %s", c, c)
+	}
+	for _, bad := range []string{"", "abc", "1:", "70000:1", "1:70000", "-1:2"} {
+		if _, err := ParseCommunity(bad); err == nil {
+			t.Errorf("ParseCommunity(%q) should fail", bad)
+		}
+	}
+	mustPanic(t, func() { MustCommunity("bad") })
+}
+
+func TestOriginateAndClone(t *testing.T) {
+	p := topology.MustPrefix("10.0.0.0/8")
+	r := Originate("D1", 700, p)
+	if r.Origin != "D1" || r.LocalPref != DefaultLocalPref || len(r.Path) != 1 {
+		t.Fatalf("originated route = %+v", r)
+	}
+	cp := r.Clone()
+	cp.Path = append(cp.Path, "X")
+	cp.Communities[MustCommunity("1:1")] = true
+	cp.ASPath[0] = 999
+	if len(r.Path) != 1 || len(r.Communities) != 0 || r.ASPath[0] != 700 {
+		t.Fatal("Clone is not deep")
+	}
+}
+
+func TestDecisionProcess(t *testing.T) {
+	p := topology.MustPrefix("10.0.0.0/8")
+	base := func() *Route {
+		return &Route{Prefix: p, Path: []string{"O", "A"}, ASPath: []int{1, 2}, LocalPref: 100}
+	}
+	hi := base()
+	hi.LocalPref = 200
+	if !Better(hi, base()) || Better(base(), hi) {
+		t.Fatal("higher local-pref must win")
+	}
+	short := base()
+	long := base()
+	long.ASPath = []int{1, 2, 3}
+	if !Better(short, long) {
+		t.Fatal("shorter AS path must win at equal local-pref")
+	}
+	lowMed := base()
+	highMed := base()
+	highMed.MED = 50
+	if !Better(lowMed, highMed) {
+		t.Fatal("lower MED must win")
+	}
+	a := base()
+	b := base()
+	b.Path = []string{"O", "B"}
+	if !Better(a, b) || Better(b, a) {
+		t.Fatal("tie-break must be deterministic and asymmetric")
+	}
+	if Best(nil) != nil {
+		t.Fatal("Best(nil) should be nil")
+	}
+	if Best([]*Route{long, hi, short}) != hi {
+		t.Fatal("Best should pick the decision-process winner")
+	}
+}
+
+func TestSimulateIdentityPaperTopology(t *testing.T) {
+	net := topology.Paper()
+	res, err := Simulate(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := net.Router("D1").Prefix
+	// Everyone reaches D1.
+	for _, node := range []string{"C", "R1", "R2", "R3", "P1", "P2"} {
+		if !res.Reachable(node, d1) {
+			t.Fatalf("%s cannot reach D1:\n%s", node, res.Dump())
+		}
+	}
+	// C's path to D1 goes through R3 and one of the providers, with
+	// the shortest AS path winning.
+	path := res.ForwardingPath("C", d1)
+	if path[0] != "C" || path[len(path)-1] != "D1" {
+		t.Fatalf("forwarding path = %v", path)
+	}
+	if len(path) != 5 { // C R3 {R1,R2} {P1,P2} D1
+		t.Fatalf("expected 5-hop path, got %v", path)
+	}
+	// R1 reaches D1 directly via P1 (AS path length 3 beats 4).
+	r1path := res.ForwardingPath("R1", d1)
+	want := "R1 P1 D1"
+	if strings.Join(r1path, " ") != want {
+		t.Fatalf("R1 path = %v, want %s", r1path, want)
+	}
+	// With identity policies transit IS possible: P2 reaches P1's
+	// prefix through the fabric. (This is exactly what the no-transit
+	// scenario's synthesized configs must prevent.)
+	if !res.Reachable("P2", net.Router("P1").Prefix) {
+		t.Fatal("unfiltered network should allow transit")
+	}
+}
+
+// prefPolicy raises local-pref for routes imported from a given
+// neighbor at a given router.
+type prefPolicy struct {
+	at, from string
+	pref     int
+}
+
+func (p prefPolicy) Export(_, _ string, r *Route) *Route { return r }
+func (p prefPolicy) Import(at, from string, r *Route) *Route {
+	if at == p.at && from == p.from {
+		r.LocalPref = p.pref
+	}
+	return r
+}
+
+func TestSimulateLocalPrefSteersPath(t *testing.T) {
+	net := topology.Paper()
+	d1 := net.Router("D1").Prefix
+	// Make R3 prefer routes from R2 (hence via P2).
+	res, err := Simulate(net, prefPolicy{at: "R3", from: "R2", pref: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := strings.Join(res.ForwardingPath("C", d1), " ")
+	if path != "C R3 R2 P2 D1" {
+		t.Fatalf("C path = %q, want C R3 R2 P2 D1", path)
+	}
+}
+
+// dropPolicy drops all exports from at to to.
+type dropPolicy struct{ at, to string }
+
+func (p dropPolicy) Export(at, to string, r *Route) *Route {
+	if at == p.at && to == p.to {
+		return nil
+	}
+	return r
+}
+func (p dropPolicy) Import(_, _ string, r *Route) *Route { return r }
+
+func TestSimulateDropPolicy(t *testing.T) {
+	net := topology.Paper()
+	p1 := net.Router("P1").Prefix
+	// R1 refuses to export anything to P1 (the paper's Scenario 1
+	// configuration): P1 loses reachability to everything except what
+	// it can reach through D1-P2.
+	res, err := Simulate(net, dropPolicy{at: "R1", to: "P1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := topology.Paper().Router("C").Prefix
+	// P1 must not learn the customer prefix via R1; the only remaining
+	// path would be D1<-P2<-R2<-R3<-C... but that is blocked? No:
+	// identity everywhere else, so P1 still learns C via D1-P2-R2-R3.
+	path := res.ForwardingPath("P1", c)
+	if len(path) > 0 && path[1] == "R1" {
+		t.Fatalf("P1 still routes via R1: %v", path)
+	}
+	_ = p1
+}
+
+func TestSimulateWithdrawal(t *testing.T) {
+	// A policy that drops based on communities set elsewhere exercises
+	// re-announcement; here we just check the engine reaches a stable
+	// state with a policy that filters one prefix entirely.
+	net := topology.Paper()
+	d1 := net.Router("D1").Prefix
+	pol := filterPrefix{prefix: d1}
+	res, err := Simulate(net, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range []string{"C", "R1", "R2", "R3"} {
+		if res.Reachable(node, d1) {
+			t.Fatalf("%s should not reach filtered prefix", node)
+		}
+	}
+	// Other prefixes unaffected.
+	if !res.Reachable("C", net.Router("P1").Prefix) {
+		t.Fatal("unfiltered prefix lost")
+	}
+}
+
+type filterPrefix struct{ prefix netip.Prefix }
+
+func (p filterPrefix) Export(_, _ string, r *Route) *Route { return r }
+func (p filterPrefix) Import(at, _ string, r *Route) *Route {
+	// Internal routers refuse the filtered prefix.
+	if r.Prefix == p.prefix && strings.HasPrefix(at, "R") {
+		return nil
+	}
+	return r
+}
+
+func TestLoopPrevention(t *testing.T) {
+	net := topology.Paper()
+	res, err := Simulate(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for node, rib := range res.RIB {
+		for _, r := range rib {
+			seen := map[string]bool{}
+			for _, n := range r.Path {
+				if seen[n] {
+					t.Fatalf("route at %s has loop: %v", node, r.Path)
+				}
+				seen[n] = true
+			}
+		}
+	}
+}
+
+// oscillate builds the classic "bad gadget": three routers around an
+// origin, each preferring the route that goes through its clockwise
+// neighbor. No stable assignment exists.
+type badGadget struct{}
+
+func (badGadget) Export(_, _ string, r *Route) *Route { return r }
+func (badGadget) Import(at, from string, r *Route) *Route {
+	prefer := map[string]string{"A": "B", "B": "C", "C": "A"}
+	if prefer[at] == from {
+		r.LocalPref = 500
+	}
+	return r
+}
+
+func TestNonConvergenceDetected(t *testing.T) {
+	net := topology.New()
+	net.AddExternal("O", 10, topology.MustPrefix("10.0.0.0/8"))
+	for _, n := range []string{"A", "B", "C"} {
+		net.AddRouter(n, 100)
+		net.AddLink("O", n)
+	}
+	net.AddLink("A", "B")
+	net.AddLink("B", "C")
+	net.AddLink("C", "A")
+	_, err := Simulate(net, badGadget{})
+	if err == nil {
+		t.Fatal("bad gadget should be reported as non-converging")
+	}
+	if !strings.Contains(err.Error(), "convergence") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	net := topology.Paper()
+	res, err := Simulate(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := net.Router("D1").Prefix
+	if res.Route("C", d1) == nil {
+		t.Fatal("Route lookup failed")
+	}
+	if res.Route("C", topology.MustPrefix("1.2.3.0/24")) != nil {
+		t.Fatal("unknown prefix should have no route")
+	}
+	if res.ForwardingPath("C", topology.MustPrefix("1.2.3.0/24")) != nil {
+		t.Fatal("no route should mean nil path")
+	}
+	dump := res.Dump()
+	for _, want := range []string{"C:", "R1:", "140.0.1.0/24"} {
+		if !strings.Contains(dump, want) {
+			t.Fatalf("dump missing %q:\n%s", want, dump)
+		}
+	}
+	if res.Iterations < 2 {
+		t.Fatalf("iterations = %d, expected at least 2", res.Iterations)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Simulate(topology.Paper(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(topology.Paper(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Dump() != b.Dump() {
+		t.Fatal("simulation is not deterministic")
+	}
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

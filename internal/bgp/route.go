@@ -1,0 +1,178 @@
+// Package bgp implements the BGP routing substrate: route
+// announcements with the standard attributes, the BGP decision
+// process, and a synchronous route-propagation engine that runs a
+// network of policy-applying routers to a stable routing state.
+//
+// The model follows the abstraction NetComplete uses: routers exchange
+// per-prefix announcements over topology edges; import and export
+// policies (route maps, supplied by internal/config) transform or drop
+// announcements; each router selects one best route per prefix via the
+// decision process. Router-level propagation paths are tracked so the
+// verifier can check path-shaped intents ("no path P1->...->P2")
+// directly against the converged state.
+package bgp
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+)
+
+// Community is a BGP community tag, written "high:low" (e.g. "100:2").
+type Community struct {
+	High, Low uint16
+}
+
+// ParseCommunity parses "high:low".
+func ParseCommunity(s string) (Community, error) {
+	var h, l int
+	if _, err := fmt.Sscanf(s, "%d:%d", &h, &l); err != nil {
+		return Community{}, fmt.Errorf("bgp: bad community %q: %v", s, err)
+	}
+	if h < 0 || h > 0xffff || l < 0 || l > 0xffff {
+		return Community{}, fmt.Errorf("bgp: community %q out of range", s)
+	}
+	return Community{High: uint16(h), Low: uint16(l)}, nil
+}
+
+// MustCommunity parses a community or panics; for tests and builders.
+func MustCommunity(s string) Community {
+	c, err := ParseCommunity(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// String renders the community.
+func (c Community) String() string { return fmt.Sprintf("%d:%d", c.High, c.Low) }
+
+// DefaultLocalPref is the local preference assigned to routes that no
+// policy has touched, per BGP convention.
+const DefaultLocalPref = 100
+
+// Route is one BGP announcement as seen at some router. Routes are
+// treated as immutable: policies and the engine copy before modifying.
+type Route struct {
+	// Prefix is the destination address block.
+	Prefix netip.Prefix
+	// Origin is the node that originated the announcement.
+	Origin string
+	// Path is the router-level propagation path, origin first and the
+	// current holder last. The forwarding path of traffic is its
+	// reverse.
+	Path []string
+	// ASPath is the AS-level path, origin AS first.
+	ASPath []int
+	// NextHop is the neighbor the route was learned from ("" on the
+	// originator).
+	NextHop string
+	// LocalPref ranks routes within a router; higher wins.
+	LocalPref int
+	// MED breaks ties between routes from the same neighboring AS;
+	// lower wins.
+	MED int
+	// Communities carries the route's community tags.
+	Communities map[Community]bool
+}
+
+// Originate creates the self-announcement of prefix at the named node
+// in the given AS.
+func Originate(node string, as int, prefix netip.Prefix) *Route {
+	return &Route{
+		Prefix:      prefix,
+		Origin:      node,
+		Path:        []string{node},
+		ASPath:      []int{as},
+		LocalPref:   DefaultLocalPref,
+		Communities: map[Community]bool{},
+	}
+}
+
+// Clone returns a deep copy of the route.
+func (r *Route) Clone() *Route {
+	cp := *r
+	cp.Path = append([]string(nil), r.Path...)
+	cp.ASPath = append([]int(nil), r.ASPath...)
+	cp.Communities = make(map[Community]bool, len(r.Communities))
+	for c := range r.Communities {
+		cp.Communities[c] = true
+	}
+	return &cp
+}
+
+// HasCommunity reports whether the route carries the tag.
+func (r *Route) HasCommunity(c Community) bool { return r.Communities[c] }
+
+// PassedThrough reports whether the propagation path visits node.
+func (r *Route) PassedThrough(node string) bool {
+	for _, n := range r.Path {
+		if n == node {
+			return true
+		}
+	}
+	return false
+}
+
+// communityList renders the communities sorted, for String.
+func (r *Route) communityList() string {
+	if len(r.Communities) == 0 {
+		return ""
+	}
+	cs := make([]string, 0, len(r.Communities))
+	for c := range r.Communities {
+		cs = append(cs, c.String())
+	}
+	sort.Strings(cs)
+	return " comm=" + strings.Join(cs, ",")
+}
+
+// String renders the route for diagnostics.
+func (r *Route) String() string {
+	return fmt.Sprintf("%s via %s lp=%d med=%d path=%s%s",
+		r.Prefix, strings.Join(r.Path, "<-"), r.LocalPref, r.MED,
+		asPathString(r.ASPath), r.communityList())
+}
+
+func asPathString(asp []int) string {
+	parts := make([]string, len(asp))
+	for i, a := range asp {
+		parts[i] = fmt.Sprintf("%d", a)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Better reports whether r is preferred over s by the BGP decision
+// process: higher local-pref, then shorter AS path, then lower MED,
+// then shorter router-level propagation path (standing in for the
+// prefer-lowest-IGP-metric step), then a deterministic lexicographic
+// tie-break. Both routes must be for the same prefix.
+func Better(r, s *Route) bool {
+	if r.LocalPref != s.LocalPref {
+		return r.LocalPref > s.LocalPref
+	}
+	if len(r.ASPath) != len(s.ASPath) {
+		return len(r.ASPath) < len(s.ASPath)
+	}
+	if r.MED != s.MED {
+		return r.MED < s.MED
+	}
+	if len(r.Path) != len(s.Path) {
+		return len(r.Path) < len(s.Path)
+	}
+	// Deterministic tie-break on the propagation path.
+	rp, sp := strings.Join(r.Path, ","), strings.Join(s.Path, ",")
+	return rp < sp
+}
+
+// Best selects the most preferred route from candidates, or nil.
+func Best(candidates []*Route) *Route {
+	var best *Route
+	for _, c := range candidates {
+		if best == nil || Better(c, best) {
+			best = c
+		}
+	}
+	return best
+}

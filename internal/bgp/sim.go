@@ -1,0 +1,266 @@
+package bgp
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+// PolicyProvider supplies the routing policies the simulation applies
+// on each edge. internal/config implements it for concrete router
+// configurations; external nodes and unconfigured routers get the
+// identity policy.
+//
+// Both hooks receive a route that already carries the sender's
+// attributes and return the transformed route, or nil to drop it. The
+// provided route is a private copy: implementations may mutate it.
+type PolicyProvider interface {
+	// Export is applied at router `at` when announcing to neighbor
+	// `to`.
+	Export(at, to string, r *Route) *Route
+	// Import is applied at router `at` when receiving from neighbor
+	// `from`.
+	Import(at, from string, r *Route) *Route
+}
+
+// IdentityPolicy accepts every route unchanged.
+type IdentityPolicy struct{}
+
+// Export implements PolicyProvider.
+func (IdentityPolicy) Export(_, _ string, r *Route) *Route { return r }
+
+// Import implements PolicyProvider.
+func (IdentityPolicy) Import(_, _ string, r *Route) *Route { return r }
+
+// MaxIterations bounds the synchronous propagation rounds before the
+// engine reports non-convergence. Policy-induced BGP oscillation is
+// real (the "BGP wedgies" literature); the bound turns it into a
+// detectable error.
+const MaxIterations = 200
+
+// Result is a converged routing state.
+type Result struct {
+	// RIB maps router -> prefix -> selected best route.
+	RIB map[string]map[netip.Prefix]*Route
+	// Iterations is how many synchronous rounds convergence took.
+	Iterations int
+
+	net *topology.Network
+}
+
+// Simulate originates every external prefix and propagates routes
+// under the given policies until the network reaches a fixpoint. It
+// returns an error if the policies oscillate past MaxIterations.
+func Simulate(net *topology.Network, policies PolicyProvider) (*Result, error) {
+	if policies == nil {
+		policies = IdentityPolicy{}
+	}
+	// adjRIBIn[node][prefix][neighbor] = route learned from neighbor.
+	type key struct {
+		prefix   netip.Prefix
+		neighbor string
+	}
+	adjIn := make(map[string]map[key]*Route)
+	best := make(map[string]map[netip.Prefix]*Route)
+	for _, r := range net.Routers() {
+		adjIn[r.Name] = make(map[key]*Route)
+		best[r.Name] = make(map[netip.Prefix]*Route)
+	}
+
+	// Origination.
+	for _, r := range net.Routers() {
+		if r.HasPrefix {
+			best[r.Name][r.Prefix] = Originate(r.Name, r.AS, r.Prefix)
+		}
+	}
+
+	names := net.RouterNames()
+	for iter := 1; iter <= MaxIterations; iter++ {
+		changed := false
+		// Phase 1: everyone announces current best routes to all
+		// neighbors (synchronous rounds make the fixpoint
+		// deterministic).
+		for _, from := range names {
+			fromIsStub := net.Router(from).Stub
+			for _, to := range net.Neighbors(from) {
+				for _, route := range sortedRoutes(best[from]) {
+					// Stub networks originate but never transit.
+					if fromIsStub && route.Origin != from {
+						continue
+					}
+					ann := announce(net, policies, from, to, route)
+					k := key{prefix: route.Prefix, neighbor: from}
+					old := adjIn[to][k]
+					if ann == nil {
+						if old != nil {
+							delete(adjIn[to], k)
+							changed = true
+						}
+						continue
+					}
+					if old == nil || !routesEqual(old, ann) {
+						adjIn[to][k] = ann
+						changed = true
+					}
+				}
+				// Withdraw prefixes no longer announced.
+				for k := range adjIn[to] {
+					if k.neighbor != from {
+						continue
+					}
+					if _, still := best[from][k.prefix]; !still {
+						delete(adjIn[to], k)
+						changed = true
+					}
+				}
+			}
+		}
+		// Phase 2: selection.
+		for _, node := range names {
+			r := net.Router(node)
+			newBest := make(map[netip.Prefix]*Route)
+			if r.HasPrefix {
+				newBest[r.Prefix] = Originate(node, r.AS, r.Prefix)
+			}
+			byPrefix := make(map[netip.Prefix][]*Route)
+			for k, route := range adjIn[node] {
+				byPrefix[k.prefix] = append(byPrefix[k.prefix], route)
+			}
+			for prefix, cands := range byPrefix {
+				if _, originated := newBest[prefix]; originated {
+					continue // locally originated wins
+				}
+				newBest[prefix] = Best(cands)
+			}
+			if !ribEqual(best[node], newBest) {
+				best[node] = newBest
+				changed = true
+			}
+		}
+		if !changed {
+			return &Result{RIB: best, Iterations: iter, net: net}, nil
+		}
+	}
+	return nil, fmt.Errorf("bgp: no convergence after %d iterations (policy oscillation?)", MaxIterations)
+}
+
+// announce applies export policy at from, path/loop bookkeeping, and
+// import policy at to.
+func announce(net *topology.Network, policies PolicyProvider, from, to string, route *Route) *Route {
+	// Loop prevention: never announce a route back onto a node it has
+	// already visited.
+	if route.PassedThrough(to) {
+		return nil
+	}
+	out := policies.Export(from, to, route.Clone())
+	if out == nil {
+		return nil
+	}
+	// Extend the propagation path and AS path.
+	out.Path = append(out.Path, to)
+	toAS := net.Router(to).AS
+	if out.ASPath[len(out.ASPath)-1] != toAS {
+		out.ASPath = append(out.ASPath, toAS)
+	}
+	out.NextHop = from
+	// eBGP resets local-pref on AS boundaries; the receiver's import
+	// policy may set it again.
+	if net.Router(from).AS != toAS {
+		out.LocalPref = DefaultLocalPref
+	}
+	return policies.Import(to, from, out)
+}
+
+func sortedRoutes(m map[netip.Prefix]*Route) []*Route {
+	out := make([]*Route, 0, len(m))
+	for _, r := range m {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix.String() < out[j].Prefix.String() })
+	return out
+}
+
+func routesEqual(a, b *Route) bool {
+	if a.Prefix != b.Prefix || a.Origin != b.Origin || a.NextHop != b.NextHop ||
+		a.LocalPref != b.LocalPref || a.MED != b.MED ||
+		len(a.Path) != len(b.Path) || len(a.ASPath) != len(b.ASPath) ||
+		len(a.Communities) != len(b.Communities) {
+		return false
+	}
+	for i := range a.Path {
+		if a.Path[i] != b.Path[i] {
+			return false
+		}
+	}
+	for i := range a.ASPath {
+		if a.ASPath[i] != b.ASPath[i] {
+			return false
+		}
+	}
+	for c := range a.Communities {
+		if !b.Communities[c] {
+			return false
+		}
+	}
+	return true
+}
+
+func ribEqual(a, b map[netip.Prefix]*Route) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for p, ra := range a {
+		rb, ok := b[p]
+		if !ok || !routesEqual(ra, rb) {
+			return false
+		}
+	}
+	return true
+}
+
+// Route returns the best route for prefix at node, or nil.
+func (res *Result) Route(node string, prefix netip.Prefix) *Route {
+	return res.RIB[node][prefix]
+}
+
+// ForwardingPath returns the node sequence traffic from src to the
+// prefix follows under the converged state, ending at the originating
+// node — or nil if src has no route. The result is src's best route's
+// propagation path reversed.
+func (res *Result) ForwardingPath(src string, prefix netip.Prefix) []string {
+	r := res.Route(src, prefix)
+	if r == nil {
+		return nil
+	}
+	out := make([]string, len(r.Path))
+	for i, n := range r.Path {
+		out[len(r.Path)-1-i] = n
+	}
+	return out
+}
+
+// Reachable reports whether src holds any route to the prefix.
+func (res *Result) Reachable(src string, prefix netip.Prefix) bool {
+	return res.Route(src, prefix) != nil
+}
+
+// Dump renders the full routing state deterministically, for golden
+// tests and the CLI tools.
+func (res *Result) Dump() string {
+	var sb strings.Builder
+	nodes := make([]string, 0, len(res.RIB))
+	for n := range res.RIB {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		fmt.Fprintf(&sb, "%s:\n", n)
+		for _, r := range sortedRoutes(res.RIB[n]) {
+			fmt.Fprintf(&sb, "  %s\n", r)
+		}
+	}
+	return sb.String()
+}

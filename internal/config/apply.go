@@ -1,0 +1,152 @@
+package config
+
+import (
+	"fmt"
+
+	"repro/internal/bgp"
+)
+
+// ApplyRouteMap runs a route through the named route map of the
+// configuration: the first clause whose match lines all hold decides;
+// a deny clause (or no matching clause) drops the route; a permit
+// clause applies its set lines. The input route is mutated and
+// returned, matching the bgp.PolicyProvider contract of operating on
+// private copies.
+//
+// It panics if the route map or any referenced prefix list is missing,
+// or if the map still contains holes — those are programming errors in
+// this codebase, not data errors: synthesized configurations are
+// validated before application.
+func (c *Config) ApplyRouteMap(name string, r *bgp.Route) *bgp.Route {
+	rm, ok := c.RouteMaps[name]
+	if !ok {
+		panic(fmt.Sprintf("config: router %s has no route-map %q", c.Router, name))
+	}
+	for _, cl := range rm.Clauses {
+		if cl.ActionHole != "" {
+			panic(fmt.Sprintf("config: route-map %s clause %d has a symbolic action", name, cl.Seq))
+		}
+		if !c.clauseMatches(cl, r) {
+			continue
+		}
+		if cl.Action == Deny {
+			return nil
+		}
+		for _, set := range cl.Sets {
+			applySet(set, r)
+		}
+		return r
+	}
+	return nil // implicit deny
+}
+
+func (c *Config) clauseMatches(cl *Clause, r *bgp.Route) bool {
+	for _, m := range cl.Matches {
+		if m.ValueHole != "" {
+			panic(fmt.Sprintf("config: match in route-map of %s has a symbolic value", c.Router))
+		}
+		switch m.Kind {
+		case MatchPrefixList:
+			pl, ok := c.PrefixLists[m.PrefixList]
+			if !ok {
+				panic(fmt.Sprintf("config: router %s references unknown prefix-list %q", c.Router, m.PrefixList))
+			}
+			if !pl.Permits(r.Prefix) {
+				return false
+			}
+		case MatchCommunity:
+			if !r.HasCommunity(m.Community) {
+				return false
+			}
+		case MatchNextHopIs:
+			if r.NextHop != m.NextHop {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func applySet(s *Set, r *bgp.Route) {
+	if s.ParamHole != "" {
+		panic("config: set line has a symbolic parameter")
+	}
+	switch s.Kind {
+	case SetLocalPref:
+		r.LocalPref = s.LocalPref
+	case SetCommunity:
+		r.Communities[s.Community] = true
+	case SetMED:
+		r.MED = s.MED
+	case SetNextHopIP:
+		// Cosmetic in this model: next-hop IP rewriting does not
+		// change route selection (see the package comment and the
+		// paper's Scenario 1).
+	}
+}
+
+// Deployment maps router names to their configurations and implements
+// bgp.PolicyProvider: routers without a configuration (externals, or
+// internal routers the sketch leaves unconstrained) apply the identity
+// policy.
+type Deployment map[string]*Config
+
+// Export implements bgp.PolicyProvider.
+func (d Deployment) Export(at, to string, r *bgp.Route) *bgp.Route {
+	c, ok := d[at]
+	if !ok {
+		return r
+	}
+	n := c.Neighbor(to)
+	if n == nil || n.ExportMap == "" {
+		return r
+	}
+	return c.ApplyRouteMap(n.ExportMap, r)
+}
+
+// Import implements bgp.PolicyProvider.
+func (d Deployment) Import(at, from string, r *bgp.Route) *bgp.Route {
+	c, ok := d[at]
+	if !ok {
+		return r
+	}
+	n := c.Neighbor(from)
+	if n == nil || n.ImportMap == "" {
+		return r
+	}
+	return c.ApplyRouteMap(n.ImportMap, r)
+}
+
+// Validate checks referential integrity: every neighbor binding points
+// at an existing route map, every match at an existing prefix list,
+// and clause sequence numbers are strictly increasing.
+func (c *Config) Validate() error {
+	for _, n := range c.Neighbors {
+		for _, mapName := range []string{n.ImportMap, n.ExportMap} {
+			if mapName == "" {
+				continue
+			}
+			if _, ok := c.RouteMaps[mapName]; !ok {
+				return fmt.Errorf("config %s: neighbor %s references unknown route-map %q", c.Router, n.Peer, mapName)
+			}
+		}
+	}
+	for _, name := range c.RouteMapNames() {
+		rm := c.RouteMaps[name]
+		lastSeq := -1
+		for _, cl := range rm.Clauses {
+			if cl.Seq <= lastSeq {
+				return fmt.Errorf("config %s: route-map %s clause sequence %d not increasing", c.Router, name, cl.Seq)
+			}
+			lastSeq = cl.Seq
+			for _, m := range cl.Matches {
+				if m.Kind == MatchPrefixList && m.ValueHole == "" {
+					if _, ok := c.PrefixLists[m.PrefixList]; !ok {
+						return fmt.Errorf("config %s: route-map %s references unknown prefix-list %q", c.Router, name, m.PrefixList)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+package config
+
+import "testing"
+
+// FuzzParse checks the configuration parser never panics and that
+// accepted configurations round-trip.
+func FuzzParse(f *testing.F) {
+	f.Add("router bgp R1\nneighbor P1 route-map m out\nroute-map m deny 10\n match community 100:2\n")
+	f.Add("router bgp R1\nip prefix-list p seq 10 permit 10.0.0.0/8\n")
+	f.Add("router bgp R1\nroute-map m ?hole 10\n set local-preference ?lp\n")
+	f.Add("router bgp R1\nroute-map m permit 10\n match next-hop R2\n set metric 5\n")
+	f.Add("garbage")
+	f.Add("router bgp")
+	f.Add("router bgp R1\nroute-map m permit 10\nroute-map m permit 5\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := Print(c)
+		c2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed config does not reparse: %v\n%s", err, printed)
+		}
+		if Print(c2) != printed {
+			t.Fatalf("print not stable:\n%s\n---\n%s", printed, Print(c2))
+		}
+	})
+}

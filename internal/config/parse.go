@@ -1,0 +1,256 @@
+package config
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"repro/internal/bgp"
+)
+
+// Parse reads a single router configuration in the IOS-like dialect
+// produced by Print. Lines starting with "!" are separators/comments.
+func Parse(src string) (*Config, error) {
+	var c *Config
+	var curMap *RouteMap
+	var curClause *Clause
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "!") {
+			continue
+		}
+		fields := strings.Fields(line)
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("config: line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+		}
+		switch {
+		case fields[0] == "router":
+			if len(fields) != 3 || fields[1] != "bgp" {
+				return nil, fail("expected 'router bgp <name>'")
+			}
+			if c != nil {
+				return nil, fail("multiple 'router bgp' stanzas")
+			}
+			c = New(fields[2])
+
+		case fields[0] == "neighbor":
+			if c == nil {
+				return nil, fail("'neighbor' before 'router bgp'")
+			}
+			switch len(fields) {
+			case 2:
+				c.AddNeighbor(fields[1], "", "")
+			case 5:
+				if fields[2] != "route-map" {
+					return nil, fail("expected 'neighbor <peer> route-map <map> in|out'")
+				}
+				peer, mapName, dir := fields[1], fields[3], fields[4]
+				n := c.Neighbor(peer)
+				if n == nil {
+					c.AddNeighbor(peer, "", "")
+					n = c.Neighbor(peer)
+				}
+				switch dir {
+				case "in":
+					n.ImportMap = mapName
+				case "out":
+					n.ExportMap = mapName
+				default:
+					return nil, fail("direction must be in or out, got %q", dir)
+				}
+			default:
+				return nil, fail("malformed neighbor line")
+			}
+
+		case fields[0] == "ip" && len(fields) >= 2 && fields[1] == "prefix-list":
+			if c == nil {
+				return nil, fail("'ip prefix-list' before 'router bgp'")
+			}
+			// ip prefix-list NAME seq N permit|deny PREFIX
+			if len(fields) != 7 || fields[3] != "seq" {
+				return nil, fail("expected 'ip prefix-list <name> seq <n> permit|deny <prefix>'")
+			}
+			name := fields[2]
+			seq, err := strconv.Atoi(fields[4])
+			if err != nil {
+				return nil, fail("bad sequence number %q", fields[4])
+			}
+			action, err := parseAction(fields[5])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			prefix, err := netip.ParsePrefix(fields[6])
+			if err != nil {
+				return nil, fail("bad prefix %q: %v", fields[6], err)
+			}
+			pl := c.PrefixLists[name]
+			if pl == nil {
+				pl = &PrefixList{Name: name}
+				c.AddPrefixList(pl)
+			}
+			pl.Entries = append(pl.Entries, PrefixEntry{Seq: seq, Action: action, Prefix: prefix})
+
+		case fields[0] == "route-map":
+			if c == nil {
+				return nil, fail("'route-map' before 'router bgp'")
+			}
+			if len(fields) != 3 && len(fields) != 4 {
+				return nil, fail("expected 'route-map <name> permit|deny <seq>'")
+			}
+			name := fields[1]
+			seq, err := strconv.Atoi(fields[len(fields)-1])
+			if err != nil {
+				return nil, fail("bad sequence number %q", fields[len(fields)-1])
+			}
+			cl := &Clause{Seq: seq}
+			actionTok := fields[2]
+			if strings.HasPrefix(actionTok, "?") {
+				cl.ActionHole = actionTok[1:]
+			} else {
+				action, err := parseAction(actionTok)
+				if err != nil {
+					return nil, fail("%v", err)
+				}
+				cl.Action = action
+			}
+			rm := c.RouteMaps[name]
+			if rm == nil {
+				rm = &RouteMap{Name: name}
+				c.AddRouteMap(rm)
+			}
+			rm.Clauses = append(rm.Clauses, cl)
+			curMap, curClause = rm, cl
+
+		case fields[0] == "match":
+			if curClause == nil {
+				return nil, fail("'match' outside a route-map clause")
+			}
+			m, err := parseMatch(fields)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			curClause.Matches = append(curClause.Matches, m)
+
+		case fields[0] == "set":
+			if curClause == nil {
+				return nil, fail("'set' outside a route-map clause")
+			}
+			s, err := parseSet(fields)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			curClause.Sets = append(curClause.Sets, s)
+
+		default:
+			return nil, fail("unrecognized line %q", line)
+		}
+	}
+	if c == nil {
+		return nil, fmt.Errorf("config: no 'router bgp' stanza")
+	}
+	_ = curMap
+	return c, c.Validate()
+}
+
+func parseAction(tok string) (Action, error) {
+	switch tok {
+	case "permit":
+		return Permit, nil
+	case "deny":
+		return Deny, nil
+	}
+	return Deny, fmt.Errorf("bad action %q", tok)
+}
+
+func parseMatch(fields []string) (*Match, error) {
+	rest := fields[1:]
+	switch {
+	case len(rest) == 4 && rest[0] == "ip" && rest[1] == "address" && rest[2] == "prefix-list":
+		m := &Match{Kind: MatchPrefixList}
+		if strings.HasPrefix(rest[3], "?") {
+			m.ValueHole = rest[3][1:]
+		} else {
+			m.PrefixList = rest[3]
+		}
+		return m, nil
+	case len(rest) == 2 && rest[0] == "community":
+		m := &Match{Kind: MatchCommunity}
+		if strings.HasPrefix(rest[1], "?") {
+			m.ValueHole = rest[1][1:]
+			return m, nil
+		}
+		comm, err := bgp.ParseCommunity(rest[1])
+		if err != nil {
+			return nil, err
+		}
+		m.Community = comm
+		return m, nil
+	case len(rest) == 2 && rest[0] == "next-hop":
+		m := &Match{Kind: MatchNextHopIs}
+		if strings.HasPrefix(rest[1], "?") {
+			m.ValueHole = rest[1][1:]
+		} else {
+			m.NextHop = rest[1]
+		}
+		return m, nil
+	}
+	return nil, fmt.Errorf("unrecognized match line %q", strings.Join(fields, " "))
+}
+
+func parseSet(fields []string) (*Set, error) {
+	rest := fields[1:]
+	hole := func(tok string) (string, bool) {
+		if strings.HasPrefix(tok, "?") {
+			return tok[1:], true
+		}
+		return "", false
+	}
+	switch {
+	case len(rest) == 2 && rest[0] == "local-preference":
+		s := &Set{Kind: SetLocalPref}
+		if h, ok := hole(rest[1]); ok {
+			s.ParamHole = h
+			return s, nil
+		}
+		v, err := strconv.Atoi(rest[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad local-preference %q", rest[1])
+		}
+		s.LocalPref = v
+		return s, nil
+	case len(rest) >= 2 && rest[0] == "community":
+		s := &Set{Kind: SetCommunity}
+		if h, ok := hole(rest[1]); ok {
+			s.ParamHole = h
+			return s, nil
+		}
+		comm, err := bgp.ParseCommunity(rest[1])
+		if err != nil {
+			return nil, err
+		}
+		s.Community = comm
+		return s, nil
+	case len(rest) == 2 && rest[0] == "metric":
+		s := &Set{Kind: SetMED}
+		if h, ok := hole(rest[1]); ok {
+			s.ParamHole = h
+			return s, nil
+		}
+		v, err := strconv.Atoi(rest[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad metric %q", rest[1])
+		}
+		s.MED = v
+		return s, nil
+	case len(rest) == 2 && rest[0] == "next-hop":
+		s := &Set{Kind: SetNextHopIP}
+		if h, ok := hole(rest[1]); ok {
+			s.ParamHole = h
+			return s, nil
+		}
+		s.NextHopIP = rest[1]
+		return s, nil
+	}
+	return nil, fmt.Errorf("unrecognized set line %q", strings.Join(fields, " "))
+}

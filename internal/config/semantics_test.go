@@ -1,0 +1,127 @@
+package config
+
+import (
+	"testing"
+
+	"repro/internal/bgp"
+	"repro/internal/topology"
+)
+
+// Semantics corner cases that the synthesizer's symbolic model and the
+// concrete interpreter must agree on.
+
+func TestSetsOnDenyClauseDoNotFire(t *testing.T) {
+	// A deny clause's set lines are dead (the paper's Scenario 1
+	// redundant set next-hop); concretely, the route is dropped before
+	// any set could matter — and a later clause must not see their
+	// effects on other routes.
+	c := New("R1")
+	c.AddRouteMap(&RouteMap{Name: "m", Clauses: []*Clause{
+		{
+			Seq:     10,
+			Action:  Deny,
+			Matches: []*Match{{Kind: MatchCommunity, Community: bgp.MustCommunity("1:1")}},
+			Sets:    []*Set{{Kind: SetLocalPref, LocalPref: 999}},
+		},
+		{Seq: 20, Action: Permit},
+	}})
+	// Route without the community: falls to clause 20, LP untouched.
+	r := bgp.Originate("C", 600, topology.MustPrefix("123.0.1.0/20"))
+	got := c.ApplyRouteMap("m", r)
+	if got == nil || got.LocalPref != bgp.DefaultLocalPref {
+		t.Fatalf("clause-10 sets leaked: %+v", got)
+	}
+	// Route with the community: denied outright.
+	tagged := bgp.Originate("C", 600, topology.MustPrefix("123.0.1.0/20"))
+	tagged.Communities[bgp.MustCommunity("1:1")] = true
+	if c.ApplyRouteMap("m", tagged) != nil {
+		t.Fatal("tagged route must be denied")
+	}
+}
+
+func TestMultipleMatchesAreConjunctive(t *testing.T) {
+	c := New("R1")
+	c.AddRouteMap(&RouteMap{Name: "m", Clauses: []*Clause{
+		{
+			Seq:    10,
+			Action: Permit,
+			Matches: []*Match{
+				{Kind: MatchCommunity, Community: bgp.MustCommunity("1:1")},
+				{Kind: MatchNextHopIs, NextHop: "R2"},
+			},
+			Sets: []*Set{{Kind: SetLocalPref, LocalPref: 200}},
+		},
+		{Seq: 20, Action: Permit},
+	}})
+	oneOfTwo := bgp.Originate("C", 600, topology.MustPrefix("123.0.1.0/20"))
+	oneOfTwo.Communities[bgp.MustCommunity("1:1")] = true
+	oneOfTwo.NextHop = "R3" // community matches, next-hop does not
+	got := c.ApplyRouteMap("m", oneOfTwo)
+	if got.LocalPref != bgp.DefaultLocalPref {
+		t.Fatal("partial match must not apply the clause")
+	}
+	both := bgp.Originate("C", 600, topology.MustPrefix("123.0.1.0/20"))
+	both.Communities[bgp.MustCommunity("1:1")] = true
+	both.NextHop = "R2"
+	if got := c.ApplyRouteMap("m", both); got.LocalPref != 200 {
+		t.Fatal("full match must apply the clause")
+	}
+}
+
+func TestSetCommunityIsAdditive(t *testing.T) {
+	c := New("R1")
+	c.AddRouteMap(&RouteMap{Name: "m", Clauses: []*Clause{
+		{Seq: 10, Action: Permit, Sets: []*Set{{Kind: SetCommunity, Community: bgp.MustCommunity("2:2")}}},
+	}})
+	r := bgp.Originate("C", 600, topology.MustPrefix("123.0.1.0/20"))
+	r.Communities[bgp.MustCommunity("1:1")] = true
+	got := c.ApplyRouteMap("m", r)
+	if !got.HasCommunity(bgp.MustCommunity("1:1")) || !got.HasCommunity(bgp.MustCommunity("2:2")) {
+		t.Fatalf("set community must add, not replace: %v", got)
+	}
+}
+
+func TestEmptyMatchesClauseMatchesEverything(t *testing.T) {
+	c := New("R1")
+	c.AddRouteMap(&RouteMap{Name: "m", Clauses: []*Clause{
+		{Seq: 10, Action: Deny},
+		{Seq: 20, Action: Permit}, // unreachable
+	}})
+	r := bgp.Originate("C", 600, topology.MustPrefix("123.0.1.0/20"))
+	if c.ApplyRouteMap("m", r) != nil {
+		t.Fatal("match-all deny must drop everything")
+	}
+}
+
+func TestDeploymentRoundTripThroughText(t *testing.T) {
+	// A deployment printed and re-parsed behaves identically in the
+	// simulation — the property config files depend on.
+	net := topology.Paper()
+	c := New("R1")
+	c.AddPrefixList(&PrefixList{Name: "pl", Entries: []PrefixEntry{
+		{Seq: 10, Action: Permit, Prefix: topology.MustPrefix("123.0.1.0/20")},
+	}})
+	c.AddRouteMap(&RouteMap{Name: "m", Clauses: []*Clause{
+		{Seq: 10, Action: Permit, Matches: []*Match{{Kind: MatchPrefixList, PrefixList: "pl"}}},
+		{Seq: 100, Action: Deny},
+	}})
+	c.AddNeighbor("P1", "", "m")
+
+	reparsed, err := Parse(Print(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep1 := Deployment{"R1": c}
+	dep2 := Deployment{"R1": reparsed}
+	res1, err := bgp.Simulate(net, dep1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := bgp.Simulate(net, dep2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Dump() != res2.Dump() {
+		t.Fatal("reparsed deployment behaves differently")
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/config"
+	"repro/internal/logic"
+	"repro/internal/rewrite"
+	"repro/internal/synth"
+)
+
+// ComplementExplanation answers the question the paper's Section 5
+// raises under "High-level summary of the global behaviors": holding
+// one router's configuration fixed, what must the REST of the network
+// do for the global intent to hold? It is produced by symbolizing
+// every configured router except the one under focus and running the
+// same seed-and-simplify pipeline.
+type ComplementExplanation struct {
+	// Router is the device held concrete.
+	Router string
+	// Assumptions lists, per other router, the residual constraints on
+	// that router's variables — the "assume" side of an assume/
+	// guarantee pair whose "guarantee" side is Explain(Router).
+	Assumptions map[string][]logic.Term
+
+	SeedSize       int
+	SimplifiedSize int
+	Passes         int
+}
+
+// ExplainComplement symbolizes every configured router except the
+// given one and reports the per-router residual constraints.
+func (e *Explainer) ExplainComplement(router string) (*ComplementExplanation, error) {
+	if e.Net.Router(router) == nil {
+		return nil, fmt.Errorf("core: unknown router %q", router)
+	}
+	sketch := config.Deployment{}
+	holeOwner := map[string]string{}
+	for name, c := range e.Deployment {
+		if name == router {
+			sketch[name] = c
+			continue
+		}
+		targets := AllTargets(c)
+		if len(targets) == 0 {
+			sketch[name] = c
+			continue
+		}
+		sym, _, err := Symbolize(c, targets)
+		if err != nil {
+			return nil, err
+		}
+		sketch[name] = sym
+		for _, t := range targets {
+			holeOwner[t.HoleName()] = name
+		}
+	}
+	enc, err := synth.NewEncoder(e.Net, sketch, e.Opts.Synth).Encode(e.Reqs)
+	if err != nil {
+		return nil, err
+	}
+	seed := enc.Conjunction()
+	simp := rewrite.New()
+	simplified := simp.Simplify(seed)
+
+	out := &ComplementExplanation{
+		Router:         router,
+		Assumptions:    map[string][]logic.Term{},
+		SeedSize:       logic.Size(seed),
+		SimplifiedSize: logic.Size(simplified),
+		Passes:         simp.Passes,
+	}
+	for _, c := range logic.Conjuncts(simplified) {
+		owners := map[string]bool{}
+		for _, name := range logic.FreeVarNames(c) {
+			if owner, ok := holeOwner[name]; ok {
+				owners[owner] = true
+			}
+		}
+		for owner := range owners {
+			out.Assumptions[owner] = append(out.Assumptions[owner], c)
+		}
+	}
+	return out, nil
+}
+
+// Routers lists the routers with at least one assumption, sorted.
+func (c *ComplementExplanation) Routers() []string {
+	out := make([]string, 0, len(c.Assumptions))
+	for r := range c.Assumptions {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/scenarios"
+)
+
+func TestExplainComplementScenario2(t *testing.T) {
+	// Hold R3 fixed; the rest of the network must uphold the tagging
+	// discipline R3's selectors rely on (the paper's Section 5
+	// assume/guarantee discussion: "it is essential to ensure a route
+	// is tagged with community ... if received from ...").
+	sc := scenarios.Scenario2()
+	dep := synthScenario(t, sc)
+	e := newExplainer(t, sc, dep, nil)
+	comp, err := e.ExplainComplement("R3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.SeedSize <= comp.SimplifiedSize {
+		t.Fatalf("no reduction: %d -> %d", comp.SeedSize, comp.SimplifiedSize)
+	}
+	routers := comp.Routers()
+	if len(routers) == 0 {
+		t.Fatal("complement yields no assumptions; R1/R2 tagging should be constrained")
+	}
+	for _, r := range routers {
+		if r == "R3" {
+			t.Fatal("complement must not constrain the focused router")
+		}
+		if len(comp.Assumptions[r]) == 0 {
+			t.Fatalf("router %s listed without assumptions", r)
+		}
+	}
+}
+
+func TestExplainComplementUnknownRouter(t *testing.T) {
+	sc := scenarios.Scenario1()
+	dep := synthScenario(t, sc)
+	e := newExplainer(t, sc, dep, nil)
+	if _, err := e.ExplainComplement("R9"); err == nil {
+		t.Fatal("unknown router should fail")
+	}
+}
+
+func TestExplainComplementOfUnconfigured(t *testing.T) {
+	// Complement of R3 in scenario 1: everything except the (empty) R3
+	// config is symbolic; the assumptions are the whole job.
+	sc := scenarios.Scenario1()
+	dep := synthScenario(t, sc)
+	e := newExplainer(t, sc, dep, nil)
+	comp, err := e.ExplainComplement("R3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both provider-facing routers must carry assumptions (their
+	// export maps enforce the no-transit intent).
+	for _, want := range []string{"R1", "R2"} {
+		if len(comp.Assumptions[want]) == 0 {
+			t.Errorf("%s has no assumptions in the complement of R3", want)
+		}
+	}
+}

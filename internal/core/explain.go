@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/config"
+	"repro/internal/logic"
+	"repro/internal/rewrite"
+	"repro/internal/spec"
+	"repro/internal/synth"
+	"repro/internal/topology"
+)
+
+// Options tunes the explanation pipeline.
+type Options struct {
+	// Synth configures the underlying encoder (must match what the
+	// synthesizer used, so the seed specification is consistent with
+	// the synthesizer's interpretation — the paper stresses this).
+	Synth synth.Options
+	// Lift enables the subspecification lifting step (step 4).
+	Lift bool
+	// MaxPatternNodes bounds the length of candidate subspecification
+	// path patterns during lifting.
+	MaxPatternNodes int
+}
+
+// DefaultOptions returns the settings used by the experiments.
+func DefaultOptions() Options {
+	return Options{Synth: synth.DefaultOptions(), Lift: true, MaxPatternNodes: 8}
+}
+
+// Explanation is the output of Explain for one device.
+type Explanation struct {
+	// Router is the device under explanation.
+	Router string
+	// Targets lists the symbolized fields.
+	Targets []Target
+	// Replaced maps hole names to the concrete values they had in the
+	// synthesized configuration.
+	Replaced map[string]string
+	// HoleVars are the symbolic variables of the seed specification.
+	HoleVars map[string]*logic.Var
+
+	// Seed is the seed specification (step 2), the constraint
+	// conjunction over the symbolic variables plus the encoder's
+	// auxiliary routing variables.
+	Seed logic.Term
+	// Simplified is the seed after rewrite simplification (step 3).
+	Simplified logic.Term
+	// Residual lists the simplified conjuncts that still mention the
+	// device's symbolic variables — the low-level subspecification the
+	// paper's prototype stops at.
+	Residual []logic.Term
+
+	// Subspec is the lifted subspecification block (step 4), nil when
+	// lifting is disabled.
+	Subspec *spec.Block
+	// SubspecComplete reports whether the lifted subspecification was
+	// verified to be not only necessary but also sufficient (every
+	// device behavior satisfying it lets the network meet the global
+	// intent).
+	SubspecComplete bool
+
+	// Sizes for the experiment tables.
+	SeedConstraints int // top-level seed conjuncts
+	SeedSize        int // seed term nodes
+	SimplifiedSize  int // simplified term nodes
+	ResidualSize    int // nodes over conjuncts mentioning device vars
+	// RuleStats counts rewrite-rule firings; Passes the fixpoint
+	// rounds; SimplifyTrace the term size after each pass.
+	RuleStats     map[rewrite.RuleName]int
+	Passes        int
+	SimplifyTrace []int
+}
+
+// Explainer explains devices of one synthesized deployment.
+type Explainer struct {
+	Net        *topology.Network
+	Reqs       []spec.Requirement
+	Deployment config.Deployment
+	Opts       Options
+}
+
+// NewExplainer builds an explainer for a synthesis problem's output.
+// The deployment must be concrete (fully synthesized).
+func NewExplainer(net *topology.Network, reqs []spec.Requirement, dep config.Deployment, opts Options) (*Explainer, error) {
+	for name, c := range dep {
+		if !c.Concrete() {
+			return nil, fmt.Errorf("core: deployment config %s still has holes", name)
+		}
+	}
+	return &Explainer{Net: net, Reqs: reqs, Deployment: dep, Opts: opts}, nil
+}
+
+// ExplainAll explains every symbolizable field of the router at once:
+// "what must this device as a whole do".
+func (e *Explainer) ExplainAll(router string) (*Explanation, error) {
+	c, ok := e.Deployment[router]
+	if !ok {
+		// A router with no configuration is trivially unconstrained:
+		// the paper's empty subspecification (Scenario 3, R3).
+		if e.Net.Router(router) == nil {
+			return nil, fmt.Errorf("core: unknown router %q", router)
+		}
+		return e.Explain(router, nil)
+	}
+	return e.Explain(router, AllTargets(c))
+}
+
+// Explain generates the explanation for the chosen fields of the
+// router. An empty target list yields the trivially empty
+// subspecification (the device is not being asked about).
+func (e *Explainer) Explain(router string, targets []Target) (*Explanation, error) {
+	node := e.Net.Router(router)
+	if node == nil {
+		return nil, fmt.Errorf("core: unknown router %q", router)
+	}
+	ex := &Explanation{
+		Router:    router,
+		Targets:   targets,
+		Replaced:  map[string]string{},
+		RuleStats: map[rewrite.RuleName]int{},
+	}
+
+	// Step 1: partial symbolization.
+	sketch := config.Deployment{}
+	for name, c := range e.Deployment {
+		sketch[name] = c
+	}
+	if len(targets) > 0 {
+		base, ok := e.Deployment[router]
+		if !ok {
+			return nil, fmt.Errorf("core: router %q has no deployed configuration to symbolize", router)
+		}
+		sym, replaced, err := Symbolize(base, targets)
+		if err != nil {
+			return nil, err
+		}
+		sketch[router] = sym
+		ex.Replaced = replaced
+	}
+
+	// Step 2: the seed specification, produced by the synthesizer's
+	// own encoder over the partially symbolic deployment.
+	enc, err := synth.NewEncoder(e.Net, sketch, e.Opts.Synth).Encode(e.Reqs)
+	if err != nil {
+		return nil, err
+	}
+	ex.Seed = enc.Conjunction()
+	ex.HoleVars = enc.HoleVars
+	ex.SeedConstraints = enc.Stats.Constraints
+	ex.SeedSize = enc.Stats.ConstraintSize
+
+	// Step 3: simplification to fixpoint.
+	simp := rewrite.New()
+	ex.Simplified = simp.Simplify(ex.Seed)
+	ex.SimplifiedSize = logic.Size(ex.Simplified)
+	ex.Passes = simp.Passes
+	ex.SimplifyTrace = append([]int(nil), simp.Trace...)
+	for r, n := range simp.Stats {
+		ex.RuleStats[r] = n
+	}
+
+	// Residual: the conjuncts that still constrain the device's
+	// variables (the rest is auxiliary routing structure).
+	holeNames := map[string]bool{}
+	for name := range ex.HoleVars {
+		holeNames[name] = true
+	}
+	for _, c := range logic.Conjuncts(ex.Simplified) {
+		if mentionsAny(c, holeNames) {
+			ex.Residual = append(ex.Residual, c)
+			ex.ResidualSize += logic.Size(c)
+		}
+	}
+
+	// Step 4: lifting.
+	if e.Opts.Lift {
+		block, complete, err := e.lift(router, enc, ex)
+		if err != nil {
+			return nil, err
+		}
+		ex.Subspec = block
+		ex.SubspecComplete = complete
+	}
+	return ex, nil
+}
+
+// mentionsAny reports whether t contains any of the named variables.
+func mentionsAny(t logic.Term, names map[string]bool) bool {
+	found := false
+	logic.Walk(t, func(u logic.Term) bool {
+		if found {
+			return false
+		}
+		if v, ok := u.(*logic.Var); ok && names[v.Name] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// ResidualText renders the residual constraints one per line, the
+// low-level view shown in the paper's Figure 6c.
+func (ex *Explanation) ResidualText() string {
+	if len(ex.Residual) == 0 {
+		return "true"
+	}
+	lines := make([]string, len(ex.Residual))
+	for i, c := range ex.Residual {
+		lines[i] = c.String()
+	}
+	sort.Strings(lines)
+	out := lines[0]
+	for _, l := range lines[1:] {
+		out += "\n" + l
+	}
+	return out
+}
+
+// Reduction reports the size reduction factor achieved by
+// simplification (seed nodes / simplified nodes).
+func (ex *Explanation) Reduction() float64 {
+	if ex.SimplifiedSize == 0 {
+		return float64(ex.SeedSize)
+	}
+	return float64(ex.SeedSize) / float64(ex.SimplifiedSize)
+}

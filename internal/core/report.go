@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/spec"
+)
+
+// Report renders a whole-deployment explanation document: for every
+// configured router, the seed/simplified sizes and the lifted
+// subspecification — the artifact a network operator would read after
+// a synthesis run (the paper's "taming complexity" workflow applied to
+// every device at once).
+func (e *Explainer) Report() (string, error) {
+	routers := make([]string, 0, len(e.Deployment))
+	for r := range e.Deployment {
+		routers = append(routers, r)
+	}
+	sort.Strings(routers)
+
+	// Routers are independent explanation problems: fan out. Each
+	// goroutine builds its own encoder and solvers (none of the shared
+	// inputs are mutated), so this is safe and embarrassingly
+	// parallel.
+	type outcome struct {
+		ex  *Explanation
+		err error
+	}
+	results := make([]outcome, len(routers))
+	var wg sync.WaitGroup
+	for i, router := range routers {
+		wg.Add(1)
+		go func(i int, router string) {
+			defer wg.Done()
+			ex, err := e.ExplainAll(router)
+			results[i] = outcome{ex: ex, err: err}
+		}(i, router)
+	}
+	wg.Wait()
+
+	var sb strings.Builder
+	sb.WriteString("EXPLANATION REPORT\n")
+	sb.WriteString("==================\n\n")
+	sb.WriteString("Global intent:\n")
+	for _, r := range e.Reqs {
+		fmt.Fprintf(&sb, "    %s\n", r)
+	}
+	sb.WriteString("\n")
+	for i, router := range routers {
+		if results[i].err != nil {
+			return "", fmt.Errorf("core: explaining %s: %w", router, results[i].err)
+		}
+		ex := results[i].ex
+		fmt.Fprintf(&sb, "--- %s ---\n", router)
+		fmt.Fprintf(&sb, "seed: %d atoms over %d variables; simplified: %d atoms (%.0fx, %d passes)\n",
+			ex.SeedSize, len(ex.HoleVars), ex.SimplifiedSize, ex.Reduction(), ex.Passes)
+		if ex.Subspec == nil {
+			sb.WriteString("(lifting disabled)\n\n")
+			continue
+		}
+		if ex.Subspec.IsEmpty() {
+			fmt.Fprintf(&sb, "%s { }   // unconstrained: %s can do anything for this intent\n\n", router, router)
+			continue
+		}
+		sb.WriteString(spec.PrintBlock(ex.Subspec))
+		if ex.SubspecComplete {
+			sb.WriteString("(necessary and sufficient)\n")
+		} else {
+			sb.WriteString("(necessary; sufficiency not fully verified)\n")
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/spec"
+	"repro/internal/synth"
+)
+
+// This file gives device-local subspecification clauses their formal
+// meaning as terms over the device's symbolic variables, shared by the
+// lifting step (which searches for clauses) and CheckSubspec (which
+// validates a given clause against a configuration).
+//
+// A forbid clause's pattern is a route-propagation path fragment
+// (origin side first). Its meaning: wherever the fragment occurs
+// contiguously inside a candidate propagation path, the final edge of
+// that occurrence must reject the route. A preference clause compares
+// two routes arriving at the device (traffic order, device first): the
+// first must win the decision process there.
+
+// forbidTerm builds the encoding of a forbid clause over the candidate
+// paths. Patterns may contain wildcards. The boolean reports whether
+// the pattern occurred at all (a non-occurring pattern is vacuous).
+//
+// Anchoring: when the pattern's first element is a node that
+// originates a prefix, the pattern describes that origin's routes and
+// occurrences are anchored at the start of the propagation path
+// ("!(P1->R1->R2->P2)" is about P1's announcements). Otherwise the
+// pattern floats: any contiguous occurrence counts ("!(R1->P1)" blocks
+// every announcement crossing that edge).
+func (e *Explainer) forbidTerm(infos []synth.PathInfo, pattern spec.Path) (logic.Term, bool) {
+	anchored := false
+	if first := pattern.First(); first != "" && first == pattern[0] {
+		if r := e.Net.Router(first); r != nil && r.HasPrefix {
+			anchored = true
+		}
+	}
+	minLen := 0 // wildcards may match zero nodes
+	for _, el := range pattern {
+		if el != spec.Wildcard {
+			minLen++
+		}
+	}
+	if minLen < 2 {
+		minLen = 2 // an occurrence needs at least one edge
+	}
+	var conds []logic.Term
+	for _, info := range infos {
+		for s := 0; s < len(info.Path); s++ {
+			if anchored && s > 0 {
+				break
+			}
+			for end := s + minLen; end <= len(info.Path); end++ {
+				if !spec.Matches(pattern, info.Path[s:end]) {
+					continue
+				}
+				// The occurrence's final edge is Path[end-2] -> Path[end-1].
+				conds = append(conds, logic.Not(info.EdgeConds[end-2]))
+			}
+		}
+	}
+	if len(conds) == 0 {
+		return logic.True, false
+	}
+	return logic.And(logic.DedupTerms(conds)...), true
+}
+
+// preferenceTermAt resolves the preference's two routes among the
+// candidates ending at router and returns the preferred-at-device
+// term.
+func (e *Explainer) preferenceTermAt(infos []synth.PathInfo, router string, p *spec.Preference) (logic.Term, error) {
+	if len(p.Paths) != 2 {
+		return nil, fmt.Errorf("core: device-local preferences are pairwise, got %d paths", len(p.Paths))
+	}
+	find := func(traffic spec.Path) (synth.PathInfo, error) {
+		if len(traffic) == 0 || traffic[0] != router {
+			return synth.PathInfo{}, fmt.Errorf("core: preference path %s does not start at %s", traffic, router)
+		}
+		for _, info := range infos {
+			if info.Path[len(info.Path)-1] != router {
+				continue
+			}
+			if spec.Matches(traffic, info.Traffic()) {
+				return info, nil
+			}
+		}
+		return synth.PathInfo{}, fmt.Errorf("core: no candidate route for %s at %s", traffic, router)
+	}
+	a, err := find(p.Paths[0])
+	if err != nil {
+		return nil, err
+	}
+	b, err := find(p.Paths[1])
+	if err != nil {
+		return nil, err
+	}
+	return synth.PreferredTerm(a, b, e.Net), nil
+}
+
+// clauseTerm builds the term of any supported subspecification clause.
+func (e *Explainer) clauseTerm(infos []synth.PathInfo, router string, req spec.Requirement) (logic.Term, error) {
+	switch q := req.(type) {
+	case *spec.Forbid:
+		t, occurs := e.forbidTerm(infos, q.Path)
+		if !occurs {
+			return nil, fmt.Errorf("core: forbid pattern %s matches no candidate route", q.Path)
+		}
+		return t, nil
+	case *spec.Preference:
+		return e.preferenceTermAt(infos, router, q)
+	}
+	return nil, fmt.Errorf("core: unsupported requirement %T", req)
+}

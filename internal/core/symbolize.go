@@ -1,0 +1,199 @@
+// Package core implements the paper's contribution: localized
+// explanations for synthesized network configurations. Given the
+// synthesis problem's inputs and output — the topology, the global
+// intent, and the concrete synthesized deployment — it produces, for a
+// chosen device, a subspecification in the intent language that states
+// what that device's configuration must do for the network to satisfy
+// the global intent.
+//
+// The pipeline follows the paper's Section 3 (Figure 6):
+//
+//  1. Partial symbolization: selected fields of the device's concrete
+//     configuration are replaced by symbolic variables (Var_Action,
+//     Var_Val, Var_Param), yielding a partially symbolic configuration.
+//  2. Seed specification: the same encoder the synthesizer uses
+//     (internal/synth) encodes the partially symbolic configuration
+//     together with the other devices' concrete configurations and the
+//     global requirements into a constraint system over the symbolic
+//     variables.
+//  3. Simplification: the fifteen rewrite rules (internal/rewrite) are
+//     applied to a fixpoint, collapsing the seed to a small constraint.
+//  4. Lifting (the step the paper leaves as future work, implemented
+//     here as an extension): candidate subspecification clauses in the
+//     intent language are enumerated from the device's local path
+//     vocabulary and validated against the seed with the SMT solver;
+//     the necessary, non-vacuous, non-redundant ones form the
+//     subspecification block.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/config"
+)
+
+// FieldKind selects which part of a route-map clause to symbolize.
+type FieldKind int
+
+const (
+	// FieldAction symbolizes the clause's permit/deny action
+	// (Var_Action).
+	FieldAction FieldKind = iota
+	// FieldMatch symbolizes the value of the clause's i-th match line
+	// (Var_Val).
+	FieldMatch
+	// FieldSet symbolizes the parameter of the clause's i-th set line
+	// (Var_Param).
+	FieldSet
+)
+
+// String renders the field kind with the paper's variable naming.
+func (k FieldKind) String() string {
+	switch k {
+	case FieldAction:
+		return "Var_Action"
+	case FieldMatch:
+		return "Var_Val"
+	case FieldSet:
+		return "Var_Param"
+	}
+	return "Var_?"
+}
+
+// Target identifies one symbolizable field of a device configuration.
+type Target struct {
+	// Map is the route-map name.
+	Map string
+	// Seq is the clause sequence number.
+	Seq int
+	// Field selects the clause part.
+	Field FieldKind
+	// Index selects among multiple match/set lines (0-based; ignored
+	// for FieldAction).
+	Index int
+}
+
+// HoleName derives the deterministic symbolic variable name of the
+// target, following the paper's Var_* convention.
+func (t Target) HoleName() string {
+	if t.Field == FieldAction {
+		return fmt.Sprintf("%s_%s_%d", t.Field, t.Map, t.Seq)
+	}
+	return fmt.Sprintf("%s_%s_%d_%d", t.Field, t.Map, t.Seq, t.Index)
+}
+
+// String renders the target location.
+func (t Target) String() string {
+	if t.Field == FieldAction {
+		return fmt.Sprintf("route-map %s clause %d action", t.Map, t.Seq)
+	}
+	kind := "match"
+	if t.Field == FieldSet {
+		kind = "set"
+	}
+	return fmt.Sprintf("route-map %s clause %d %s %d", t.Map, t.Seq, kind, t.Index)
+}
+
+// AllTargets enumerates every symbolizable field of a configuration in
+// deterministic order — symbolizing all of them asks "what must this
+// whole device do".
+func AllTargets(c *config.Config) []Target {
+	var out []Target
+	names := c.RouteMapNames()
+	sort.Strings(names)
+	for _, name := range names {
+		rm := c.RouteMaps[name]
+		for _, cl := range rm.Clauses {
+			out = append(out, Target{Map: name, Seq: cl.Seq, Field: FieldAction})
+			for i := range cl.Matches {
+				out = append(out, Target{Map: name, Seq: cl.Seq, Field: FieldMatch, Index: i})
+			}
+			for i := range cl.Sets {
+				out = append(out, Target{Map: name, Seq: cl.Seq, Field: FieldSet, Index: i})
+			}
+		}
+	}
+	return out
+}
+
+// Symbolize returns a copy of the configuration with the targeted
+// fields replaced by holes (the paper's step 1). The returned map
+// relates hole names to the concrete values they replaced, so
+// explanations can show "currently: deny".
+func Symbolize(c *config.Config, targets []Target) (*config.Config, map[string]string, error) {
+	out := c.Clone()
+	replaced := map[string]string{}
+	for _, t := range targets {
+		rm, ok := out.RouteMaps[t.Map]
+		if !ok {
+			return nil, nil, fmt.Errorf("core: %s has no route-map %q", c.Router, t.Map)
+		}
+		var cl *config.Clause
+		for _, cand := range rm.Clauses {
+			if cand.Seq == t.Seq {
+				cl = cand
+				break
+			}
+		}
+		if cl == nil {
+			return nil, nil, fmt.Errorf("core: route-map %s has no clause %d", t.Map, t.Seq)
+		}
+		name := t.HoleName()
+		switch t.Field {
+		case FieldAction:
+			if cl.ActionHole != "" {
+				return nil, nil, fmt.Errorf("core: clause %d action already symbolic", t.Seq)
+			}
+			replaced[name] = cl.Action.String()
+			cl.ActionHole = name
+		case FieldMatch:
+			if t.Index < 0 || t.Index >= len(cl.Matches) {
+				return nil, nil, fmt.Errorf("core: clause %d has no match %d", t.Seq, t.Index)
+			}
+			m := cl.Matches[t.Index]
+			if m.ValueHole != "" {
+				return nil, nil, fmt.Errorf("core: clause %d match %d already symbolic", t.Seq, t.Index)
+			}
+			replaced[name] = concreteMatchValue(m)
+			m.ValueHole = name
+		case FieldSet:
+			if t.Index < 0 || t.Index >= len(cl.Sets) {
+				return nil, nil, fmt.Errorf("core: clause %d has no set %d", t.Seq, t.Index)
+			}
+			s := cl.Sets[t.Index]
+			if s.ParamHole != "" {
+				return nil, nil, fmt.Errorf("core: clause %d set %d already symbolic", t.Seq, t.Index)
+			}
+			replaced[name] = concreteSetValue(s)
+			s.ParamHole = name
+		}
+	}
+	return out, replaced, nil
+}
+
+func concreteMatchValue(m *config.Match) string {
+	switch m.Kind {
+	case config.MatchPrefixList:
+		return m.PrefixList
+	case config.MatchCommunity:
+		return m.Community.String()
+	case config.MatchNextHopIs:
+		return m.NextHop
+	}
+	return "?"
+}
+
+func concreteSetValue(s *config.Set) string {
+	switch s.Kind {
+	case config.SetLocalPref:
+		return fmt.Sprintf("%d", s.LocalPref)
+	case config.SetCommunity:
+		return s.Community.String()
+	case config.SetMED:
+		return fmt.Sprintf("%d", s.MED)
+	case config.SetNextHopIP:
+		return s.NextHopIP
+	}
+	return "?"
+}

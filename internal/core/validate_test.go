@@ -1,0 +1,216 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/scenarios"
+	"repro/internal/spec"
+)
+
+func TestCheckSubspecAcceptsOwnConfig(t *testing.T) {
+	// A synthesized configuration must satisfy its own lifted
+	// subspecification — the round trip the paper's workflow relies
+	// on.
+	for _, name := range []string{"scenario1", "scenario2"} {
+		sc, err := scenarios.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dep := synthScenario(t, sc)
+		e := newExplainer(t, sc, dep, nil)
+		router := "R1"
+		if name == "scenario2" {
+			router = "R3"
+		}
+		ex, err := e.ExplainAll(router)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ex.Subspec.IsEmpty() {
+			t.Fatalf("%s: unexpected empty subspec", name)
+		}
+		checks, err := e.CheckSubspec(router, ex.Subspec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ch := range checks {
+			if !ch.Holds {
+				t.Errorf("%s %s: clause %s does not hold on the deployed config", name, router, ch.Req)
+			}
+		}
+		ok, err := e.SatisfiesSubspec(router, ex.Subspec)
+		if err != nil || !ok {
+			t.Fatalf("%s: SatisfiesSubspec = %v, %v", name, ok, err)
+		}
+	}
+}
+
+func TestCheckSubspecCatchesBrokenEdit(t *testing.T) {
+	// The administrator's "I want to make changes to R1" moment: an
+	// edit that re-permits the provider routes violates the
+	// subspecification — without re-running global verification.
+	sc := scenarios.Scenario1()
+	dep := synthScenario(t, sc)
+	e := newExplainer(t, sc, dep, nil)
+	ex, err := e.ExplainAll("R1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Break R1: change the catch-all deny to permit.
+	broken := config.Deployment{}
+	for n, c := range dep {
+		broken[n] = c
+	}
+	edited := dep["R1"].Clone()
+	rm := edited.RouteMaps["R1_to_P1"]
+	rm.Clauses[len(rm.Clauses)-1].Action = config.Permit
+	broken["R1"] = edited
+
+	e2, err := NewExplainer(sc.Net, sc.Requirements(), broken, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := e2.SatisfiesSubspec("R1", ex.Subspec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("broken edit should violate the subspecification")
+	}
+	checks, err := e2.CheckSubspec("R1", ex.Subspec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failing := 0
+	for _, ch := range checks {
+		if !ch.Holds {
+			failing++
+		}
+	}
+	if failing == 0 {
+		t.Fatal("no failing clause reported")
+	}
+	if FormatChecks(checks) == "" {
+		t.Fatal("FormatChecks empty")
+	}
+}
+
+func TestCheckSubspecErrors(t *testing.T) {
+	sc := scenarios.Scenario1()
+	dep := synthScenario(t, sc)
+	e := newExplainer(t, sc, dep, nil)
+	if _, err := e.CheckSubspec("R9", &spec.Block{Name: "R9"}); err == nil {
+		t.Fatal("unknown router should fail")
+	}
+	// A pattern matching no route is an error, not silently true.
+	badBlock := &spec.Block{Name: "R1", Reqs: []spec.Requirement{
+		&spec.Forbid{Path: spec.NewPath("P2", "P1")}, // no such link
+	}}
+	if _, err := e.CheckSubspec("R1", badBlock); err == nil {
+		t.Fatal("non-occurring pattern should fail")
+	}
+	// A preference whose route does not start at the device fails.
+	badPref := &spec.Block{Name: "R1", Reqs: []spec.Requirement{
+		&spec.Preference{Paths: []spec.Path{
+			spec.NewPath("C", "R3", "R1"),
+			spec.NewPath("C", "R3", "R2", "R1"),
+		}},
+	}}
+	if _, err := e.CheckSubspec("R1", badPref); err == nil {
+		t.Fatal("preference not anchored at the device should fail")
+	}
+}
+
+func TestSubspecScope(t *testing.T) {
+	// Figure 5's header: the R2 subspecification for no-transit is
+	// scoped to the P2 interface.
+	sc := scenarios.Scenario3()
+	dep := synthScenario(t, sc)
+	noTransit := sc.Spec.Block("Req1")
+	ex, err := newExplainer(t, sc, dep, noTransit.Reqs).ExplainAll("R2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Subspec.Scope != "P2" {
+		t.Fatalf("scope = %q, want P2 (block: %s)", ex.Subspec.Scope, spec.PrintBlock(ex.Subspec))
+	}
+	if ex.Subspec.Title() != "R2 to P2" {
+		t.Fatalf("title = %q", ex.Subspec.Title())
+	}
+	// Scenario 2's R3 block mixes preferences and import drops: no
+	// scope.
+	sc2 := scenarios.Scenario2()
+	dep2 := synthScenario(t, sc2)
+	ex2, err := newExplainer(t, sc2, dep2, nil).ExplainAll("R3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex2.Subspec.Scope != "" {
+		t.Fatalf("mixed block should have no scope, got %q", ex2.Subspec.Scope)
+	}
+}
+
+func TestCheckSubspecPreferenceClause(t *testing.T) {
+	// Scenario 2's preference clause validates against R3's config.
+	sc := scenarios.Scenario2()
+	dep := synthScenario(t, sc)
+	e := newExplainer(t, sc, dep, nil)
+	block := &spec.Block{Name: "R3", Reqs: []spec.Requirement{
+		&spec.Preference{Paths: []spec.Path{
+			spec.NewPath("R3", "R1", "P1", "D1"),
+			spec.NewPath("R3", "R2", "P2", "D1"),
+		}},
+	}}
+	ok, err := e.SatisfiesSubspec("R3", block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("synthesized R3 must satisfy the preference clause")
+	}
+	// The reversed preference must fail.
+	rev := &spec.Block{Name: "R3", Reqs: []spec.Requirement{
+		&spec.Preference{Paths: []spec.Path{
+			spec.NewPath("R3", "R2", "P2", "D1"),
+			spec.NewPath("R3", "R1", "P1", "D1"),
+		}},
+	}}
+	ok, err = e.SatisfiesSubspec("R3", rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("reversed preference should not hold")
+	}
+}
+
+func TestInterpretation2SubspecHasNoDrops(t *testing.T) {
+	// Under interpretation (2) the unlisted detours stay configured-in
+	// as last resorts, so the Figure 4 drop clauses must vanish from
+	// R3's subspecification — only preferences remain.
+	sc := scenarios.Scenario2()
+	opts := synthOpts()
+	opts.AllowUnspecified = true
+	res, err := synthWith(sc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copts := DefaultOptions()
+	copts.Synth = opts
+	e, err := NewExplainer(sc.Net, sc.Requirements(), res, copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := e.ExplainAll("R3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Subspec.Forbids()) != 0 {
+		t.Fatalf("interp-2 subspec should have no drops: %v", subspecStrings(ex.Subspec))
+	}
+	if len(ex.Subspec.Preferences()) == 0 {
+		t.Fatalf("interp-2 subspec should keep the preferences: %v", subspecStrings(ex.Subspec))
+	}
+}

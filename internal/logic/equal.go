@@ -1,0 +1,117 @@
+package logic
+
+import "hash/fnv"
+
+// Equal reports structural equality of two terms. Variables compare by
+// name and sort; literals by value; applications by operator and
+// argument-wise equality. And/Or argument order is significant — the
+// rewrite engine canonicalizes ordering where it matters.
+func Equal(a, b Term) bool {
+	if a == b {
+		return true
+	}
+	switch x := a.(type) {
+	case *Var:
+		y, ok := b.(*Var)
+		return ok && x.Name == y.Name && SameSort(x.S, y.S)
+	case *BoolLit:
+		y, ok := b.(*BoolLit)
+		return ok && x.Val == y.Val
+	case *IntLit:
+		y, ok := b.(*IntLit)
+		return ok && x.Val == y.Val
+	case *EnumLit:
+		y, ok := b.(*EnumLit)
+		return ok && x.Val == y.Val && SameSort(x.S, y.S)
+	case *Apply:
+		y, ok := b.(*Apply)
+		if !ok || x.Op != y.Op || len(x.Args) != len(y.Args) {
+			return false
+		}
+		for i := range x.Args {
+			if !Equal(x.Args[i], y.Args[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Hash computes a structural hash consistent with Equal: equal terms
+// hash equally. It is used to deduplicate conjuncts and memoize
+// rewriting.
+func Hash(t Term) uint64 {
+	h := fnv.New64a()
+	hashTerm(t, h)
+	return h.Sum64()
+}
+
+type hasher interface {
+	Write(p []byte) (int, error)
+}
+
+func hashTerm(t Term, h hasher) {
+	switch n := t.(type) {
+	case *Var:
+		h.Write([]byte{1})
+		h.Write([]byte(n.Name))
+		hashSort(n.S, h)
+	case *BoolLit:
+		if n.Val {
+			h.Write([]byte{2, 1})
+		} else {
+			h.Write([]byte{2, 0})
+		}
+	case *IntLit:
+		h.Write([]byte{3})
+		writeInt64(h, n.Val)
+	case *EnumLit:
+		h.Write([]byte{4})
+		h.Write([]byte(n.Val))
+		hashSort(n.S, h)
+	case *Apply:
+		h.Write([]byte{5, byte(n.Op)})
+		writeInt64(h, int64(len(n.Args)))
+		for _, a := range n.Args {
+			hashTerm(a, h)
+		}
+	}
+}
+
+func hashSort(s *Sort, h hasher) {
+	h.Write([]byte{byte(s.Kind)})
+	if s.Kind == KindEnum {
+		h.Write([]byte(s.Name))
+	}
+}
+
+func writeInt64(h hasher, v int64) {
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	h.Write(buf[:])
+}
+
+// DedupTerms removes structural duplicates from ts, preserving first
+// occurrences.
+func DedupTerms(ts []Term) []Term {
+	seen := make(map[uint64][]Term, len(ts))
+	out := ts[:0:0]
+	for _, t := range ts {
+		h := Hash(t)
+		dup := false
+		for _, prev := range seen[h] {
+			if Equal(prev, t) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			seen[h] = append(seen[h], t)
+			out = append(out, t)
+		}
+	}
+	return out
+}

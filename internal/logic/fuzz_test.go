@@ -1,0 +1,40 @@
+package logic
+
+import "testing"
+
+// FuzzParse checks the term parser never panics over a fixed
+// vocabulary, and that accepted terms print/parse stably.
+func FuzzParse(f *testing.F) {
+	f.Add("x & (y | !x)")
+	f.Add("n + 1 <= 7 => act != deny")
+	f.Add("ite(x, 1, 0) = n")
+	f.Add("x <=> y <=> x")
+	f.Add("!!!x")
+	f.Add("((((")
+	f.Add("- - 3 < n")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 256 {
+			return
+		}
+		sort := NewEnumSort("FAct", "permit", "deny")
+		p, err := NewParser([]*Var{
+			NewBoolVar("x"), NewBoolVar("y"),
+			NewIntVar("n", 0, 100), NewEnumVar("act", sort),
+		}, []*Sort{sort})
+		if err != nil {
+			t.Fatal(err)
+		}
+		term, err := p.Parse(src)
+		if err != nil {
+			return
+		}
+		printed := term.String()
+		term2, err := p.Parse(printed)
+		if err != nil {
+			t.Fatalf("printed term does not reparse: %v\n%s", err, printed)
+		}
+		if term2.String() != printed {
+			t.Fatalf("print not stable: %q -> %q", printed, term2.String())
+		}
+	})
+}

@@ -1,0 +1,400 @@
+package logic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parser parses the infix surface syntax produced by Term.String back
+// into terms. Because the language is typed, the parser needs a symbol
+// environment: a declaration for every variable and the enum sorts
+// whose constants may appear as literals.
+//
+// The parser exists for tests (round-tripping), for the command-line
+// tools (reading constraint files), and for loading golden seed
+// specifications in the benchmark harness.
+type Parser struct {
+	vars  map[string]*Var
+	enums map[string]*EnumLit
+}
+
+// NewParser creates a parser with the given variable declarations and
+// enum sorts. Enum constants shadow nothing: it is an error for a
+// variable and an enum constant to share a name, or for two enum sorts
+// to share a constant name.
+func NewParser(vars []*Var, enums []*Sort) (*Parser, error) {
+	p := &Parser{vars: make(map[string]*Var), enums: make(map[string]*EnumLit)}
+	for _, v := range vars {
+		if _, dup := p.vars[v.Name]; dup {
+			return nil, fmt.Errorf("logic: duplicate variable declaration %q", v.Name)
+		}
+		p.vars[v.Name] = v
+	}
+	for _, s := range enums {
+		if !s.IsEnum() {
+			return nil, fmt.Errorf("logic: %v is not an enum sort", s)
+		}
+		for _, val := range s.Values {
+			if _, dup := p.enums[val]; dup {
+				return nil, fmt.Errorf("logic: enum constant %q appears in more than one sort", val)
+			}
+			if _, dup := p.vars[val]; dup {
+				return nil, fmt.Errorf("logic: name %q is both a variable and an enum constant", val)
+			}
+			p.enums[val] = NewEnum(s, val)
+		}
+	}
+	return p, nil
+}
+
+type lexer struct {
+	src string
+	pos int
+	tok string // current token ("" at EOF)
+}
+
+func (l *lexer) next() error {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		l.tok = ""
+		return nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+	case c >= '0' && c <= '9':
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+	default:
+		// Operators, longest first.
+		for _, op := range []string{"<=>", "=>", "!=", "<=", ">=", "&", "|", "!", "=", "<", ">", "+", "-", "(", ")", ","} {
+			if strings.HasPrefix(l.src[l.pos:], op) {
+				l.pos += len(op)
+				l.tok = op
+				return nil
+			}
+		}
+		return fmt.Errorf("logic: unexpected character %q at offset %d", c, l.pos)
+	}
+	l.tok = l.src[start:l.pos]
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '.' || c == ':' || c == '/' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+// Parse parses a single term from src and requires the whole input to
+// be consumed.
+func (p *Parser) Parse(src string) (Term, error) {
+	l := &lexer{src: src}
+	if err := l.next(); err != nil {
+		return nil, err
+	}
+	t, err := p.parseIff(l)
+	if err != nil {
+		return nil, err
+	}
+	if l.tok != "" {
+		return nil, fmt.Errorf("logic: trailing input %q", l.tok)
+	}
+	return t, nil
+}
+
+func (p *Parser) parseIff(l *lexer) (Term, error) {
+	left, err := p.parseImplies(l)
+	if err != nil {
+		return nil, err
+	}
+	for l.tok == "<=>" {
+		if err := l.next(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseImplies(l)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkAllBool("<=>", []Term{left, right}); err != nil {
+			return nil, err
+		}
+		left = Iff(left, right)
+	}
+	return left, nil
+}
+
+func (p *Parser) parseImplies(l *lexer) (Term, error) {
+	left, err := p.parseOr(l)
+	if err != nil {
+		return nil, err
+	}
+	if l.tok == "=>" {
+		if err := l.next(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseImplies(l) // right-associative
+		if err != nil {
+			return nil, err
+		}
+		if err := checkAllBool("=>", []Term{left, right}); err != nil {
+			return nil, err
+		}
+		return Implies(left, right), nil
+	}
+	return left, nil
+}
+
+func (p *Parser) parseOr(l *lexer) (Term, error) {
+	left, err := p.parseAnd(l)
+	if err != nil {
+		return nil, err
+	}
+	args := []Term{left}
+	for l.tok == "|" {
+		if err := l.next(); err != nil {
+			return nil, err
+		}
+		t, err := p.parseAnd(l)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, t)
+	}
+	if len(args) == 1 {
+		return left, nil
+	}
+	if err := checkAllBool("|", args); err != nil {
+		return nil, err
+	}
+	return Or(args...), nil
+}
+
+func checkAllBool(op string, args []Term) error {
+	for _, a := range args {
+		if !a.Sort().IsBool() {
+			return fmt.Errorf("logic: operand of %q has sort %v, want Bool", op, a.Sort())
+		}
+	}
+	return nil
+}
+
+func (p *Parser) parseAnd(l *lexer) (Term, error) {
+	left, err := p.parseCmp(l)
+	if err != nil {
+		return nil, err
+	}
+	args := []Term{left}
+	for l.tok == "&" {
+		if err := l.next(); err != nil {
+			return nil, err
+		}
+		t, err := p.parseCmp(l)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, t)
+	}
+	if len(args) == 1 {
+		return left, nil
+	}
+	if err := checkAllBool("&", args); err != nil {
+		return nil, err
+	}
+	return And(args...), nil
+}
+
+func (p *Parser) parseCmp(l *lexer) (Term, error) {
+	left, err := p.parseSum(l)
+	if err != nil {
+		return nil, err
+	}
+	op := l.tok
+	switch op {
+	case "=", "!=", "<", "<=", ">", ">=":
+		if err := l.next(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseSum(l)
+		if err != nil {
+			return nil, err
+		}
+		if !SameSort(left.Sort(), right.Sort()) {
+			return nil, fmt.Errorf("logic: comparison %q between sorts %v and %v", op, left.Sort(), right.Sort())
+		}
+		if op != "=" && op != "!=" && !left.Sort().IsInt() {
+			return nil, fmt.Errorf("logic: ordering %q requires Int operands, got %v", op, left.Sort())
+		}
+		switch op {
+		case "=":
+			return Eq(left, right), nil
+		case "!=":
+			return Ne(left, right), nil
+		case "<":
+			return Lt(left, right), nil
+		case "<=":
+			return Le(left, right), nil
+		case ">":
+			return Gt(left, right), nil
+		default:
+			return Ge(left, right), nil
+		}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseSum(l *lexer) (Term, error) {
+	left, err := p.parseUnary(l)
+	if err != nil {
+		return nil, err
+	}
+	for l.tok == "+" || l.tok == "-" {
+		op := l.tok
+		if err := l.next(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseUnary(l)
+		if err != nil {
+			return nil, err
+		}
+		if !left.Sort().IsInt() || !right.Sort().IsInt() {
+			return nil, fmt.Errorf("logic: operand of %q has sorts %v and %v, want Int", op, left.Sort(), right.Sort())
+		}
+		if op == "+" {
+			left = Add(left, right)
+		} else {
+			left = Sub(left, right)
+		}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseUnary(l *lexer) (Term, error) {
+	if l.tok == "-" {
+		if err := l.next(); err != nil {
+			return nil, err
+		}
+		t, err := p.parseUnary(l)
+		if err != nil {
+			return nil, err
+		}
+		if !t.Sort().IsInt() {
+			return nil, fmt.Errorf("logic: unary '-' on sort %v", t.Sort())
+		}
+		if lit, ok := t.(*IntLit); ok {
+			return NewInt(-lit.Val), nil
+		}
+		return Sub(NewInt(0), t), nil
+	}
+	if l.tok == "!" {
+		if err := l.next(); err != nil {
+			return nil, err
+		}
+		t, err := p.parseUnary(l)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkAllBool("!", []Term{t}); err != nil {
+			return nil, err
+		}
+		return Not(t), nil
+	}
+	return p.parseAtom(l)
+}
+
+func (p *Parser) parseAtom(l *lexer) (Term, error) {
+	tok := l.tok
+	switch {
+	case tok == "":
+		return nil, fmt.Errorf("logic: unexpected end of input")
+	case tok == "(":
+		if err := l.next(); err != nil {
+			return nil, err
+		}
+		t, err := p.parseIff(l)
+		if err != nil {
+			return nil, err
+		}
+		if l.tok != ")" {
+			return nil, fmt.Errorf("logic: expected ')', got %q", l.tok)
+		}
+		return t, l.next()
+	case tok == "true":
+		return True, l.next()
+	case tok == "false":
+		return False, l.next()
+	case tok == "ite":
+		return p.parseIte(l)
+	case tok[0] >= '0' && tok[0] <= '9':
+		v, err := strconv.ParseInt(tok, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("logic: bad integer literal %q: %v", tok, err)
+		}
+		return NewInt(v), l.next()
+	default:
+		if v, ok := p.vars[tok]; ok {
+			return v, l.next()
+		}
+		if e, ok := p.enums[tok]; ok {
+			return e, l.next()
+		}
+		return nil, fmt.Errorf("logic: unknown identifier %q", tok)
+	}
+}
+
+func (p *Parser) parseIte(l *lexer) (Term, error) {
+	if err := l.next(); err != nil {
+		return nil, err
+	}
+	if l.tok != "(" {
+		return nil, fmt.Errorf("logic: expected '(' after ite, got %q", l.tok)
+	}
+	if err := l.next(); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseIff(l)
+	if err != nil {
+		return nil, err
+	}
+	if l.tok != "," {
+		return nil, fmt.Errorf("logic: expected ',' in ite, got %q", l.tok)
+	}
+	if err := l.next(); err != nil {
+		return nil, err
+	}
+	thn, err := p.parseIff(l)
+	if err != nil {
+		return nil, err
+	}
+	if l.tok != "," {
+		return nil, fmt.Errorf("logic: expected ',' in ite, got %q", l.tok)
+	}
+	if err := l.next(); err != nil {
+		return nil, err
+	}
+	els, err := p.parseIff(l)
+	if err != nil {
+		return nil, err
+	}
+	if l.tok != ")" {
+		return nil, fmt.Errorf("logic: expected ')' closing ite, got %q", l.tok)
+	}
+	if !cond.Sort().IsBool() {
+		return nil, fmt.Errorf("logic: ite condition has sort %v, want Bool", cond.Sort())
+	}
+	if !SameSort(thn.Sort(), els.Sort()) {
+		return nil, fmt.Errorf("logic: ite branches have sorts %v and %v", thn.Sort(), els.Sort())
+	}
+	return Ite(cond, thn, els), l.next()
+}

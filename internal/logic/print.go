@@ -1,0 +1,250 @@
+package logic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file implements the two textual renderings of terms:
+//
+//   - the infix "surface syntax" used in diagnostics, examples and the
+//     parser in parse.go (for example "(x = permit) & !(lp < 100)"), and
+//   - an SMT-LIB 2 s-expression rendering used when dumping seed
+//     specifications for offline inspection.
+
+// precedence levels for the infix printer, loosest to tightest.
+const (
+	precIff = iota
+	precImplies
+	precOr
+	precAnd
+	precCmp
+	precAdd
+	precNot
+	precAtom
+)
+
+func opPrec(o Op) int {
+	switch o {
+	case OpIff:
+		return precIff
+	case OpImplies:
+		return precImplies
+	case OpOr:
+		return precOr
+	case OpAnd:
+		return precAnd
+	case OpNot:
+		return precNot
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return precCmp
+	case OpAdd, OpSub:
+		return precAdd
+	}
+	return precAtom
+}
+
+func infixSym(o Op) string {
+	switch o {
+	case OpAnd:
+		return " & "
+	case OpOr:
+		return " | "
+	case OpImplies:
+		return " => "
+	case OpIff:
+		return " <=> "
+	case OpEq:
+		return " = "
+	case OpNe:
+		return " != "
+	case OpLt:
+		return " < "
+	case OpLe:
+		return " <= "
+	case OpGt:
+		return " > "
+	case OpGe:
+		return " >= "
+	case OpAdd:
+		return " + "
+	case OpSub:
+		return " - "
+	}
+	return " ?? "
+}
+
+func writeInfix(sb *strings.Builder, t Term, parentPrec int) {
+	switch n := t.(type) {
+	case *Var:
+		sb.WriteString(n.Name)
+	case *BoolLit:
+		if n.Val {
+			sb.WriteString("true")
+		} else {
+			sb.WriteString("false")
+		}
+	case *IntLit:
+		sb.WriteString(strconv.FormatInt(n.Val, 10))
+	case *EnumLit:
+		sb.WriteString(n.Val)
+	case *Apply:
+		p := opPrec(n.Op)
+		switch n.Op {
+		case OpNot:
+			if parentPrec > p {
+				sb.WriteString("(")
+			}
+			sb.WriteString("!")
+			writeInfix(sb, n.Args[0], p+1)
+			if parentPrec > p {
+				sb.WriteString(")")
+			}
+		case OpIte:
+			sb.WriteString("ite(")
+			writeInfix(sb, n.Args[0], 0)
+			sb.WriteString(", ")
+			writeInfix(sb, n.Args[1], 0)
+			sb.WriteString(", ")
+			writeInfix(sb, n.Args[2], 0)
+			sb.WriteString(")")
+		default:
+			if parentPrec > p {
+				sb.WriteString("(")
+			}
+			sym := infixSym(n.Op)
+			for i, a := range n.Args {
+				if i > 0 {
+					sb.WriteString(sym)
+				}
+				// Children at the same precedence need parens on the
+				// right for non-associative operators; for simplicity
+				// we require strictly tighter children everywhere
+				// except the n-ary associative connectives.
+				childPrec := p + 1
+				if n.Op == OpAnd || n.Op == OpOr || n.Op == OpAdd {
+					childPrec = p
+				}
+				writeInfix(sb, a, childPrec)
+			}
+			if parentPrec > p {
+				sb.WriteString(")")
+			}
+		}
+	default:
+		fmt.Fprintf(sb, "<unknown term %T>", t)
+	}
+}
+
+// String renders v in surface syntax.
+func (v *Var) String() string { return v.Name }
+
+// String renders b in surface syntax.
+func (b *BoolLit) String() string {
+	if b.Val {
+		return "true"
+	}
+	return "false"
+}
+
+// String renders i in surface syntax.
+func (i *IntLit) String() string { return strconv.FormatInt(i.Val, 10) }
+
+// String renders e in surface syntax.
+func (e *EnumLit) String() string { return e.Val }
+
+// String renders a in surface syntax.
+func (a *Apply) String() string {
+	var sb strings.Builder
+	writeInfix(&sb, a, 0)
+	return sb.String()
+}
+
+func smtOpName(o Op) string {
+	switch o {
+	case OpAnd:
+		return "and"
+	case OpOr:
+		return "or"
+	case OpNot:
+		return "not"
+	case OpImplies:
+		return "=>"
+	case OpIff:
+		return "="
+	case OpEq:
+		return "="
+	case OpNe:
+		return "distinct"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpIte:
+		return "ite"
+	}
+	return "?"
+}
+
+// SMTLIB renders t as an SMT-LIB 2 s-expression. Enum literals are
+// rendered as bare symbols; consumers declaring the corresponding
+// datatype can feed the output to an external solver for
+// cross-checking.
+func SMTLIB(t Term) string {
+	var sb strings.Builder
+	writeSMT(&sb, t)
+	return sb.String()
+}
+
+func writeSMT(sb *strings.Builder, t Term) {
+	switch n := t.(type) {
+	case *Var:
+		sb.WriteString(n.Name)
+	case *BoolLit:
+		if n.Val {
+			sb.WriteString("true")
+		} else {
+			sb.WriteString("false")
+		}
+	case *IntLit:
+		if n.Val < 0 {
+			fmt.Fprintf(sb, "(- %d)", -n.Val)
+		} else {
+			sb.WriteString(strconv.FormatInt(n.Val, 10))
+		}
+	case *EnumLit:
+		sb.WriteString(n.Val)
+	case *Apply:
+		sb.WriteString("(")
+		sb.WriteString(smtOpName(n.Op))
+		for _, a := range n.Args {
+			sb.WriteString(" ")
+			writeSMT(sb, a)
+		}
+		sb.WriteString(")")
+	}
+}
+
+// PrintConjunction renders a conjunction one conjunct per line, for
+// human inspection of seed and simplified specifications. True renders
+// as "true" and an empty conjunction list as "".
+func PrintConjunction(t Term) string {
+	cs := Conjuncts(t)
+	if len(cs) == 0 {
+		return "true"
+	}
+	lines := make([]string, len(cs))
+	for i, c := range cs {
+		lines[i] = c.String()
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,72 @@
+package logic
+
+import "testing"
+
+// SMTLIB rendering coverage for every operator, so dumps fed to an
+// external solver are syntactically dependable.
+func TestSMTLIBAllOps(t *testing.T) {
+	x, y := NewBoolVar("x"), NewBoolVar("y")
+	n := NewIntVar("n", 0, 9)
+	e := NewEnumVar("e", actionSort)
+	cases := []struct {
+		t    Term
+		want string
+	}{
+		{And(x, y), "(and x y)"},
+		{Or(x, y), "(or x y)"},
+		{Not(x), "(not x)"},
+		{Implies(x, y), "(=> x y)"},
+		{Iff(x, y), "(= x y)"},
+		{Eq(n, NewInt(3)), "(= n 3)"},
+		{Ne(n, NewInt(3)), "(distinct n 3)"},
+		{Lt(n, NewInt(3)), "(< n 3)"},
+		{Le(n, NewInt(3)), "(<= n 3)"},
+		{Gt(n, NewInt(3)), "(> n 3)"},
+		{Ge(n, NewInt(3)), "(>= n 3)"},
+		{Add(n, NewInt(1)), "(+ n 1)"},
+		{Sub(n, NewInt(1)), "(- n 1)"},
+		{Ite(x, n, NewInt(0)), "(ite x n 0)"},
+		{Eq(e, NewEnum(actionSort, "deny")), "(= e deny)"},
+		{NewInt(-7), "(- 7)"},
+		{True, "true"},
+		{False, "false"},
+	}
+	for _, c := range cases {
+		if got := SMTLIB(c.t); got != c.want {
+			t.Errorf("SMTLIB(%s) = %q, want %q", c.t, got, c.want)
+		}
+	}
+}
+
+func TestPrintConjunction(t *testing.T) {
+	x, y := NewBoolVar("x"), NewBoolVar("y")
+	if got := PrintConjunction(True); got != "true" {
+		t.Fatalf("PrintConjunction(true) = %q", got)
+	}
+	got := PrintConjunction(And(x, y))
+	if got != "x\ny" {
+		t.Fatalf("PrintConjunction = %q", got)
+	}
+}
+
+func TestHashDistributes(t *testing.T) {
+	// Sanity: distinct small terms do not all collide.
+	terms := []Term{
+		NewBoolVar("a"), NewBoolVar("b"), NewInt(1), NewInt(2),
+		True, False, And(NewBoolVar("a"), NewBoolVar("b")),
+		Or(NewBoolVar("a"), NewBoolVar("b")),
+		NewEnum(actionSort, "permit"), NewEnum(actionSort, "deny"),
+	}
+	seen := map[uint64]bool{}
+	collisions := 0
+	for _, tm := range terms {
+		h := Hash(tm)
+		if seen[h] {
+			collisions++
+		}
+		seen[h] = true
+	}
+	if collisions > 1 {
+		t.Fatalf("%d hash collisions among %d tiny terms", collisions, len(terms))
+	}
+}

@@ -1,0 +1,146 @@
+// Package logic implements a small typed term language — an "SMT-lite"
+// abstract syntax — used throughout the repository to express network
+// synthesis constraints, seed specifications, and simplified
+// subspecification constraints.
+//
+// The language has three sorts: booleans, (bounded) integers, and named
+// enumerations. It deliberately mirrors the fragment of SMT that
+// constraint-based network synthesizers such as NetComplete emit: all
+// variables range over finite domains (route-map actions, community
+// tags, local preferences, prefix identifiers), so every formula in this
+// package is decidable by the finite-domain solver in internal/smt.
+//
+// Terms are immutable; all operations (substitution, evaluation,
+// simplification in internal/rewrite) build new terms.
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SortKind discriminates the three families of sorts.
+type SortKind int
+
+const (
+	// KindBool is the sort of truth values.
+	KindBool SortKind = iota
+	// KindInt is the sort of integers. Variables of this sort carry an
+	// inclusive [Lo, Hi] domain so the SMT layer can bit-blast them.
+	KindInt
+	// KindEnum is a named, finite enumeration of symbolic constants
+	// (for example route-map actions {permit, deny} or attribute names).
+	KindEnum
+)
+
+// Sort describes the type of a term. Sorts are compared by identity for
+// enums (each named enumeration is created once) and by kind for Bool
+// and Int. The zero value is not a valid sort; use the package-level
+// constructors.
+type Sort struct {
+	Kind SortKind
+	// Name is the enumeration name for KindEnum sorts ("" otherwise).
+	Name string
+	// Values lists the enumeration constants for KindEnum sorts, in
+	// declaration order. The order fixes the integer encoding used by
+	// the SMT layer.
+	Values []string
+
+	index map[string]int
+}
+
+// Bool is the shared boolean sort.
+var Bool = &Sort{Kind: KindBool}
+
+// Int is the shared integer sort. Domains are attached to variables,
+// not to the sort, because different variables of the same sort have
+// different ranges (for example local-pref in [0,200] versus a MED in
+// [0,4095]).
+var Int = &Sort{Kind: KindInt}
+
+// NewEnumSort creates a named enumeration sort with the given
+// constants. It panics if name is empty, values is empty, or values
+// contains duplicates: enumeration sorts define an encoding and must be
+// well-formed at construction time.
+func NewEnumSort(name string, values ...string) *Sort {
+	if name == "" {
+		panic("logic: enum sort must have a name")
+	}
+	if len(values) == 0 {
+		panic(fmt.Sprintf("logic: enum sort %q must have at least one value", name))
+	}
+	idx := make(map[string]int, len(values))
+	for i, v := range values {
+		if _, dup := idx[v]; dup {
+			panic(fmt.Sprintf("logic: enum sort %q has duplicate value %q", name, v))
+		}
+		idx[v] = i
+	}
+	vals := make([]string, len(values))
+	copy(vals, values)
+	return &Sort{Kind: KindEnum, Name: name, Values: vals, index: idx}
+}
+
+// ValueIndex reports the position of value v in the enumeration, and
+// whether v is a member. It returns (-1, false) for non-enum sorts.
+func (s *Sort) ValueIndex(v string) (int, bool) {
+	if s.Kind != KindEnum {
+		return -1, false
+	}
+	i, ok := s.index[v]
+	if !ok {
+		return -1, false
+	}
+	return i, true
+}
+
+// IsBool reports whether s is the boolean sort.
+func (s *Sort) IsBool() bool { return s != nil && s.Kind == KindBool }
+
+// IsInt reports whether s is the integer sort.
+func (s *Sort) IsInt() bool { return s != nil && s.Kind == KindInt }
+
+// IsEnum reports whether s is an enumeration sort.
+func (s *Sort) IsEnum() bool { return s != nil && s.Kind == KindEnum }
+
+// SameSort reports whether two sorts are interchangeable: both Bool,
+// both Int, or the same named enumeration with identical value lists.
+func SameSort(a, b *Sort) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil || a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case KindBool, KindInt:
+		return true
+	case KindEnum:
+		if a.Name != b.Name || len(a.Values) != len(b.Values) {
+			return false
+		}
+		for i := range a.Values {
+			if a.Values[i] != b.Values[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// String renders the sort for diagnostics.
+func (s *Sort) String() string {
+	if s == nil {
+		return "<nil-sort>"
+	}
+	switch s.Kind {
+	case KindBool:
+		return "Bool"
+	case KindInt:
+		return "Int"
+	case KindEnum:
+		return fmt.Sprintf("Enum(%s:{%s})", s.Name, strings.Join(s.Values, ","))
+	}
+	return fmt.Sprintf("Sort(kind=%d)", int(s.Kind))
+}

@@ -1,0 +1,114 @@
+package netgen
+
+import (
+	"testing"
+
+	"repro/internal/synth"
+	"repro/internal/topology"
+	"repro/internal/verify"
+)
+
+func TestNoTransitOnPaperTopology(t *testing.T) {
+	wl, err := NoTransit("paper", topology.Paper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Sketch) != 2 { // R1 and R2 are provider-adjacent
+		t.Fatalf("sketch covers %d routers, want 2", len(wl.Sketch))
+	}
+	res, err := synth.Synthesize(wl.Net, wl.Sketch, wl.Requirements(), synth.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := verify.Satisfies(wl.Net, res.Deployment, wl.Requirements())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("synthesized no-transit workload violates its spec")
+	}
+}
+
+func TestGridWorkloadSynthesizes(t *testing.T) {
+	wl, err := Grid(3, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := synth.DefaultOptions()
+	opts.MaxPathLen = 7
+	opts.MaxCandidatesPerNode = 8
+	res, err := synth.Synthesize(wl.Net, wl.Sketch, wl.Requirements(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := verify.Satisfies(wl.Net, res.Deployment, wl.Requirements())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("grid workload violates its spec after synthesis")
+	}
+}
+
+func TestRandomWorkloadDeterministic(t *testing.T) {
+	a, err := Random(8, 2.5, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(8, 2.5, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Sketch) != len(b.Sketch) {
+		t.Fatal("same seed should give same sketch shape")
+	}
+	for r := range a.Sketch {
+		if _, ok := b.Sketch[r]; !ok {
+			t.Fatalf("sketch router sets differ at %s", r)
+		}
+	}
+}
+
+func TestWithPreferenceAddsTemplates(t *testing.T) {
+	wl, err := Grid(3, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Spec.Blocks) != 2 {
+		t.Fatalf("spec blocks = %d, want 2", len(wl.Spec.Blocks))
+	}
+	// Customer-adjacent router (R0_0) must carry selector maps.
+	c, ok := wl.Sketch["R0_0"]
+	if !ok {
+		t.Fatal("customer-adjacent router not sketched")
+	}
+	if len(c.RouteMapNames()) == 0 {
+		t.Fatal("no selector maps at the customer-adjacent router")
+	}
+	// Provider-adjacent routers carry both export and tagger maps.
+	p1r := wl.Sketch["R2_1"]
+	if p1r == nil || len(p1r.RouteMapNames()) < 2 {
+		t.Fatalf("provider-adjacent router lacks templates: %v", p1r.RouteMapNames())
+	}
+}
+
+func TestFatTreeWorkload(t *testing.T) {
+	wl, err := FatTree(2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wl.Net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Sketch) == 0 {
+		t.Fatal("empty sketch")
+	}
+}
+
+func TestMissingExternals(t *testing.T) {
+	bare := topology.New()
+	bare.AddRouter("R0", 100)
+	if _, err := NoTransit("bare", bare); err == nil {
+		t.Fatal("topology without providers should fail")
+	}
+}

@@ -1,0 +1,657 @@
+package rewrite
+
+import (
+	"repro/internal/logic"
+)
+
+// Simplifier applies the fifteen rewrite rules to fixpoint. A
+// Simplifier records per-rule fire counts in Stats; it may be reused
+// across terms (counts accumulate until Reset).
+type Simplifier struct {
+	// MaxPasses bounds the number of global fixpoint passes (each pass
+	// is a full bottom-up rewrite plus a conjunction-level propagation
+	// pass). The default of 64 is far above what any seed
+	// specification in the experiments needs; the bound exists so a
+	// hypothetical non-terminating rule interaction degrades to a
+	// sound non-minimal result instead of a hang.
+	MaxPasses int
+	// Stats counts how many times each rule fired.
+	Stats map[RuleName]int
+	// Passes records how many fixpoint passes the last Simplify run
+	// took.
+	Passes int
+	// DisableEqPropagation turns off rule S14 (equality propagation),
+	// the ablation knob for the experiment that measures how much of
+	// the reduction that single rule carries.
+	DisableEqPropagation bool
+	// Trace records the term size after each fixpoint pass of the last
+	// Simplify run (index 0 is the size after the first pass).
+	Trace []int
+}
+
+// New creates a Simplifier with default settings.
+func New() *Simplifier {
+	return &Simplifier{MaxPasses: 64, Stats: make(map[RuleName]int)}
+}
+
+// Reset clears accumulated statistics.
+func (s *Simplifier) Reset() {
+	s.Stats = make(map[RuleName]int)
+	s.Passes = 0
+	s.Trace = nil
+}
+
+func (s *Simplifier) fired(r RuleName) {
+	s.Stats[r]++
+}
+
+// Simplify rewrites t to a fixpoint of the fifteen rules. The result
+// is logically equivalent to t.
+func (s *Simplifier) Simplify(t logic.Term) logic.Term {
+	cur := t
+	s.Trace = s.Trace[:0]
+	for pass := 0; pass < s.MaxPasses; pass++ {
+		s.Passes = pass + 1
+		next := logic.Map(cur, s.simplifyNode)
+		if !s.DisableEqPropagation {
+			next = s.propagateEqualities(next)
+		}
+		s.Trace = append(s.Trace, logic.Size(next))
+		if logic.Equal(next, cur) {
+			return next
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Simplify is a convenience wrapper using a fresh Simplifier.
+func Simplify(t logic.Term) logic.Term { return New().Simplify(t) }
+
+// simplifyNode applies all local (single-node) rules to a node whose
+// children are already simplified, returning the replacement.
+func (s *Simplifier) simplifyNode(t logic.Term) logic.Term {
+	a, ok := t.(*logic.Apply)
+	if !ok {
+		return t
+	}
+	switch a.Op {
+	case logic.OpNot:
+		return s.simplifyNot(a)
+	case logic.OpAnd:
+		return s.simplifyAnd(a)
+	case logic.OpOr:
+		return s.simplifyOr(a)
+	case logic.OpImplies:
+		return s.simplifyImplies(a)
+	case logic.OpIff:
+		return s.simplifyIff(a)
+	case logic.OpIte:
+		return s.simplifyIte(a)
+	case logic.OpEq, logic.OpNe:
+		return s.simplifyEq(a)
+	case logic.OpLt, logic.OpLe, logic.OpGt, logic.OpGe:
+		return s.simplifyCmp(a)
+	case logic.OpAdd, logic.OpSub:
+		return s.foldArith(a)
+	}
+	return t
+}
+
+func (s *Simplifier) simplifyNot(a *logic.Apply) logic.Term {
+	arg := a.Args[0]
+	// S3: negation of constants.
+	if logic.IsTrue(arg) {
+		s.fired(RuleNegConst)
+		return logic.False
+	}
+	if logic.IsFalse(arg) {
+		s.fired(RuleNegConst)
+		return logic.True
+	}
+	inner, ok := arg.(*logic.Apply)
+	if !ok {
+		return a
+	}
+	switch inner.Op {
+	case logic.OpNot:
+		// S2: double negation.
+		s.fired(RuleDoubleNeg)
+		return inner.Args[0]
+	case logic.OpEq:
+		// S15: !(a = b) -> a != b.
+		s.fired(RuleNegNormal)
+		return logic.Ne(inner.Args[0], inner.Args[1])
+	case logic.OpNe:
+		s.fired(RuleNegNormal)
+		return logic.Eq(inner.Args[0], inner.Args[1])
+	case logic.OpLt:
+		s.fired(RuleNegNormal)
+		return logic.Ge(inner.Args[0], inner.Args[1])
+	case logic.OpLe:
+		s.fired(RuleNegNormal)
+		return logic.Gt(inner.Args[0], inner.Args[1])
+	case logic.OpGt:
+		s.fired(RuleNegNormal)
+		return logic.Le(inner.Args[0], inner.Args[1])
+	case logic.OpGe:
+		s.fired(RuleNegNormal)
+		return logic.Lt(inner.Args[0], inner.Args[1])
+	}
+	return a
+}
+
+func (s *Simplifier) simplifyAnd(a *logic.Apply) logic.Term {
+	// S4: flatten, drop true, collapse on false, dedup.
+	args := make([]logic.Term, 0, len(a.Args))
+	changed := false
+	for _, arg := range a.Args {
+		if logic.IsTrue(arg) {
+			s.fired(RuleAndIdentity)
+			changed = true
+			continue
+		}
+		if logic.IsFalse(arg) {
+			s.fired(RuleAndIdentity)
+			return logic.False
+		}
+		if nested, ok := arg.(*logic.Apply); ok && nested.Op == logic.OpAnd {
+			s.fired(RuleAndIdentity)
+			changed = true
+			args = append(args, nested.Args...)
+			continue
+		}
+		args = append(args, arg)
+	}
+	if deduped := logic.DedupTerms(args); len(deduped) != len(args) {
+		s.fired(RuleAndIdentity)
+		changed = true
+		args = deduped
+	}
+	// S6: complement law.
+	if hasComplementPair(args) {
+		s.fired(RuleComplement)
+		return logic.False
+	}
+	// S13: absorption — drop any disjunction conjunct containing
+	// another conjunct as a disjunct.
+	if filtered, fired := absorb(args, logic.OpOr); fired {
+		s.fired(RuleAbsorption)
+		changed = true
+		args = filtered
+	}
+	if !changed {
+		return a
+	}
+	return logic.And(args...)
+}
+
+func (s *Simplifier) simplifyOr(a *logic.Apply) logic.Term {
+	// S5: flatten, drop false, collapse on true, dedup.
+	args := make([]logic.Term, 0, len(a.Args))
+	changed := false
+	for _, arg := range a.Args {
+		if logic.IsFalse(arg) {
+			s.fired(RuleOrIdentity)
+			changed = true
+			continue
+		}
+		if logic.IsTrue(arg) {
+			s.fired(RuleOrIdentity)
+			return logic.True
+		}
+		if nested, ok := arg.(*logic.Apply); ok && nested.Op == logic.OpOr {
+			s.fired(RuleOrIdentity)
+			changed = true
+			args = append(args, nested.Args...)
+			continue
+		}
+		args = append(args, arg)
+	}
+	if deduped := logic.DedupTerms(args); len(deduped) != len(args) {
+		s.fired(RuleOrIdentity)
+		changed = true
+		args = deduped
+	}
+	// S6: complement law.
+	if hasComplementPair(args) {
+		s.fired(RuleComplement)
+		return logic.True
+	}
+	// S13: absorption (dual).
+	if filtered, fired := absorb(args, logic.OpAnd); fired {
+		s.fired(RuleAbsorption)
+		changed = true
+		args = filtered
+	}
+	if !changed {
+		return a
+	}
+	return logic.Or(args...)
+}
+
+// hasComplementPair reports whether args contains both t and !t.
+func hasComplementPair(args []logic.Term) bool {
+	for i, x := range args {
+		for _, y := range args[i+1:] {
+			if isComplement(x, y) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isComplement(x, y logic.Term) bool {
+	if nx, ok := x.(*logic.Apply); ok && nx.Op == logic.OpNot && logic.Equal(nx.Args[0], y) {
+		return true
+	}
+	if ny, ok := y.(*logic.Apply); ok && ny.Op == logic.OpNot && logic.Equal(ny.Args[0], x) {
+		return true
+	}
+	return false
+}
+
+// absorb removes from args any term of the given inner operator that
+// contains another member of args among its operands:
+// for And-level (inner = Or):  a & (a | b)  ->  a
+// for Or-level  (inner = And): a | (a & b)  ->  a
+func absorb(args []logic.Term, inner logic.Op) ([]logic.Term, bool) {
+	fired := false
+	out := make([]logic.Term, 0, len(args))
+	for i, cand := range args {
+		app, ok := cand.(*logic.Apply)
+		absorbed := false
+		if ok && app.Op == inner {
+			for j, other := range args {
+				if i == j {
+					continue
+				}
+				for _, operand := range app.Args {
+					if logic.Equal(operand, other) {
+						absorbed = true
+						break
+					}
+				}
+				if absorbed {
+					break
+				}
+			}
+		}
+		if absorbed {
+			fired = true
+			continue
+		}
+		out = append(out, cand)
+	}
+	return out, fired
+}
+
+func (s *Simplifier) simplifyImplies(a *logic.Apply) logic.Term {
+	l, r := a.Args[0], a.Args[1]
+	switch {
+	case logic.IsFalse(l), logic.IsTrue(r):
+		// S7: false => a ≡ true (the rule the paper quotes); a => true ≡ true.
+		s.fired(RuleImplies)
+		return logic.True
+	case logic.IsTrue(l):
+		s.fired(RuleImplies)
+		return r
+	case logic.IsFalse(r):
+		s.fired(RuleImplies)
+		return s.simplifyNode(logic.Not(l).(*logic.Apply))
+	case logic.Equal(l, r):
+		s.fired(RuleImplies)
+		return logic.True
+	}
+	return a
+}
+
+func (s *Simplifier) simplifyIff(a *logic.Apply) logic.Term {
+	l, r := a.Args[0], a.Args[1]
+	switch {
+	case logic.Equal(l, r):
+		s.fired(RuleIff)
+		return logic.True
+	case logic.IsTrue(l):
+		s.fired(RuleIff)
+		return r
+	case logic.IsTrue(r):
+		s.fired(RuleIff)
+		return l
+	case logic.IsFalse(l):
+		s.fired(RuleIff)
+		return s.simplifyNode(logic.Not(r).(*logic.Apply))
+	case logic.IsFalse(r):
+		s.fired(RuleIff)
+		return s.simplifyNode(logic.Not(l).(*logic.Apply))
+	case isComplement(l, r):
+		s.fired(RuleIff)
+		return logic.False
+	}
+	return a
+}
+
+func (s *Simplifier) simplifyIte(a *logic.Apply) logic.Term {
+	c, thn, els := a.Args[0], a.Args[1], a.Args[2]
+	switch {
+	case logic.IsTrue(c):
+		s.fired(RuleIte)
+		return thn
+	case logic.IsFalse(c):
+		s.fired(RuleIte)
+		return els
+	case logic.Equal(thn, els):
+		s.fired(RuleIte)
+		return thn
+	case thn.Sort().IsBool() && logic.IsTrue(thn) && logic.IsFalse(els):
+		s.fired(RuleIte)
+		return c
+	case thn.Sort().IsBool() && logic.IsFalse(thn) && logic.IsTrue(els):
+		s.fired(RuleIte)
+		return s.simplifyNode(logic.Not(c).(*logic.Apply))
+	}
+	return a
+}
+
+func (s *Simplifier) simplifyEq(a *logic.Apply) logic.Term {
+	l, r := a.Args[0], a.Args[1]
+	ne := a.Op == logic.OpNe
+	// S10: reflexivity on arbitrary terms.
+	if logic.Equal(l, r) {
+		s.fired(RuleEqRefl)
+		return logic.NewBool(!ne)
+	}
+	// S11: distinct literals decide the (dis)equality.
+	if logic.IsLit(l) && logic.IsLit(r) {
+		s.fired(RuleEqConst)
+		eq := literalsEqual(l, r)
+		if ne {
+			eq = !eq
+		}
+		return logic.NewBool(eq)
+	}
+	// S1 adjunct: boolean equality with a constant folds to the other
+	// side (x = true -> x, x = false -> !x), counted as const folding.
+	if l.Sort().IsBool() {
+		if logic.IsTrue(l) || logic.IsTrue(r) || logic.IsFalse(l) || logic.IsFalse(r) {
+			s.fired(RuleConstFold)
+			other, konst := l, r
+			if logic.IsLit(l) {
+				other, konst = r, l
+			}
+			truth := logic.IsTrue(konst)
+			if ne {
+				truth = !truth
+			}
+			if truth {
+				return other
+			}
+			return s.simplifyNode(logic.Not(other).(*logic.Apply))
+		}
+	}
+	// S12: integer equality decided by domain disjointness.
+	if decided, val := domainDecidesEq(l, r); decided {
+		s.fired(RuleDomainFold)
+		if ne {
+			val = !val
+		}
+		return logic.NewBool(val)
+	}
+	// S12 (enum complement): over a two-valued enumeration,
+	// x != v is x = v' — normalizing to the positive form lets
+	// equality propagation (S14) pick the binding up.
+	if ne {
+		if folded := enumComplement(l, r); folded != nil {
+			s.fired(RuleDomainFold)
+			return folded
+		}
+		if folded := enumComplement(r, l); folded != nil {
+			s.fired(RuleDomainFold)
+			return folded
+		}
+	}
+	return a
+}
+
+// enumComplement rewrites x != v into x = v' when x's enum sort has
+// exactly two values; returns nil when not applicable.
+func enumComplement(x, v logic.Term) logic.Term {
+	xv, ok := x.(*logic.Var)
+	if !ok || !xv.S.IsEnum() || len(xv.S.Values) != 2 {
+		return nil
+	}
+	lit, ok := v.(*logic.EnumLit)
+	if !ok {
+		return nil
+	}
+	other := xv.S.Values[0]
+	if other == lit.Val {
+		other = xv.S.Values[1]
+	}
+	return logic.Eq(xv, logic.NewEnum(xv.S, other))
+}
+
+func literalsEqual(l, r logic.Term) bool {
+	switch x := l.(type) {
+	case *logic.BoolLit:
+		y, ok := r.(*logic.BoolLit)
+		return ok && x.Val == y.Val
+	case *logic.IntLit:
+		y, ok := r.(*logic.IntLit)
+		return ok && x.Val == y.Val
+	case *logic.EnumLit:
+		y, ok := r.(*logic.EnumLit)
+		return ok && x.Val == y.Val
+	}
+	return false
+}
+
+// domainDecidesEq reports whether an integer equality between a
+// variable and a literal (or two variables) is decided purely by the
+// declared domains: disjoint ranges make it false. It never returns
+// decided=true with val=true, because overlap does not force equality.
+func domainDecidesEq(l, r logic.Term) (decided, val bool) {
+	lo1, hi1, ok1 := intRange(l)
+	lo2, hi2, ok2 := intRange(r)
+	if !ok1 || !ok2 {
+		return false, false
+	}
+	if hi1 < lo2 || hi2 < lo1 {
+		return true, false
+	}
+	return false, false
+}
+
+// intRange returns the inclusive value range of an integer term if it
+// is a literal or a domain-carrying variable.
+func intRange(t logic.Term) (lo, hi int64, ok bool) {
+	switch n := t.(type) {
+	case *logic.IntLit:
+		return n.Val, n.Val, true
+	case *logic.Var:
+		if n.S.IsInt() && (n.Lo != 0 || n.Hi != 0) {
+			return n.Lo, n.Hi, true
+		}
+	}
+	return 0, 0, false
+}
+
+func (s *Simplifier) simplifyCmp(a *logic.Apply) logic.Term {
+	l, r := a.Args[0], a.Args[1]
+	// S1: fold literal comparisons.
+	ll, lok := l.(*logic.IntLit)
+	rl, rok := r.(*logic.IntLit)
+	if lok && rok {
+		s.fired(RuleConstFold)
+		var v bool
+		switch a.Op {
+		case logic.OpLt:
+			v = ll.Val < rl.Val
+		case logic.OpLe:
+			v = ll.Val <= rl.Val
+		case logic.OpGt:
+			v = ll.Val > rl.Val
+		default:
+			v = ll.Val >= rl.Val
+		}
+		return logic.NewBool(v)
+	}
+	// S10 analog: t < t is false, t <= t is true.
+	if logic.Equal(l, r) {
+		s.fired(RuleEqRefl)
+		return logic.NewBool(a.Op == logic.OpLe || a.Op == logic.OpGe)
+	}
+	// S12: domain-decided comparisons.
+	if lo1, hi1, ok1 := intRange(l); ok1 {
+		if lo2, hi2, ok2 := intRange(r); ok2 {
+			switch a.Op {
+			case logic.OpLt:
+				if hi1 < lo2 {
+					s.fired(RuleDomainFold)
+					return logic.True
+				}
+				if lo1 >= hi2 {
+					s.fired(RuleDomainFold)
+					return logic.False
+				}
+			case logic.OpLe:
+				if hi1 <= lo2 {
+					s.fired(RuleDomainFold)
+					return logic.True
+				}
+				if lo1 > hi2 {
+					s.fired(RuleDomainFold)
+					return logic.False
+				}
+			case logic.OpGt:
+				if lo1 > hi2 {
+					s.fired(RuleDomainFold)
+					return logic.True
+				}
+				if hi1 <= lo2 {
+					s.fired(RuleDomainFold)
+					return logic.False
+				}
+			case logic.OpGe:
+				if lo1 >= hi2 {
+					s.fired(RuleDomainFold)
+					return logic.True
+				}
+				if hi1 < lo2 {
+					s.fired(RuleDomainFold)
+					return logic.False
+				}
+			}
+		}
+	}
+	return a
+}
+
+func (s *Simplifier) foldArith(a *logic.Apply) logic.Term {
+	// S1: fold arithmetic over integer literals.
+	allLits := true
+	for _, arg := range a.Args {
+		if _, ok := arg.(*logic.IntLit); !ok {
+			allLits = false
+			break
+		}
+	}
+	if !allLits {
+		return a
+	}
+	s.fired(RuleConstFold)
+	if a.Op == logic.OpSub {
+		return logic.NewInt(a.Args[0].(*logic.IntLit).Val - a.Args[1].(*logic.IntLit).Val)
+	}
+	var sum int64
+	for _, arg := range a.Args {
+		sum += arg.(*logic.IntLit).Val
+	}
+	return logic.NewInt(sum)
+}
+
+// propagateEqualities implements rule S14 at every conjunction in the
+// term: when a conjunct pins a variable (x, !x, x = literal, or
+// literal = x), the binding is substituted into the sibling conjuncts.
+// The defining conjunct itself is kept, so the rewrite is equivalence-
+// preserving, and inner simplification then collapses the substituted
+// occurrences.
+func (s *Simplifier) propagateEqualities(t logic.Term) logic.Term {
+	return logic.Map(t, func(u logic.Term) logic.Term {
+		a, ok := u.(*logic.Apply)
+		if !ok || a.Op != logic.OpAnd {
+			return u
+		}
+		bindings := map[string]logic.Term{}
+		for _, c := range a.Args {
+			if name, val, ok := unitBinding(c); ok {
+				if _, dup := bindings[name]; !dup {
+					bindings[name] = val
+				}
+			}
+		}
+		if len(bindings) == 0 {
+			return u
+		}
+		changed := false
+		args := make([]logic.Term, len(a.Args))
+		for i, c := range a.Args {
+			// Do not substitute inside the defining conjunct of the
+			// binding itself; drop exactly the variable bound there.
+			if name, _, ok := unitBinding(c); ok {
+				sub := map[string]logic.Term{}
+				for k, v := range bindings {
+					if k != name {
+						sub[k] = v
+					}
+				}
+				args[i] = logic.Substitute(c, sub)
+			} else {
+				args[i] = logic.Substitute(c, bindings)
+			}
+			if args[i] != c {
+				changed = true
+			}
+		}
+		if !changed {
+			return u
+		}
+		s.fired(RuleEqPropagation)
+		out := make([]logic.Term, len(args))
+		for i, c := range args {
+			out[i] = logic.Map(c, s.simplifyNode)
+		}
+		res := logic.And(out...)
+		if ap, ok := res.(*logic.Apply); ok {
+			return s.simplifyNode(ap)
+		}
+		return res
+	})
+}
+
+// unitBinding recognizes conjuncts that pin a single variable to a
+// literal value: x (bool), !x, x = lit, lit = x.
+func unitBinding(t logic.Term) (name string, val logic.Term, ok bool) {
+	switch n := t.(type) {
+	case *logic.Var:
+		if n.S.IsBool() {
+			return n.Name, logic.True, true
+		}
+	case *logic.Apply:
+		switch n.Op {
+		case logic.OpNot:
+			if v, ok := n.Args[0].(*logic.Var); ok && v.S.IsBool() {
+				return v.Name, logic.False, true
+			}
+		case logic.OpEq:
+			if v, ok := n.Args[0].(*logic.Var); ok && logic.IsLit(n.Args[1]) {
+				return v.Name, n.Args[1], true
+			}
+			if v, ok := n.Args[1].(*logic.Var); ok && logic.IsLit(n.Args[0]) {
+				return v.Name, n.Args[0], true
+			}
+		}
+	}
+	return "", nil, false
+}

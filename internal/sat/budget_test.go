@@ -1,0 +1,60 @@
+package sat
+
+import "testing"
+
+func TestConflictBudgetUnknown(t *testing.T) {
+	// A hard unsat instance with a tiny conflict budget must come back
+	// Unknown, not hang or mis-answer.
+	s := NewSolver()
+	pigeonhole(s, 8, 7)
+	s.ConflictBudget = 20
+	got := s.Solve()
+	if got != Unknown {
+		t.Fatalf("Solve with tiny budget = %v, want Unknown", got)
+	}
+	// Removing the budget lets it finish.
+	s.ConflictBudget = 0
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("unbudgeted Solve = %v, want Unsat", got)
+	}
+}
+
+func TestBudgetDoesNotAffectEasyInstances(t *testing.T) {
+	s := NewSolver()
+	v := newVars(s, 4)
+	s.AddClause(PosLit(v[0]), PosLit(v[1]))
+	s.AddClause(NegLit(v[2]), PosLit(v[3]))
+	s.ConflictBudget = 1
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("easy instance = %v, want Sat", got)
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	cases := map[Status]string{Sat: "sat", Unsat: "unsat", Unknown: "unknown"}
+	for st, want := range cases {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q, want %q", st, st.String(), want)
+		}
+	}
+	if LTrue.String() != "true" || LFalse.String() != "false" || LUndef.String() != "undef" {
+		t.Error("LBool strings wrong")
+	}
+	l := PosLit(3)
+	if l.String() != "x3" || l.Neg().String() != "!x3" {
+		t.Errorf("lit strings: %s %s", l, l.Neg())
+	}
+}
+
+func TestReduceDBUnderPressure(t *testing.T) {
+	// Enough conflicts to trigger learnt-clause reduction; the solver
+	// must stay correct.
+	s := NewSolver()
+	pigeonhole(s, 8, 7)
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("PHP(8,7) = %v, want Unsat", got)
+	}
+	if s.Stats.Learnt == 0 {
+		t.Fatal("no clauses learnt on a hard instance")
+	}
+}

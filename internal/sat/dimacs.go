@@ -1,0 +1,129 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteDIMACS serializes the solver's problem clauses in DIMACS CNF,
+// the standard SAT interchange format — useful for cross-checking an
+// encoding against an external solver. Learnt clauses are not
+// exported. Level-0 unit assignments are exported as unit clauses so
+// the formula is equisatisfiable with the solver's state.
+func (s *Solver) WriteDIMACS(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	units := 0
+	for _, l := range s.trail {
+		if s.level[l.Var()] == 0 {
+			units++
+		}
+	}
+	if !s.ok {
+		// Unsatisfiable at level 0: export the canonical empty-clause
+		// formula.
+		if _, err := fmt.Fprintf(bw, "p cnf %d 1\n0\n", s.NumVars()); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", s.NumVars(), len(s.clauses)+units); err != nil {
+		return err
+	}
+	writeLit := func(l Lit) error {
+		v := int(l.Var()) + 1 // DIMACS variables are 1-based
+		if !l.IsPos() {
+			v = -v
+		}
+		_, err := fmt.Fprintf(bw, "%d ", v)
+		return err
+	}
+	for _, l := range s.trail {
+		if s.level[l.Var()] != 0 {
+			continue
+		}
+		if err := writeLit(l); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString("0\n"); err != nil {
+			return err
+		}
+	}
+	for _, c := range s.clauses {
+		for _, l := range c.lits {
+			if err := writeLit(l); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString("0\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDIMACS parses a DIMACS CNF problem into a fresh solver. Comment
+// lines ("c ...") are skipped; the problem line ("p cnf V C") sizes
+// the variable pool; clause counts are not enforced strictly (trailing
+// clauses beyond the declared count are accepted, as most solvers do).
+func ReadDIMACS(r io.Reader) (*Solver, error) {
+	s := NewSolver()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	declared := -1
+	var pending []Lit
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("sat: line %d: malformed problem line %q", lineNo, line)
+			}
+			nVars, err := strconv.Atoi(fields[2])
+			if err != nil || nVars < 0 {
+				return nil, fmt.Errorf("sat: line %d: bad variable count %q", lineNo, fields[2])
+			}
+			declared = nVars
+			for s.NumVars() < nVars {
+				s.NewVar()
+			}
+			continue
+		}
+		if declared < 0 {
+			return nil, fmt.Errorf("sat: line %d: clause before problem line", lineNo)
+		}
+		for _, tok := range strings.Fields(line) {
+			n, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("sat: line %d: bad literal %q", lineNo, tok)
+			}
+			if n == 0 {
+				s.AddClause(pending...)
+				pending = pending[:0]
+				continue
+			}
+			v := n
+			if v < 0 {
+				v = -v
+			}
+			if v > declared {
+				return nil, fmt.Errorf("sat: line %d: literal %d exceeds declared variables", lineNo, n)
+			}
+			pending = append(pending, MkLit(Var(v-1), n > 0))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(pending) > 0 {
+		s.AddClause(pending...)
+	}
+	return s, nil
+}

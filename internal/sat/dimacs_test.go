@@ -1,0 +1,142 @@
+package sat
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	s := NewSolver()
+	v := newVars(s, 3)
+	s.AddClause(PosLit(v[0]), NegLit(v[1]))
+	s.AddClause(PosLit(v[1]), PosLit(v[2]))
+	s.AddClause(NegLit(v[2]))
+
+	var sb strings.Builder
+	if err := s.WriteDIMACS(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "p cnf 3 ") {
+		t.Fatalf("bad header: %q", out)
+	}
+	s2, err := ReadDIMACS(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Solve() != s2.Solve() {
+		t.Fatal("round trip changed satisfiability")
+	}
+}
+
+func TestReadDIMACSFormat(t *testing.T) {
+	src := `
+c a comment
+p cnf 3 2
+1 -2 0
+2 3 0
+`
+	s, err := ReadDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVars() != 3 || s.NumClauses() != 2 {
+		t.Fatalf("vars=%d clauses=%d", s.NumVars(), s.NumClauses())
+	}
+	if s.Solve() != Sat {
+		t.Fatal("should be sat")
+	}
+	// Clause without trailing 0 at EOF is accepted.
+	s2, err := ReadDIMACS(strings.NewReader("p cnf 1 1\n-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Solve() != Sat || s2.Value(0) != LFalse {
+		t.Fatal("trailing clause lost")
+	}
+}
+
+func TestReadDIMACSErrors(t *testing.T) {
+	bad := []string{
+		"1 2 0",            // clause before header
+		"p cnf x 1\n1 0",   // bad var count
+		"p dnf 2 1\n1 0",   // wrong format tag
+		"p cnf 1 1\n2 0",   // literal exceeds declared vars
+		"p cnf 1 1\nabc 0", // bad literal
+	}
+	for _, src := range bad {
+		if _, err := ReadDIMACS(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadDIMACS(%q) should fail", src)
+		}
+	}
+}
+
+func TestWriteDIMACSUnsatState(t *testing.T) {
+	s := NewSolver()
+	v := s.NewVar()
+	s.AddClause(PosLit(v))
+	s.AddClause(NegLit(v))
+	var sb strings.Builder
+	if err := s.WriteDIMACS(&sb); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ReadDIMACS(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Solve() != Unsat {
+		t.Fatal("unsat state must round trip to unsat")
+	}
+}
+
+func TestWriteDIMACSPreservesUnits(t *testing.T) {
+	s := NewSolver()
+	v := newVars(s, 2)
+	s.AddClause(PosLit(v[0]))               // level-0 unit
+	s.AddClause(NegLit(v[0]), PosLit(v[1])) // forces x1 by propagation
+	var sb strings.Builder
+	if err := s.WriteDIMACS(&sb); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ReadDIMACS(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Solve() != Sat {
+		t.Fatal("should be sat")
+	}
+	if s2.Value(0) != LTrue || s2.Value(1) != LTrue {
+		t.Fatal("units lost in round trip")
+	}
+}
+
+// Property: DIMACS round trip preserves satisfiability on random
+// instances.
+func TestQuickDIMACSRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nVars := 3 + r.Intn(8)
+		form := randomCNF(r, nVars, 2+r.Intn(25), 3)
+		s := NewSolver()
+		newVars(s, nVars)
+		for _, c := range form.clauses {
+			s.AddClause(c...)
+		}
+		want := s.Solve()
+
+		var sb strings.Builder
+		if err := s.WriteDIMACS(&sb); err != nil {
+			return false
+		}
+		s2, err := ReadDIMACS(strings.NewReader(sb.String()))
+		if err != nil {
+			return false
+		}
+		return s2.Solve() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

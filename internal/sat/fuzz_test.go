@@ -1,0 +1,39 @@
+package sat
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadDIMACS checks the DIMACS reader never panics and that
+// accepted formulas survive a write/read round trip with the same
+// satisfiability.
+func FuzzReadDIMACS(f *testing.F) {
+	f.Add("p cnf 2 2\n1 -2 0\n2 0\n")
+	f.Add("c comment\np cnf 1 1\n1 0\n")
+	f.Add("p cnf 3 1\n1 2 3 0")
+	f.Add("p cnf 0 0\n")
+	f.Add("1 0")
+	f.Add("p cnf x y")
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := ReadDIMACS(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if s.NumVars() > 24 || s.NumClauses() > 300 {
+			return // keep the fuzz round trip cheap
+		}
+		want := s.Solve()
+		var sb strings.Builder
+		if err := s.WriteDIMACS(&sb); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := ReadDIMACS(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("rewritten DIMACS does not reparse: %v\n%s", err, sb.String())
+		}
+		if got := s2.Solve(); got != want {
+			t.Fatalf("round trip changed satisfiability: %v -> %v", want, got)
+		}
+	})
+}

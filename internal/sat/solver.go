@@ -1,0 +1,648 @@
+package sat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Stats counts solver work, exposed for the benchmark harness.
+type Stats struct {
+	Decisions    uint64
+	Propagations uint64
+	Conflicts    uint64
+	Restarts     uint64
+	Learnt       uint64
+	MaxVars      int
+	Clauses      int
+}
+
+type clause struct {
+	lits     []Lit
+	learnt   bool
+	activity float64
+}
+
+// watcher pairs a watching clause with a "blocker" literal: if the
+// blocker is already true the clause is satisfied and need not be
+// inspected. This is MiniSat's most important constant-factor trick.
+type watcher struct {
+	c       *clause
+	blocker Lit
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; create
+// solvers with NewSolver. A Solver is not safe for concurrent use.
+type Solver struct {
+	ok      bool // false once the clause set is known unsat at level 0
+	clauses []*clause
+	learnts []*clause
+	watches [][]watcher // indexed by Lit
+
+	assigns  []LBool   // current assignment, by Var
+	level    []int     // decision level of each assigned var
+	reason   []*clause // implying clause of each assigned var (nil for decisions)
+	trail    []Lit
+	trailLim []int // trail positions where each decision level starts
+	qhead    int   // propagation queue head (index into trail)
+
+	activity []float64
+	varInc   float64
+	order    *varHeap
+	phase    []bool // saved polarity per variable
+
+	seen     []bool
+	analyzeT []Lit // scratch for conflict analysis
+
+	claInc float64
+
+	assumptions []Lit
+	core        []Lit   // filled when Solve(assumptions) returns Unsat
+	model       []LBool // snapshot of the last Sat assignment
+
+	// ConflictBudget bounds the number of conflicts a Solve call may
+	// spend before returning Unknown. Zero or negative means no bound.
+	ConflictBudget int64
+
+	Stats Stats
+}
+
+// NewSolver creates an empty solver.
+func NewSolver() *Solver {
+	s := &Solver{ok: true, varInc: 1.0, claInc: 1.0}
+	s.order = newVarHeap(&s.activity)
+	return s
+}
+
+// NewVar introduces a fresh variable and returns it.
+func (s *Solver) NewVar() Var {
+	v := Var(len(s.assigns))
+	s.assigns = append(s.assigns, LUndef)
+	s.level = append(s.level, -1)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, false)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.order.insert(v)
+	if int(v)+1 > s.Stats.MaxVars {
+		s.Stats.MaxVars = int(v) + 1
+	}
+	return v
+}
+
+// NumVars reports how many variables have been created.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// NumClauses reports how many problem clauses are currently held.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+func (s *Solver) value(l Lit) LBool {
+	v := s.assigns[l.Var()]
+	if v == LUndef {
+		return LUndef
+	}
+	if l.IsPos() {
+		return v
+	}
+	if v == LTrue {
+		return LFalse
+	}
+	return LTrue
+}
+
+// Value returns the assignment of v in the most recent Sat model. It
+// returns LUndef if no model is available.
+func (s *Solver) Value(v Var) LBool {
+	if int(v) >= len(s.model) {
+		return LUndef
+	}
+	return s.model[v]
+}
+
+// ValueLit returns the truth of literal l in the most recent Sat model.
+func (s *Solver) ValueLit(l Lit) LBool {
+	v := s.Value(l.Var())
+	if v == LUndef || l.IsPos() {
+		return v
+	}
+	if v == LTrue {
+		return LFalse
+	}
+	return LTrue
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// AddClause adds a clause over the given literals. It returns false if
+// the solver becomes (or already was) unsatisfiable at the top level.
+// The slice is copied, and the clause is simplified: duplicate literals
+// are removed, tautologies dropped, and literals already false at level
+// 0 deleted.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("sat: AddClause called during search")
+	}
+	// Sort-free simplification over a small scratch copy.
+	out := make([]Lit, 0, len(lits))
+	for _, l := range lits {
+		if int(l.Var()) >= len(s.assigns) {
+			panic(fmt.Sprintf("sat: clause references unknown variable %d", l.Var()))
+		}
+		switch s.value(l) {
+		case LTrue:
+			return true // satisfied at level 0
+		case LFalse:
+			continue // cannot help
+		}
+		dup, taut := false, false
+		for _, m := range out {
+			if m == l {
+				dup = true
+				break
+			}
+			if m == l.Neg() {
+				taut = true
+				break
+			}
+		}
+		if taut {
+			return true
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		s.ok = s.propagate() == nil
+		return s.ok
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.Stats.Clauses++
+	s.attach(c)
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	// Watch the first two literals; watch lists are indexed by the
+	// *negation* of the watched literal so that when a literal becomes
+	// false we visit the clauses watching it.
+	s.watches[c.lits[0].Neg()] = append(s.watches[c.lits[0].Neg()], watcher{c: c, blocker: c.lits[1]})
+	s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], watcher{c: c, blocker: c.lits[0]})
+}
+
+func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+	v := l.Var()
+	s.assigns[v] = boolToLBool(l.IsPos())
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation over the two-watched-literal
+// scheme. It returns the conflicting clause, or nil if propagation
+// completed without conflict.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p is now true; visit clauses watching !p
+		s.qhead++
+		s.Stats.Propagations++
+
+		ws := s.watches[p]
+		kept := ws[:0]
+		var conflict *clause
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if s.value(w.blocker) == LTrue {
+				kept = append(kept, w)
+				continue
+			}
+			c := w.c
+			// Normalize so that lits[1] is the false literal !p.
+			falseLit := p.Neg()
+			if c.lits[0] == falseLit {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			// If the other watched literal is true, the clause is
+			// satisfied; update the blocker.
+			first := c.lits[0]
+			if first != w.blocker && s.value(first) == LTrue {
+				kept = append(kept, watcher{c: c, blocker: first})
+				continue
+			}
+			// Look for a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != LFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], watcher{c: c, blocker: first})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue // watcher moved to another list
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, watcher{c: c, blocker: first})
+			if s.value(first) == LFalse {
+				// Conflict: keep remaining watchers and bail out.
+				conflict = c
+				for i++; i < len(ws); i++ {
+					kept = append(kept, ws[i])
+				}
+				s.qhead = len(s.trail)
+				break
+			}
+			s.uncheckedEnqueue(first, c)
+		}
+		s.watches[p] = kept
+		if conflict != nil {
+			return conflict
+		}
+	}
+	return nil
+}
+
+// analyze performs first-UIP conflict analysis, returning the learnt
+// clause (with the asserting literal first) and the backjump level.
+func (s *Solver) analyze(conflict *clause) ([]Lit, int) {
+	learnt := []Lit{0} // slot 0 reserved for the asserting literal
+	pathC := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+	c := conflict
+
+	for {
+		start := 0
+		if p != -1 {
+			start = 1 // skip the asserting literal of the reason clause
+		}
+		if c.learnt {
+			s.bumpClause(c)
+		}
+		for _, q := range c.lits[start:] {
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if s.level[v] >= s.decisionLevel() {
+				pathC++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Select next literal on the trail to resolve on.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.Var()
+		s.seen[v] = false
+		pathC--
+		if pathC == 0 {
+			learnt[0] = p.Neg()
+			break
+		}
+		c = s.reason[v]
+	}
+
+	// Conflict-clause minimization (local): drop literals implied by
+	// the rest of the clause through their reason clauses. The seen
+	// flags of removed literals must still be cleared afterwards, so
+	// remember the full pre-minimization list.
+	toClear := append([]Lit(nil), learnt...)
+	out := learnt[:1]
+	for _, q := range learnt[1:] {
+		if !s.redundant(q) {
+			out = append(out, q)
+		}
+	}
+	learnt = out
+
+	// Compute backjump level: the highest level among the non-asserting
+	// literals, and move a literal of that level into slot 1 so it gets
+	// watched.
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = s.level[learnt[1].Var()]
+	}
+
+	for _, q := range toClear {
+		s.seen[q.Var()] = false
+	}
+	return learnt, btLevel
+}
+
+// redundant reports whether literal q of a learnt clause is implied by
+// the remaining marked literals (a cheap version of clause
+// minimization: q is redundant if every literal of its reason is
+// already marked or at level 0).
+func (s *Solver) redundant(q Lit) bool {
+	r := s.reason[q.Var()]
+	if r == nil {
+		return false
+	}
+	for _, l := range r.lits[1:] {
+		v := l.Var()
+		if s.level[v] != 0 && !s.seen[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// analyzeFinal computes the subset of assumptions responsible for
+// forcing p false; used to build the unsat core when solving under
+// assumptions.
+func (s *Solver) analyzeFinal(p Lit) []Lit {
+	out := []Lit{p}
+	if s.decisionLevel() == 0 {
+		return out
+	}
+	s.seen[p.Var()] = true
+	for i := len(s.trail) - 1; i >= s.trailLim[0]; i-- {
+		v := s.trail[i].Var()
+		if !s.seen[v] {
+			continue
+		}
+		if s.reason[v] == nil {
+			// Decision: under assumption-driven search all decisions
+			// above level 0 that appear in the cone are assumptions.
+			out = append(out, s.trail[i].Neg())
+		} else {
+			for _, l := range s.reason[v].lits[1:] {
+				if s.level[l.Var()] > 0 {
+					s.seen[l.Var()] = true
+				}
+			}
+		}
+		s.seen[v] = false
+	}
+	s.seen[p.Var()] = false
+	return out
+}
+
+func (s *Solver) bumpVar(v Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) decayVar() { s.varInc *= 1.0 / 0.95 }
+
+func (s *Solver) bumpClause(c *clause) {
+	c.activity += s.claInc
+	if c.activity > 1e20 {
+		for _, lc := range s.learnts {
+			lc.activity *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+func (s *Solver) decayClause() { s.claInc *= 1.0 / 0.999 }
+
+// cancelUntil undoes all assignments above the given decision level.
+func (s *Solver) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	bound := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		l := s.trail[i]
+		v := l.Var()
+		s.assigns[v] = LUndef
+		s.reason[v] = nil
+		s.phase[v] = l.IsPos() // phase saving
+		s.order.insert(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) pickBranchLit() Lit {
+	for !s.order.empty() {
+		v := s.order.removeMax()
+		if s.assigns[v] == LUndef {
+			return MkLit(v, s.phase[v])
+		}
+	}
+	return -1
+}
+
+// luby computes the Luby restart sequence value for index i (1-based),
+// scaled by base.
+func luby(base float64, i uint64) float64 {
+	// Find the finite subsequence containing i, then the position.
+	var size, seq uint64 = 1, 0
+	for size < i+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != i {
+		size = (size - 1) / 2
+		seq--
+		i = i % size
+	}
+	return base * math.Pow(2, float64(seq))
+}
+
+// reduceDB deletes the less active half of the learnt clauses to keep
+// the database small. Clauses that are reasons for current assignments
+// or binary are kept.
+func (s *Solver) reduceDB() {
+	if len(s.learnts) < 2 {
+		return
+	}
+	// Partial selection: simple sort by activity ascending.
+	learnts := s.learnts
+	for i := 1; i < len(learnts); i++ {
+		for j := i; j > 0 && learnts[j].activity < learnts[j-1].activity; j-- {
+			learnts[j], learnts[j-1] = learnts[j-1], learnts[j]
+		}
+	}
+	locked := make(map[*clause]bool)
+	for _, r := range s.reason {
+		if r != nil {
+			locked[r] = true
+		}
+	}
+	keep := learnts[:0:0]
+	removed := 0
+	for i, c := range learnts {
+		if removed < len(learnts)/2 && !locked[c] && len(c.lits) > 2 {
+			s.detach(c)
+			removed++
+			continue
+		}
+		_ = i
+		keep = append(keep, c)
+	}
+	s.learnts = keep
+}
+
+func (s *Solver) detach(c *clause) {
+	for _, wl := range []Lit{c.lits[0].Neg(), c.lits[1].Neg()} {
+		ws := s.watches[wl]
+		for i, w := range ws {
+			if w.c == c {
+				ws[i] = ws[len(ws)-1]
+				s.watches[wl] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+}
+
+// Solve decides satisfiability under the given assumption literals
+// (which may be empty). On Sat, Value/ValueLit expose the model. On
+// Unsat under assumptions, Core returns a subset of the assumptions
+// that is already unsatisfiable.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	if !s.ok {
+		return Unsat
+	}
+	s.assumptions = assumptions
+	s.core = nil
+	defer s.cancelUntil(0)
+
+	maxLearnts := float64(len(s.clauses))/3 + 100
+	conflictsAtStart := s.Stats.Conflicts
+	var restart uint64
+	for {
+		budget := int64(luby(100, restart))
+		st := s.search(budget, &maxLearnts)
+		if st == Sat {
+			s.model = make([]LBool, len(s.assigns))
+			copy(s.model, s.assigns)
+			return Sat
+		}
+		if st == Unsat {
+			return Unsat
+		}
+		restart++
+		s.Stats.Restarts++
+		if s.ConflictBudget > 0 && int64(s.Stats.Conflicts-conflictsAtStart) >= s.ConflictBudget {
+			return Unknown
+		}
+	}
+}
+
+// Core returns the assumption subset returned by the last failing
+// Solve-under-assumptions call. The slice is owned by the solver.
+func (s *Solver) Core() []Lit { return s.core }
+
+// search runs CDCL until a result, a conflict budget exhaustion
+// (restart), or unsat.
+func (s *Solver) search(budget int64, maxLearnts *float64) Status {
+	var conflicts int64
+	for {
+		conflict := s.propagate()
+		if conflict != nil {
+			s.Stats.Conflicts++
+			conflicts++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat
+			}
+			learnt, btLevel := s.analyze(conflict)
+			s.cancelUntil(btLevel)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learnt: true}
+				s.learnts = append(s.learnts, c)
+				s.Stats.Learnt++
+				s.attach(c)
+				s.bumpClause(c)
+				s.uncheckedEnqueue(learnt[0], c)
+			}
+			s.decayVar()
+			s.decayClause()
+			continue
+		}
+
+		// No conflict.
+		if conflicts >= budget {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		if float64(len(s.learnts)) >= *maxLearnts {
+			s.reduceDB()
+			*maxLearnts *= 1.1
+		}
+
+		// Assumption-driven decisions first.
+		next := Lit(-1)
+		for s.decisionLevel() < len(s.assumptions) {
+			p := s.assumptions[s.decisionLevel()]
+			switch s.value(p) {
+			case LTrue:
+				// Already satisfied: open an empty decision level so
+				// the level-to-assumption mapping stays aligned.
+				s.trailLim = append(s.trailLim, len(s.trail))
+				continue
+			case LFalse:
+				core := s.analyzeFinal(p.Neg())
+				s.core = make([]Lit, 0, len(core))
+				// analyzeFinal returns negations of failed assumption
+				// literals; report the assumptions themselves.
+				for _, l := range core {
+					s.core = append(s.core, l.Neg())
+				}
+				return Unsat
+			default:
+				next = p
+			}
+			break
+		}
+		if next == -1 {
+			next = s.pickBranchLit()
+			if next == -1 {
+				return Sat // all variables assigned
+			}
+			s.Stats.Decisions++
+		}
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.uncheckedEnqueue(next, nil)
+	}
+}
+
+// Model returns a copy of the last satisfying assignment as a slice of
+// booleans indexed by variable. Call only after Solve returned Sat.
+func (s *Solver) Model() []bool {
+	m := make([]bool, len(s.model))
+	for v := range s.model {
+		m[v] = s.model[v] == LTrue
+	}
+	return m
+}
+
+// Okay reports whether the solver is still consistent at the top level
+// (false after an Unsat result without assumptions or an empty clause).
+func (s *Solver) Okay() bool { return s.ok }

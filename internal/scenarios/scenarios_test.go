@@ -1,0 +1,121 @@
+package scenarios
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+)
+
+func TestAllScenariosWellFormed(t *testing.T) {
+	all := All()
+	if len(all) != 3 {
+		t.Fatalf("scenarios = %d, want 3", len(all))
+	}
+	for _, sc := range all {
+		if sc.Name == "" || sc.Title == "" {
+			t.Errorf("scenario missing metadata: %+v", sc)
+		}
+		if err := sc.Net.Validate(); err != nil {
+			t.Errorf("%s: topology invalid: %v", sc.Name, err)
+		}
+		if len(sc.Requirements()) == 0 {
+			t.Errorf("%s: no requirements", sc.Name)
+		}
+		for name, c := range sc.Sketch {
+			if c.Router != name {
+				t.Errorf("%s: sketch key %q vs router %q", sc.Name, name, c.Router)
+			}
+			if err := c.Validate(); err != nil {
+				t.Errorf("%s/%s: %v", sc.Name, name, err)
+			}
+		}
+	}
+}
+
+func TestScenarioHoleNamesUnique(t *testing.T) {
+	for _, sc := range All() {
+		seen := map[string]bool{}
+		for _, c := range sc.Sketch {
+			for _, h := range c.Holes() {
+				if seen[h.Name] {
+					t.Errorf("%s: duplicate hole %q", sc.Name, h.Name)
+				}
+				seen[h.Name] = true
+			}
+		}
+		if sc.Name != "scenario1" && len(seen) == 0 {
+			t.Errorf("%s: sketch has no holes", sc.Name)
+		}
+	}
+}
+
+func TestScenario1Shape(t *testing.T) {
+	sc := Scenario1()
+	if len(sc.Spec.Blocks) != 1 || len(sc.Spec.Blocks[0].Forbids()) != 2 {
+		t.Fatal("scenario 1 must have the two no-transit forbids")
+	}
+	// R3 carries no policies: the empty-subspec router of Scenario 3.
+	if len(sc.Sketch["R3"].RouteMapNames()) != 0 {
+		t.Fatal("R3 must have no route maps in scenario 1")
+	}
+	// The export template mirrors Figure 1c: symbolic prefix match,
+	// action, next-hop, and a symbolic catch-all.
+	printed := config.Print(sc.Sketch["R1"])
+	for _, want := range []string{"?R1_to_P1_10_action", "?R1_to_P1_10_match", "?R1_to_P1_10_nexthop", "?R1_to_P1_100_action"} {
+		if !strings.Contains(printed, want) {
+			t.Errorf("R1 sketch misses hole %q:\n%s", want, printed)
+		}
+	}
+}
+
+func TestScenario2Shape(t *testing.T) {
+	sc := Scenario2()
+	prefs := sc.Spec.Blocks[0].Preferences()
+	if len(prefs) != 1 || len(prefs[0].Paths) != 2 {
+		t.Fatal("scenario 2 must carry the two-path preference")
+	}
+	if prefs[0].Paths[0].String() != "C->R3->R1->P1->...->D1" {
+		t.Fatalf("preferred path = %s", prefs[0].Paths[0])
+	}
+	// R3 has selector templates on both fabric interfaces.
+	r3 := sc.Sketch["R3"]
+	if r3.Neighbor("R1") == nil || r3.Neighbor("R2") == nil {
+		t.Fatal("R3 must bind import maps on R1 and R2")
+	}
+}
+
+func TestScenario3CombinesAll(t *testing.T) {
+	sc := Scenario3()
+	if sc.Spec.Block("Req1") == nil || sc.Spec.Block("Req2") == nil || sc.Spec.Block("Req3") == nil {
+		t.Fatal("scenario 3 must carry Req1, Req2, Req3")
+	}
+	if len(sc.Requirements()) != 4 {
+		t.Fatalf("requirements = %d, want 4 (two forbids + two preferences)", len(sc.Requirements()))
+	}
+	// Each provider-facing router has both import and export maps.
+	for _, r := range []string{"R1", "R2"} {
+		c := sc.Sketch[r]
+		nb := c.Neighbors[0]
+		if nb.ImportMap == "" || nb.ExportMap == "" {
+			t.Errorf("%s must bind both directions, got %+v", r, nb)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("scenario2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown scenario should fail")
+	}
+}
+
+func TestScenariosAreIndependentInstances(t *testing.T) {
+	a, b := Scenario1(), Scenario1()
+	a.Sketch["R1"].AddNeighbor("R2", "x", "")
+	if b.Sketch["R1"].Neighbor("R2") != nil {
+		t.Fatal("scenario instances share state")
+	}
+}

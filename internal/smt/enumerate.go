@@ -1,0 +1,65 @@
+package smt
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/sat"
+)
+
+// EnumerateModels invokes f for every model of the asserted
+// constraints, projected onto the given variables, up to max models.
+// Enumeration proceeds by blocking clauses, which are permanently
+// added to the solver — a solver that has been enumerated should not
+// be reused for other queries.
+//
+// f may return false to stop early. EnumerateModels returns the number
+// of models visited and whether the projection was exhausted (false
+// means max was hit or f stopped the walk).
+func (s *Solver) EnumerateModels(vars []*logic.Var, max int, f func(logic.Assignment) bool) (int, bool, error) {
+	if len(vars) == 0 {
+		return 0, true, fmt.Errorf("smt: EnumerateModels needs at least one variable")
+	}
+	for _, v := range vars {
+		if err := s.Declare(v); err != nil {
+			return 0, false, err
+		}
+	}
+	count := 0
+	for count < max {
+		st, err := s.Solve()
+		if err != nil {
+			return count, false, err
+		}
+		if st != sat.Sat {
+			return count, true, nil
+		}
+		full, err := s.Model()
+		if err != nil {
+			return count, false, err
+		}
+		projected := logic.Assignment{}
+		var blocking []logic.Term
+		for _, v := range vars {
+			val, ok := full[v.Name]
+			if !ok {
+				return count, false, fmt.Errorf("smt: model misses %q", v.Name)
+			}
+			projected[v.Name] = val
+			blocking = append(blocking, logic.Ne(v, val.Term()))
+		}
+		count++
+		if !f(projected) {
+			return count, false, nil
+		}
+		if err := s.Assert(logic.Or(blocking...)); err != nil {
+			return count, false, err
+		}
+	}
+	return count, false, nil
+}
+
+// CountModels counts the models projected onto vars, up to max.
+func (s *Solver) CountModels(vars []*logic.Var, max int) (int, bool, error) {
+	return s.EnumerateModels(vars, max, func(logic.Assignment) bool { return true })
+}

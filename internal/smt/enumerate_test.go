@@ -1,0 +1,90 @@
+package smt
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func TestEnumerateModelsExhaustive(t *testing.T) {
+	s := NewSolver()
+	n := logic.NewIntVar("n", 0, 4)
+	mustAssert(t, s, logic.Ne(n, logic.NewInt(2)))
+	seen := map[int64]bool{}
+	count, exhausted, err := s.EnumerateModels([]*logic.Var{n}, 100, func(m logic.Assignment) bool {
+		seen[m["n"].I] = true
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exhausted || count != 4 {
+		t.Fatalf("count=%d exhausted=%v, want 4/true", count, exhausted)
+	}
+	if seen[2] || len(seen) != 4 {
+		t.Fatalf("models = %v", seen)
+	}
+}
+
+func TestEnumerateModelsBudget(t *testing.T) {
+	s := NewSolver()
+	n := logic.NewIntVar("n", 0, 9)
+	count, exhausted, err := s.EnumerateModels([]*logic.Var{n}, 3, func(logic.Assignment) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exhausted || count != 3 {
+		t.Fatalf("count=%d exhausted=%v, want 3/false", count, exhausted)
+	}
+}
+
+func TestEnumerateModelsEarlyStop(t *testing.T) {
+	s := NewSolver()
+	b := logic.NewBoolVar("b")
+	s.Declare(b)
+	count, exhausted, err := s.EnumerateModels([]*logic.Var{b}, 10, func(logic.Assignment) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exhausted || count != 1 {
+		t.Fatalf("count=%d exhausted=%v, want 1/false", count, exhausted)
+	}
+}
+
+func TestEnumerateModelsProjection(t *testing.T) {
+	// Two variables, projecting onto one: models of the projection,
+	// not of the full space.
+	s := NewSolver()
+	a := logic.NewBoolVar("a")
+	b := logic.NewBoolVar("b")
+	s.Declare(a)
+	s.Declare(b)
+	count, exhausted, err := s.CountModels([]*logic.Var{a}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exhausted || count != 2 {
+		t.Fatalf("projected count = %d (exhausted=%v), want 2", count, exhausted)
+	}
+}
+
+func TestEnumerateModelsNoVars(t *testing.T) {
+	s := NewSolver()
+	if _, _, err := s.EnumerateModels(nil, 10, func(logic.Assignment) bool { return true }); err == nil {
+		t.Fatal("empty projection should fail")
+	}
+}
+
+func TestCountModelsEnumCross(t *testing.T) {
+	s := NewSolver()
+	c1 := logic.NewEnumVar("c1", colorSort)
+	c2 := logic.NewEnumVar("c2", colorSort)
+	mustAssert(t, s, logic.Ne(c1, c2))
+	count, exhausted, err := s.CountModels([]*logic.Var{c1, c2}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exhausted || count != 6 { // 3*2 ordered distinct pairs
+		t.Fatalf("count = %d (exhausted=%v), want 6", count, exhausted)
+	}
+}

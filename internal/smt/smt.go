@@ -1,0 +1,307 @@
+// Package smt decides formulas of the internal/logic term language by
+// reduction to propositional satisfiability (internal/sat).
+//
+// The logic fragment emitted by the network synthesizer is finite
+// domain: every integer variable carries an inclusive range and every
+// enum variable ranges over a declared value set. The encoder therefore
+// represents every non-boolean term as a "value list" — the finite set
+// of values the term can take, each guarded by a propositional literal,
+// with an exactly-one invariant — and bit-blasts boolean structure with
+// the Tseitin transformation. This mirrors what Z3 ends up doing on
+// NetComplete's encodings, at laptop scale and with zero dependencies.
+//
+// Usage:
+//
+//	s := smt.NewSolver()
+//	s.Assert(f)                  // f : Bool-sorted logic.Term
+//	st, err := s.Solve()         // Sat / Unsat
+//	m, err := s.Model()          // logic.Assignment on Sat
+//
+// Solve accepts assumption terms; when the result is Unsat under
+// assumptions, Core returns an unsatisfiable subset of them.
+package smt
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/sat"
+)
+
+// MaxValueListSize caps the size of any value list the encoder will
+// build. Arithmetic over two variables multiplies domains, so the cap
+// guards against accidentally exponential encodings; hitting it is
+// reported as an error rather than an OOM.
+const MaxValueListSize = 1 << 14
+
+// Solver encodes and decides logic terms.
+type Solver struct {
+	sat *sat.Solver
+
+	// declared variables by name.
+	vars map[string]*logic.Var
+	enc  map[string]*varEncoding
+
+	// Tseitin memo tables keyed by structural hash.
+	boolMemo map[uint64][]boolMemoEntry
+	valMemo  map[uint64][]valMemoEntry
+
+	litTrue  sat.Lit // a literal constrained true
+	litFalse sat.Lit
+
+	asserted []logic.Term
+
+	// assumption bookkeeping for core extraction.
+	lastAssumed []logic.Term
+	lastLits    []sat.Lit
+}
+
+type boolMemoEntry struct {
+	term logic.Term
+	lit  sat.Lit
+}
+
+type valMemoEntry struct {
+	term logic.Term
+	vl   *valueList
+}
+
+// varEncoding is the propositional encoding of one declared variable.
+type varEncoding struct {
+	v *logic.Var
+	// boolLit is set for Bool variables.
+	boolLit sat.Lit
+	// vl is set for Int and Enum variables.
+	vl *valueList
+}
+
+// valueList represents a non-boolean term as its finite value set.
+// Exactly one of lits is true in any model; vals[i] is the term's value
+// when lits[i] holds. For enum-sorted terms vals holds value *indices*
+// into the sort's Values slice.
+type valueList struct {
+	sort *logic.Sort
+	vals []int64
+	lits []sat.Lit
+}
+
+// NewSolver creates an empty solver.
+func NewSolver() *Solver {
+	s := &Solver{
+		sat:      sat.NewSolver(),
+		vars:     make(map[string]*logic.Var),
+		enc:      make(map[string]*varEncoding),
+		boolMemo: make(map[uint64][]boolMemoEntry),
+		valMemo:  make(map[uint64][]valMemoEntry),
+	}
+	vt := s.sat.NewVar()
+	s.litTrue = sat.PosLit(vt)
+	s.litFalse = sat.NegLit(vt)
+	s.sat.AddClause(s.litTrue)
+	return s
+}
+
+// Stats exposes the underlying SAT solver statistics.
+func (s *Solver) Stats() sat.Stats { return s.sat.Stats }
+
+// NumSATVars reports how many propositional variables the encoding has
+// allocated so far.
+func (s *Solver) NumSATVars() int { return s.sat.NumVars() }
+
+// NumSATClauses reports how many propositional clauses the encoding
+// has emitted so far.
+func (s *Solver) NumSATClauses() int { return s.sat.NumClauses() }
+
+// Declare registers a variable. Declaring is optional — variables are
+// auto-declared on first use — but declaring up front makes Model
+// include variables that appear in no asserted constraint. Redeclaring
+// a name with a different sort or domain is an error.
+func (s *Solver) Declare(v *logic.Var) error {
+	if old, ok := s.vars[v.Name]; ok {
+		if !logic.SameSort(old.S, v.S) || old.Lo != v.Lo || old.Hi != v.Hi {
+			return fmt.Errorf("smt: variable %q redeclared with different sort or domain", v.Name)
+		}
+		return nil
+	}
+	s.vars[v.Name] = v
+	e := &varEncoding{v: v}
+	switch {
+	case v.S.IsBool():
+		e.boolLit = sat.PosLit(s.sat.NewVar())
+	case v.S.IsInt():
+		n := v.Hi - v.Lo + 1
+		if n > MaxValueListSize {
+			return fmt.Errorf("smt: domain of %q has %d values, exceeding the cap of %d", v.Name, n, MaxValueListSize)
+		}
+		vals := make([]int64, 0, n)
+		for x := v.Lo; x <= v.Hi; x++ {
+			vals = append(vals, x)
+		}
+		e.vl = s.freshValueList(logic.Int, vals)
+	case v.S.IsEnum():
+		vals := make([]int64, len(v.S.Values))
+		for i := range vals {
+			vals[i] = int64(i)
+		}
+		e.vl = s.freshValueList(v.S, vals)
+	default:
+		return fmt.Errorf("smt: variable %q has unsupported sort %v", v.Name, v.S)
+	}
+	s.enc[v.Name] = e
+	return nil
+}
+
+// freshValueList allocates one selector literal per value and
+// constrains exactly one of them to hold.
+func (s *Solver) freshValueList(sort *logic.Sort, vals []int64) *valueList {
+	lits := make([]sat.Lit, len(vals))
+	for i := range lits {
+		lits[i] = sat.PosLit(s.sat.NewVar())
+	}
+	s.exactlyOne(lits)
+	return &valueList{sort: sort, vals: vals, lits: lits}
+}
+
+// exactlyOne emits at-least-one and at-most-one constraints. AMO uses
+// the pairwise encoding below 6 literals and the sequential (ladder)
+// encoding above, which stays linear in clauses and auxiliaries.
+func (s *Solver) exactlyOne(lits []sat.Lit) {
+	s.sat.AddClause(lits...)
+	s.atMostOne(lits)
+}
+
+func (s *Solver) atMostOne(lits []sat.Lit) {
+	if len(lits) <= 1 {
+		return
+	}
+	if len(lits) <= 6 {
+		for i := 0; i < len(lits); i++ {
+			for j := i + 1; j < len(lits); j++ {
+				s.sat.AddClause(lits[i].Neg(), lits[j].Neg())
+			}
+		}
+		return
+	}
+	// Sequential encoding: aux[i] means "some lit among 0..i is true".
+	aux := make([]sat.Lit, len(lits)-1)
+	for i := range aux {
+		aux[i] = sat.PosLit(s.sat.NewVar())
+	}
+	s.sat.AddClause(lits[0].Neg(), aux[0])
+	for i := 1; i < len(lits)-1; i++ {
+		s.sat.AddClause(lits[i].Neg(), aux[i])
+		s.sat.AddClause(aux[i-1].Neg(), aux[i])
+		s.sat.AddClause(lits[i].Neg(), aux[i-1].Neg())
+	}
+	s.sat.AddClause(lits[len(lits)-1].Neg(), aux[len(lits)-2].Neg())
+}
+
+// Assert adds a Bool-sorted constraint to the solver.
+func (s *Solver) Assert(t logic.Term) error {
+	if !t.Sort().IsBool() {
+		return fmt.Errorf("smt: asserting term of sort %v", t.Sort())
+	}
+	l, err := s.litOf(t)
+	if err != nil {
+		return err
+	}
+	s.sat.AddClause(l)
+	s.asserted = append(s.asserted, t)
+	return nil
+}
+
+// AssertAll asserts every term.
+func (s *Solver) AssertAll(ts []logic.Term) error {
+	for _, t := range ts {
+		if err := s.Assert(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Solve decides the asserted constraints under the given assumption
+// terms. On Unsat with assumptions, Core identifies a responsible
+// subset.
+func (s *Solver) Solve(assumptions ...logic.Term) (sat.Status, error) {
+	s.lastAssumed = assumptions
+	s.lastLits = s.lastLits[:0]
+	for _, a := range assumptions {
+		if !a.Sort().IsBool() {
+			return sat.Unknown, fmt.Errorf("smt: assumption of sort %v", a.Sort())
+		}
+		l, err := s.litOf(a)
+		if err != nil {
+			return sat.Unknown, err
+		}
+		s.lastLits = append(s.lastLits, l)
+	}
+	return s.sat.Solve(s.lastLits...), nil
+}
+
+// Core returns assumption terms responsible for the last Unsat result,
+// mapped back from the SAT-level core. The result is a subset of the
+// assumptions passed to the failing Solve call.
+func (s *Solver) Core() []logic.Term {
+	core := s.sat.Core()
+	var out []logic.Term
+	for i, l := range s.lastLits {
+		for _, c := range core {
+			if c == l {
+				out = append(out, s.lastAssumed[i])
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Model extracts an assignment for every declared variable. Call only
+// after Solve returned Sat.
+func (s *Solver) Model() (logic.Assignment, error) {
+	m := logic.Assignment{}
+	for name, e := range s.enc {
+		v := e.v
+		switch {
+		case v.S.IsBool():
+			m[name] = logic.BoolValue(s.sat.ValueLit(e.boolLit) == sat.LTrue)
+		default:
+			found := false
+			for i, l := range e.vl.lits {
+				if s.sat.ValueLit(l) == sat.LTrue {
+					if v.S.IsInt() {
+						m[name] = logic.IntValue(e.vl.vals[i])
+					} else {
+						m[name] = logic.EnumValue(v.S, v.S.Values[e.vl.vals[i]])
+					}
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("smt: no value selected for %q in model", name)
+			}
+		}
+	}
+	return m, nil
+}
+
+// Valid reports whether t is valid (true under every assignment)
+// given the asserted constraints: it checks that asserted && !t is
+// unsatisfiable. Asserted constraints are left untouched.
+func (s *Solver) Valid(t logic.Term) (bool, error) {
+	st, err := s.Solve(logic.Not(t))
+	if err != nil {
+		return false, err
+	}
+	return st == sat.Unsat, nil
+}
+
+// Satisfiable reports whether asserted && t has a model.
+func (s *Solver) Satisfiable(t logic.Term) (bool, error) {
+	st, err := s.Solve(t)
+	if err != nil {
+		return false, err
+	}
+	return st == sat.Sat, nil
+}

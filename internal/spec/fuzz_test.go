@@ -1,0 +1,30 @@
+package spec
+
+import "testing"
+
+// FuzzParse checks the specification parser never panics and that
+// anything it accepts round-trips through the printer.
+func FuzzParse(f *testing.F) {
+	f.Add("Req1 { !(P1->...->P2) }")
+	f.Add("R2 to P2 { !(P1->R1->R2->P2) }")
+	f.Add("Req { (A->B) >> (A->C->B) +(A->...->B) }")
+	f.Add("R3 { preference { (R3->R1->D) >> (R3->R2->D) } }")
+	f.Add("// comment only")
+	f.Add("X {")
+	f.Add("}{}{}!(")
+	f.Add("Req { !(...->...) }")
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := Print(s)
+		s2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed spec does not reparse: %v\n%s", err, printed)
+		}
+		if Print(s2) != printed {
+			t.Fatalf("print not stable:\n%s\n---\n%s", printed, Print(s2))
+		}
+	})
+}

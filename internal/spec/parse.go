@@ -1,0 +1,298 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a specification document. The grammar, matching the
+// paper's figures:
+//
+//	spec       := block*
+//	block      := IDENT ("to" IDENT)? "{" clause* "}"
+//	clause     := forbid | allow | preference | prefGroup
+//	forbid     := "!" "(" path ")"
+//	allow      := "+" "(" path ")"
+//	preference := pathAtom (">>" pathAtom)+
+//	prefGroup  := "preference" "{" preference* "}"
+//	pathAtom   := "(" path ")" | path
+//	path       := elem ("->" elem)*
+//	elem       := IDENT | "..."
+//
+// Line comments start with "//" and run to end of line.
+func Parse(src string) (*Spec, error) {
+	toks, err := tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	s := &Spec{}
+	for !p.eof() {
+		b, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		s.Blocks = append(s.Blocks, b)
+	}
+	return s, nil
+}
+
+// ParseBlock parses a single block (convenience for tests and tools).
+func ParseBlock(src string) (*Block, error) {
+	s, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Blocks) != 1 {
+		return nil, fmt.Errorf("spec: expected exactly one block, found %d", len(s.Blocks))
+	}
+	return s.Blocks[0], nil
+}
+
+// ParsePath parses a bare path pattern like "P1->...->P2".
+func ParsePath(src string) (Path, error) {
+	toks, err := tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	path, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("spec: trailing input %q in path", p.peek().text)
+	}
+	return path, nil
+}
+
+type token struct {
+	text string
+	line int
+}
+
+func tokenize(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case unicode.IsSpace(rune(c)):
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case strings.HasPrefix(src[i:], "..."):
+			toks = append(toks, token{Wildcard, line})
+			i += 3
+		case strings.HasPrefix(src[i:], "->"):
+			toks = append(toks, token{"->", line})
+			i += 2
+		case strings.HasPrefix(src[i:], ">>"):
+			toks = append(toks, token{">>", line})
+			i += 2
+		case c == '{' || c == '}' || c == '(' || c == ')' || c == '!' || c == '+':
+			toks = append(toks, token{string(c), line})
+			i++
+		case isNodeChar(c):
+			start := i
+			for i < len(src) && isNodeChar(src[i]) {
+				i++
+			}
+			toks = append(toks, token{src[start:i], line})
+		default:
+			return nil, fmt.Errorf("spec: line %d: unexpected character %q", line, c)
+		}
+	}
+	return toks, nil
+}
+
+func isNodeChar(c byte) bool {
+	return c == '_' || c == '.' || c == ':' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() token {
+	if p.eof() {
+		return token{"", -1}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(text string) error {
+	t := p.next()
+	if t.text != text {
+		return fmt.Errorf("spec: line %d: expected %q, got %q", t.line, text, t.text)
+	}
+	return nil
+}
+
+func isIdent(text string) bool {
+	if text == "" || text == Wildcard {
+		return false
+	}
+	return isNodeChar(text[0])
+}
+
+func (p *parser) parseBlock() (*Block, error) {
+	name := p.next()
+	if !isIdent(name.text) {
+		return nil, fmt.Errorf("spec: line %d: expected block name, got %q", name.line, name.text)
+	}
+	b := &Block{Name: name.text}
+	if p.peek().text == "to" {
+		p.next()
+		scope := p.next()
+		if !isIdent(scope.text) {
+			return nil, fmt.Errorf("spec: line %d: expected scope node after 'to', got %q", scope.line, scope.text)
+		}
+		b.Scope = scope.text
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for p.peek().text != "}" {
+		if p.eof() {
+			return nil, fmt.Errorf("spec: unexpected end of input in block %q", b.Name)
+		}
+		if p.peek().text == "preference" {
+			reqs, err := p.parsePrefGroup()
+			if err != nil {
+				return nil, err
+			}
+			b.Reqs = append(b.Reqs, reqs...)
+			continue
+		}
+		r, err := p.parseClause()
+		if err != nil {
+			return nil, err
+		}
+		b.Reqs = append(b.Reqs, r)
+	}
+	p.next() // consume '}'
+	return b, nil
+}
+
+func (p *parser) parsePrefGroup() ([]Requirement, error) {
+	p.next() // 'preference'
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var out []Requirement
+	for p.peek().text != "}" {
+		if p.eof() {
+			return nil, fmt.Errorf("spec: unexpected end of input in preference group")
+		}
+		r, err := p.parseClause()
+		if err != nil {
+			return nil, err
+		}
+		pref, ok := r.(*Preference)
+		if !ok {
+			return nil, fmt.Errorf("spec: preference group may contain only path preferences, found %s", r)
+		}
+		out = append(out, pref)
+	}
+	p.next() // '}'
+	return out, nil
+}
+
+func (p *parser) parseClause() (Requirement, error) {
+	if tok := p.peek().text; tok == "!" || tok == "+" {
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		path, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if tok == "+" {
+			return &Allow{Path: path}, nil
+		}
+		return &Forbid{Path: path}, nil
+	}
+	// Preference chain: pathAtom (">>" pathAtom)*. A single path with
+	// no ">>" is not a valid clause on its own.
+	first, err := p.parsePathAtom()
+	if err != nil {
+		return nil, err
+	}
+	paths := []Path{first}
+	for p.peek().text == ">>" {
+		p.next()
+		next, err := p.parsePathAtom()
+		if err != nil {
+			return nil, err
+		}
+		paths = append(paths, next)
+	}
+	if len(paths) < 2 {
+		return nil, fmt.Errorf("spec: line %d: a bare path is not a requirement; expected '>>' or '!'", p.peek().line)
+	}
+	return &Preference{Paths: paths}, nil
+}
+
+func (p *parser) parsePathAtom() (Path, error) {
+	if p.peek().text == "(" {
+		p.next()
+		path, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return path, nil
+	}
+	return p.parsePath()
+}
+
+func (p *parser) parsePath() (Path, error) {
+	var path Path
+	for {
+		t := p.next()
+		if t.text != Wildcard && !isIdent(t.text) {
+			return nil, fmt.Errorf("spec: line %d: expected path element, got %q", t.line, t.text)
+		}
+		path = append(path, t.text)
+		if p.peek().text != "->" {
+			break
+		}
+		p.next()
+	}
+	if len(path) < 2 {
+		return nil, fmt.Errorf("spec: a path needs at least two elements, got %q", path.String())
+	}
+	if path[0] == Wildcard && path[len(path)-1] == Wildcard {
+		return nil, fmt.Errorf("spec: path %q cannot start and end with wildcards", path.String())
+	}
+	for i := 1; i < len(path); i++ {
+		if path[i] == Wildcard && path[i-1] == Wildcard {
+			return nil, fmt.Errorf("spec: path %q has adjacent wildcards", path.String())
+		}
+	}
+	return path, nil
+}

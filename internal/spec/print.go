@@ -1,0 +1,51 @@
+package spec
+
+import "strings"
+
+// Print renders a specification document in the paper's surface
+// syntax, one block per paragraph.
+func Print(s *Spec) string {
+	parts := make([]string, len(s.Blocks))
+	for i, b := range s.Blocks {
+		parts[i] = PrintBlock(b)
+	}
+	return strings.Join(parts, "\n")
+}
+
+// PrintBlock renders one block. Preference requirements of
+// device-scoped blocks are grouped in a "preference { ... }" section,
+// matching the paper's Figure 4; forbid clauses follow.
+func PrintBlock(b *Block) string {
+	var sb strings.Builder
+	sb.WriteString(b.Title())
+	sb.WriteString(" {\n")
+	prefs := b.Preferences()
+	forbids := b.Forbids()
+	if len(prefs) > 0 && len(forbids) > 0 {
+		sb.WriteString("    preference {\n")
+		for _, p := range prefs {
+			sb.WriteString("        ")
+			sb.WriteString(p.String())
+			sb.WriteString("\n")
+		}
+		sb.WriteString("    }\n")
+	} else {
+		for _, p := range prefs {
+			sb.WriteString("    ")
+			sb.WriteString(p.String())
+			sb.WriteString("\n")
+		}
+	}
+	for _, a := range b.Allows() {
+		sb.WriteString("    ")
+		sb.WriteString(a.String())
+		sb.WriteString("\n")
+	}
+	for _, f := range forbids {
+		sb.WriteString("    ")
+		sb.WriteString(f.String())
+		sb.WriteString("\n")
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

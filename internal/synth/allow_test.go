@@ -1,0 +1,81 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bgp"
+	"repro/internal/scenarios"
+	"repro/internal/spec"
+	"repro/internal/topology"
+	"repro/internal/verify"
+)
+
+// TestAllowRestoresCustomerReachability re-runs the Scenario 1 repair
+// using the DSL's allow requirement instead of the two-path preference
+// Scenario 3 uses: `+(P1->...->C)` is exactly what the paper's
+// administrator adds.
+func TestAllowRestoresCustomerReachability(t *testing.T) {
+	sc := scenarios.Scenario1()
+	s2, err := spec.Parse(`
+Req1 {
+    !(P1->...->P2)
+    !(P2->...->P1)
+}
+Req4 {
+    +(P1->...->C)
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Synthesize(sc.Net, sc.Sketch, s2.Requirements(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := verify.Check(sc.Net, res.Deployment, s2.Requirements())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+	sim, err := bgp.Simulate(sc.Net, res.Deployment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cPfx := sc.Net.Router("C").Prefix
+	path := sim.ForwardingPath("P1", cPfx)
+	if path == nil {
+		t.Fatal("allow requirement did not restore reachability")
+	}
+	if strings.Contains(strings.Join(path, " "), "P2") {
+		t.Fatalf("path %v goes through the other provider", path)
+	}
+}
+
+func TestAllowErrors(t *testing.T) {
+	net := topology.Paper()
+	e := NewEncoder(net, nil, DefaultOptions())
+	if err := e.enumerateCandidates(); err != nil {
+		t.Fatal(err)
+	}
+	// Destination without a prefix.
+	if err := e.encodeAllow(&spec.Allow{Path: spec.NewPath("C", "R3")}); err == nil {
+		t.Fatal("prefix-less destination should fail")
+	}
+	// Pattern matching no candidate.
+	if err := e.encodeAllow(&spec.Allow{Path: spec.NewPath("P1", "P2")}); err == nil {
+		t.Fatal("impossible pattern should fail")
+	}
+}
+
+func TestAllowConflictsWithForbid(t *testing.T) {
+	net := topology.Paper()
+	reqs := []spec.Requirement{
+		&spec.Forbid{Path: spec.NewPath("P1", spec.Wildcard, "C")},
+		&spec.Allow{Path: spec.NewPath("P1", spec.Wildcard, "C")},
+	}
+	if _, err := Synthesize(net, nil, reqs, DefaultOptions()); err == nil {
+		t.Fatal("allow and forbid of the same traffic must be unsatisfiable")
+	}
+}

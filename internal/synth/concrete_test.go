@@ -1,0 +1,77 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bgp"
+	"repro/internal/config"
+	"repro/internal/logic"
+	"repro/internal/spec"
+	"repro/internal/topology"
+	"repro/internal/verify"
+)
+
+// TestEncodeConcreteConfigs exercises the symbolic route-map
+// application over fully concrete configurations (the explainer's
+// everyday case): all match kinds and set kinds with concrete values.
+func TestEncodeConcreteConfigs(t *testing.T) {
+	net := topology.Paper()
+	c := config.New("R1")
+	c.AddPrefixList(&config.PrefixList{Name: "pl", Entries: []config.PrefixEntry{
+		{Seq: 10, Action: config.Permit, Prefix: topology.MustPrefix("128.0.2.0/24")},
+		{Seq: 20, Action: config.Deny, Prefix: topology.MustPrefix("123.0.1.0/20")},
+	}})
+	c.AddRouteMap(&config.RouteMap{Name: "out", Clauses: []*config.Clause{
+		{Seq: 10, Action: config.Deny, Matches: []*config.Match{{Kind: config.MatchPrefixList, PrefixList: "pl"}}},
+		{Seq: 20, Action: config.Deny, Matches: []*config.Match{{Kind: config.MatchNextHopIs, NextHop: "R2"}}},
+		{Seq: 25, Action: config.Deny, Matches: []*config.Match{{Kind: config.MatchNextHopIs, NextHop: "R3"}}},
+		{Seq: 30, Action: config.Permit, Matches: []*config.Match{{Kind: config.MatchCommunity, Community: bgp.MustCommunity("100:1")}},
+			Sets: []*config.Set{{Kind: config.SetLocalPref, LocalPref: 120}}},
+		{Seq: 40, Action: config.Permit,
+			Sets: []*config.Set{
+				{Kind: config.SetCommunity, Community: bgp.MustCommunity("100:2")},
+				{Kind: config.SetMED, MED: 7},
+				{Kind: config.SetNextHopIP, NextHopIP: "10.0.0.1"},
+			}},
+	}})
+	c.AddNeighbor("P1", "", "out")
+	dep := config.Deployment{"R1": c}
+
+	reqs := mustParseReqs(t, `Req { !(P1->...->P2) }`)
+	enc, err := NewEncoder(net, dep, DefaultOptions()).Encode(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.Stats.HoleVars != 0 {
+		t.Fatalf("concrete configs produced %d hole vars", enc.Stats.HoleVars)
+	}
+	// With zero holes the constraint system is a ground formula; the
+	// simulation decides it. The config blocks the P2 prefix (clause
+	// 10) and every fabric-learned route (clauses 20/25), so no
+	// traffic from P1 can transit to P2.
+	vs, err := verify.Check(net, dep, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("concrete deployment violates forbid: %v", vs)
+	}
+	// No constraint may mention a variable (everything is ground).
+	for _, cst := range enc.Constraints {
+		for _, name := range logic.FreeVarNames(cst) {
+			if !strings.HasPrefix(name, "sel_") {
+				t.Fatalf("ground encoding contains non-selection variable %q", name)
+			}
+		}
+	}
+}
+
+func mustParseReqs(t *testing.T, src string) []spec.Requirement {
+	t.Helper()
+	s, err := spec.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Requirements()
+}

@@ -1,0 +1,623 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/logic"
+	"repro/internal/spec"
+	"repro/internal/topology"
+)
+
+// candidate is one potential propagation path of a prefix, ending at
+// the last node of path.
+type candidate struct {
+	prefix string
+	path   []string // propagation path, origin first
+	parent *candidate
+	// edgeCond is the symbolic pass condition of the final edge
+	// (export at parent's node, import here).
+	edgeCond logic.Term
+	// state is the route's symbolic attribute state at the final node.
+	state *routeState
+	// sel is the selection variable ("this node picks this
+	// candidate"). Nil for the origin candidate, which is always
+	// selected.
+	sel *logic.Var
+}
+
+// node returns the candidate's final node.
+func (c *candidate) node() string { return c.path[len(c.path)-1] }
+
+// availTerm is the condition under which the candidate is available
+// for selection: the parent selected its path and the final edge
+// passed.
+func (c *candidate) availTerm() logic.Term {
+	if c.parent == nil {
+		return logic.True
+	}
+	parentSel := logic.Term(logic.True)
+	if c.parent.sel != nil {
+		parentSel = c.parent.sel
+	}
+	return logic.And(parentSel, c.edgeCond)
+}
+
+// selTerm is the candidate's selection condition as a term.
+func (c *candidate) selTerm() logic.Term {
+	if c.sel == nil {
+		return logic.True
+	}
+	return c.sel
+}
+
+// fullPassTerm is the condition under which the route can physically
+// propagate along the whole candidate path: every edge's policy chain
+// permits it, regardless of what routers select. Its negation is how
+// "this path must not exist" requirements are encoded (the drops at
+// import interfaces in the paper's Figure 4).
+func (c *candidate) fullPassTerm() logic.Term {
+	if c.parent == nil {
+		return logic.True
+	}
+	return logic.And(c.parent.fullPassTerm(), c.edgeCond)
+}
+
+func (c *candidate) key() string { return strings.Join(c.path, "_") }
+
+// EncStats summarizes an encoding, feeding the experiment harness.
+type EncStats struct {
+	Constraints    int
+	ConstraintSize int // total term nodes across constraints
+	HoleVars       int
+	SelVars        int
+	Candidates     int
+	TruncatedPaths int
+}
+
+// Encoding is the output of Encode: the constraint system plus the
+// variable inventory needed to decode models and to explain.
+type Encoding struct {
+	// Constraints is the full constraint list; their conjunction is
+	// the paper's "seed specification" shape.
+	Constraints []logic.Term
+	// HoleVars maps hole names to their logic variables.
+	HoleVars map[string]*logic.Var
+	// Stats summarizes encoding size.
+	Stats EncStats
+
+	paths []PathInfo
+}
+
+// Conjunction returns the constraints as a single term.
+func (enc *Encoding) Conjunction() logic.Term {
+	return logic.And(append([]logic.Term(nil), enc.Constraints...)...)
+}
+
+// Encoder builds constraint encodings. Create with NewEncoder; one
+// encoder may encode once.
+type Encoder struct {
+	net    *topology.Network
+	sketch config.Deployment
+	opts   Options
+	vocab  *vocab
+
+	holeVars map[string]*logic.Var
+	// cands[prefix][node] lists candidates in discovery (BFS) order.
+	cands       map[string]map[string][]*candidate
+	constraints []logic.Term
+	stats       EncStats
+}
+
+// NewEncoder creates an encoder over a topology and a (possibly
+// symbolic) deployment sketch.
+func NewEncoder(net *topology.Network, sketch config.Deployment, opts Options) *Encoder {
+	return &Encoder{
+		net:      net,
+		sketch:   sketch,
+		opts:     opts.withDefaults(),
+		vocab:    buildVocab(net, sketch),
+		holeVars: make(map[string]*logic.Var),
+		cands:    make(map[string]map[string][]*candidate),
+	}
+}
+
+func (e *Encoder) assert(t logic.Term) {
+	e.constraints = append(e.constraints, t)
+}
+
+// Encode builds the constraint system for the requirements.
+func (e *Encoder) Encode(reqs []spec.Requirement) (*Encoding, error) {
+	if err := e.declareAllHoles(); err != nil {
+		return nil, err
+	}
+	if err := e.enumerateCandidates(); err != nil {
+		return nil, err
+	}
+	e.encodeSelection()
+	for _, r := range reqs {
+		switch q := r.(type) {
+		case *spec.Forbid:
+			if err := e.encodeForbid(q); err != nil {
+				return nil, err
+			}
+		case *spec.Allow:
+			if err := e.encodeAllow(q); err != nil {
+				return nil, err
+			}
+		case *spec.Preference:
+			if err := e.encodePreference(q); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("synth: unsupported requirement %T", r)
+		}
+	}
+	e.stats.Constraints = len(e.constraints)
+	for _, c := range e.constraints {
+		e.stats.ConstraintSize += logic.Size(c)
+	}
+	e.stats.HoleVars = len(e.holeVars)
+	return &Encoding{
+		Constraints: e.constraints,
+		HoleVars:    e.holeVars,
+		Stats:       e.stats,
+		paths:       e.buildPathInfos(),
+	}, nil
+}
+
+// declareAllHoles walks the sketch and creates a variable for every
+// hole, even holes on route maps no candidate path crosses — so models
+// always cover them and explanations can report them as unconstrained.
+func (e *Encoder) declareAllHoles() error {
+	routers := make([]string, 0, len(e.sketch))
+	for r := range e.sketch {
+		routers = append(routers, r)
+	}
+	sort.Strings(routers)
+	for _, router := range routers {
+		c := e.sketch[router]
+		for _, name := range c.RouteMapNames() {
+			for _, cl := range c.RouteMaps[name].Clauses {
+				if cl.ActionHole != "" {
+					if _, err := e.holeVar(cl.ActionHole, func() *logic.Var {
+						return logic.NewEnumVar(cl.ActionHole, e.vocab.actionSort)
+					}); err != nil {
+						return err
+					}
+				}
+				for _, m := range cl.Matches {
+					if m.ValueHole == "" {
+						continue
+					}
+					mk, err := e.matchHoleMaker(m)
+					if err != nil {
+						return err
+					}
+					if _, err := e.holeVar(m.ValueHole, mk); err != nil {
+						return err
+					}
+				}
+				for _, s := range cl.Sets {
+					if s.ParamHole == "" {
+						continue
+					}
+					mk, err := e.setHoleMaker(s)
+					if err != nil {
+						return err
+					}
+					if _, err := e.holeVar(s.ParamHole, mk); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (e *Encoder) matchHoleMaker(m *config.Match) (func() *logic.Var, error) {
+	switch m.Kind {
+	case config.MatchPrefixList:
+		return func() *logic.Var { return logic.NewEnumVar(m.ValueHole, e.vocab.prefixSort) }, nil
+	case config.MatchCommunity:
+		return func() *logic.Var { return logic.NewEnumVar(m.ValueHole, e.vocab.commSort) }, nil
+	case config.MatchNextHopIs:
+		return func() *logic.Var { return logic.NewEnumVar(m.ValueHole, e.vocab.nbrSort) }, nil
+	}
+	return nil, fmt.Errorf("synth: unsupported match kind %v", m.Kind)
+}
+
+func (e *Encoder) setHoleMaker(s *config.Set) (func() *logic.Var, error) {
+	switch s.Kind {
+	case config.SetLocalPref, config.SetMED:
+		return func() *logic.Var { return logic.NewIntVar(s.ParamHole, 0, LPRankHi) }, nil
+	case config.SetCommunity:
+		return func() *logic.Var { return logic.NewEnumVar(s.ParamHole, e.vocab.commSort) }, nil
+	case config.SetNextHopIP:
+		return func() *logic.Var { return logic.NewEnumVar(s.ParamHole, e.vocab.ipSort) }, nil
+	}
+	return nil, fmt.Errorf("synth: unsupported set kind %v", s.Kind)
+}
+
+// enumerateCandidates runs a BFS per originated prefix, applying edge
+// policies symbolically along the way. BFS order makes candidate
+// discovery shortest-first and deterministic, so the per-node
+// candidate cap keeps the shortest paths.
+func (e *Encoder) enumerateCandidates() error {
+	for _, origin := range e.net.Routers() {
+		if !origin.HasPrefix {
+			continue
+		}
+		prefix := origin.Prefix.String()
+		byNode := make(map[string][]*candidate)
+		e.cands[prefix] = byNode
+
+		root := &candidate{
+			prefix: prefix,
+			path:   []string{origin.Name},
+			state:  originState(prefix),
+		}
+		byNode[origin.Name] = []*candidate{root}
+		queue := []*candidate{root}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			if len(cur.path) >= e.opts.MaxPathLen {
+				continue
+			}
+			// Stub networks never provide transit: a path may start at
+			// a stub (its own origination) but never pass through one.
+			if r := e.net.Router(cur.node()); r.Stub && cur.node() != origin.Name {
+				continue
+			}
+			for _, nb := range e.net.Neighbors(cur.node()) {
+				if contains(cur.path, nb) {
+					continue
+				}
+				if e.opts.MaxCandidatesPerNode > 0 && len(byNode[nb]) >= e.opts.MaxCandidatesPerNode {
+					e.stats.TruncatedPaths++
+					continue
+				}
+				cond, st, err := e.edgePass(cur.node(), nb, cur.state)
+				if err != nil {
+					return err
+				}
+				path := make([]string, len(cur.path)+1)
+				copy(path, cur.path)
+				path[len(cur.path)] = nb
+				next := &candidate{
+					prefix:   prefix,
+					path:     path,
+					parent:   cur,
+					edgeCond: cond,
+					state:    st,
+				}
+				next.sel = logic.NewBoolVar("sel_" + prefix + "_" + next.key())
+				e.stats.SelVars++
+				byNode[nb] = append(byNode[nb], next)
+				queue = append(queue, next)
+				e.stats.Candidates++
+			}
+		}
+	}
+	return nil
+}
+
+func contains(path []string, node string) bool {
+	for _, n := range path {
+		if n == node {
+			return true
+		}
+	}
+	return false
+}
+
+// encodeSelection ties selection variables to availability and to the
+// BGP decision process at every (router, prefix).
+func (e *Encoder) encodeSelection() {
+	for _, prefix := range e.vocab.prefixes {
+		byNode := e.cands[prefix]
+		nodes := make([]string, 0, len(byNode))
+		for n := range byNode {
+			nodes = append(nodes, n)
+		}
+		sort.Strings(nodes)
+		for _, node := range nodes {
+			cands := byNode[node]
+			if len(cands) == 1 && cands[0].sel == nil {
+				continue // origin
+			}
+			var avails, sels []logic.Term
+			for _, c := range cands {
+				avails = append(avails, c.availTerm())
+				sels = append(sels, c.sel)
+				// sel implies avail.
+				e.assert(logic.Implies(c.sel, c.availTerm()))
+			}
+			// At most one selected.
+			for i := range cands {
+				for j := i + 1; j < len(cands); j++ {
+					e.assert(logic.Or(logic.Not(sels[i]), logic.Not(sels[j])))
+				}
+			}
+			// Some candidate available implies one selected.
+			e.assert(logic.Implies(logic.Or(avails...), logic.Or(sels...)))
+			// Decision process: a selected candidate must be at least
+			// as good as every available one.
+			for i, ci := range cands {
+				for j, cj := range cands {
+					if i == j {
+						continue
+					}
+					e.assert(logic.Implies(
+						logic.And(sels[i], avails[j]),
+						betterOrEqual(ci, cj, e.net),
+					))
+				}
+			}
+		}
+	}
+}
+
+// betterOrEqual encodes "ci is at least as preferred as cj" under the
+// decision process: strictly higher local-pref rank wins; at equal
+// rank the concrete tie-break (AS-path length, then hop count, then
+// lexicographic path) decides.
+func betterOrEqual(ci, cj *candidate, net *topology.Network) logic.Term {
+	if tieBreakWins(ci, cj, net) {
+		return logic.Ge(ci.state.lp, cj.state.lp)
+	}
+	return logic.Gt(ci.state.lp, cj.state.lp)
+}
+
+// tieBreakWins decides the concrete tie-break between two candidate
+// paths (mirrors bgp.Better below the local-pref step, minus MED,
+// which the encoding does not model).
+func tieBreakWins(ci, cj *candidate, net *topology.Network) bool {
+	ai, aj := asPathLen(ci.path, net), asPathLen(cj.path, net)
+	if ai != aj {
+		return ai < aj
+	}
+	if len(ci.path) != len(cj.path) {
+		return len(ci.path) < len(cj.path)
+	}
+	return strings.Join(ci.path, ",") < strings.Join(cj.path, ",")
+}
+
+// asPathLen counts AS-level hops of a propagation path.
+func asPathLen(path []string, net *topology.Network) int {
+	count := 1
+	for i := 1; i < len(path); i++ {
+		if net.Router(path[i]).AS != net.Router(path[i-1]).AS {
+			count++
+		}
+	}
+	return count
+}
+
+// encodeForbid forbids selecting, anywhere in the network, a route
+// whose traffic path contains the pattern.
+func (e *Encoder) encodeForbid(f *spec.Forbid) error {
+	hit := false
+	for _, prefix := range e.vocab.prefixes {
+		for _, node := range sortedNodes(e.cands[prefix]) {
+			for _, c := range e.cands[prefix][node] {
+				if !matchesTraffic(f.Path, c.path) {
+					continue
+				}
+				hit = true
+				if c.sel == nil {
+					return fmt.Errorf("synth: forbidden path %s matches an origin announcement", f.Path)
+				}
+				e.assert(logic.Not(c.sel))
+			}
+		}
+	}
+	if !hit {
+		// A forbid that matches no candidate path is vacuously
+		// satisfied; not an error (the topology may simply not allow
+		// it).
+		return nil
+	}
+	return nil
+}
+
+// encodeAllow requires traffic from the pattern's source to reach its
+// destination along some matching path: at least one matching
+// candidate must be selected at the source.
+func (e *Encoder) encodeAllow(a *spec.Allow) error {
+	src, dst := a.Path.First(), a.Path.Last()
+	origin := e.net.Router(dst)
+	if origin == nil || !origin.HasPrefix {
+		return fmt.Errorf("synth: allow destination %q does not originate a prefix", dst)
+	}
+	prefix := origin.Prefix.String()
+	var sels []logic.Term
+	for _, c := range e.cands[prefix][src] {
+		if matchesTrafficExact(a.Path, c.path) {
+			sels = append(sels, c.selTerm())
+		}
+	}
+	if len(sels) == 0 {
+		return fmt.Errorf("synth: allow pattern %s matches no candidate path", a.Path)
+	}
+	e.assert(logic.Or(sels...))
+	return nil
+}
+
+// encodePreference encodes an ordered path preference at the traffic
+// source.
+func (e *Encoder) encodePreference(p *spec.Preference) error {
+	if len(p.Paths) < 2 {
+		return fmt.Errorf("synth: preference needs at least two paths")
+	}
+	src := p.Paths[0].First()
+	dst := p.Paths[0].Last()
+	for _, q := range p.Paths[1:] {
+		if q.First() != src || q.Last() != dst {
+			return fmt.Errorf("synth: preference paths must share source and destination (%s vs %s)", p.Paths[0], q)
+		}
+	}
+	origin := e.net.Router(dst)
+	if origin == nil || !origin.HasPrefix {
+		return fmt.Errorf("synth: preference destination %q does not originate a prefix", dst)
+	}
+	prefix := origin.Prefix.String()
+	atSrc := e.cands[prefix][src]
+	if len(atSrc) == 0 {
+		return fmt.Errorf("synth: no candidate paths from %s to %s", src, dst)
+	}
+
+	// Partition the source's candidates into preference levels; a
+	// candidate matching several patterns lands in the most preferred.
+	level := make(map[*candidate]int)
+	byLevel := make([][]*candidate, len(p.Paths))
+	for _, c := range atSrc {
+		assigned := false
+		for i, pat := range p.Paths {
+			if matchesTrafficExact(pat, c.path) {
+				level[c] = i
+				byLevel[i] = append(byLevel[i], c)
+				assigned = true
+				break
+			}
+		}
+		if !assigned {
+			level[c] = -1
+		}
+	}
+	if len(byLevel[0]) == 0 {
+		return fmt.Errorf("synth: most preferred pattern %s matches no candidate path", p.Paths[0])
+	}
+
+	// The most preferred path must actually be selected in the
+	// failure-free network.
+	var top []logic.Term
+	for _, c := range byLevel[0] {
+		top = append(top, c.selTerm())
+	}
+	e.assert(logic.Or(top...))
+
+	// Every listed path must remain configured-in (available as a
+	// fallback): the preference lists the admissible paths in order,
+	// so none of them may be blocked outright.
+	for i := range byLevel {
+		for _, c := range byLevel[i] {
+			e.assert(c.fullPassTerm())
+		}
+	}
+
+	// Selecting a level-i path requires all more-preferred paths to be
+	// blocked by configuration (not merely unselected).
+	for i := 1; i < len(byLevel); i++ {
+		for _, c := range byLevel[i] {
+			var higher []logic.Term
+			for j := 0; j < i; j++ {
+				for _, hc := range byLevel[j] {
+					higher = append(higher, logic.Not(hc.fullPassTerm()))
+				}
+			}
+			e.assert(logic.Implies(c.selTerm(), logic.And(higher...)))
+		}
+	}
+
+	// The preference must be configured, not accidental: at the router
+	// where a more-preferred and a less-preferred path diverge, the
+	// local-preference of the preferred route must be strictly higher
+	// (unless the concrete tie-break already favors it). This is what
+	// makes the intent hold under failures, and what surfaces as the
+	// "preference { ... }" clause in the paper's Figure 4 subspec.
+	for i := 0; i < len(byLevel); i++ {
+		for j := i + 1; j < len(byLevel); j++ {
+			for _, hi := range byLevel[i] {
+				for _, lo := range byLevel[j] {
+					e.assertPreferredAtDivergence(hi, lo)
+				}
+			}
+		}
+	}
+
+	// Unlisted paths: blocked under the NetComplete interpretation
+	// (the paper's Scenario 2 ambiguity). Under AllowUnspecified —
+	// interpretation (2) — they instead stay configured-in but less
+	// preferred than every listed path, so they serve as last resorts.
+	for _, c := range atSrc {
+		if level[c] != -1 {
+			continue
+		}
+		if e.opts.AllowUnspecified {
+			e.assert(c.fullPassTerm())
+			for i := range byLevel {
+				for _, hc := range byLevel[i] {
+					e.assertPreferredAtDivergence(hc, c)
+				}
+			}
+		} else {
+			e.assert(logic.Not(c.fullPassTerm()))
+		}
+	}
+	return nil
+}
+
+// assertPreferredAtDivergence locates the router where the traffic
+// paths of hi and lo diverge and requires hi's route to win the
+// decision process there: strictly higher local-pref rank, or at least
+// equal when the concrete tie-break already favors hi.
+func (e *Encoder) assertPreferredAtDivergence(hi, lo *candidate) {
+	ti, tj := trafficPath(hi.path), trafficPath(lo.path)
+	// Longest common prefix of the traffic paths; the last common node
+	// is where the routes compete.
+	k := 0
+	for k < len(ti) && k < len(tj) && ti[k] == tj[k] {
+		k++
+	}
+	if k == 0 {
+		return
+	}
+	div := ti[k-1]
+	if r := e.net.Router(div); r == nil || r.Role != topology.Internal {
+		// Divergence outside the managed network cannot be configured;
+		// the selection constraints still apply, but no local-pref
+		// obligation can be imposed.
+		return
+	}
+	chi := e.candidateAt(hi, div)
+	clo := e.candidateAt(lo, div)
+	if chi == nil || clo == nil || chi == clo {
+		return
+	}
+	e.assert(betterOrEqual(chi, clo, e.net))
+}
+
+// candidateAt finds the candidate for the propagation-path prefix of c
+// that ends at node (c's route as seen at an earlier hop).
+func (e *Encoder) candidateAt(c *candidate, node string) *candidate {
+	for cur := c; cur != nil; cur = cur.parent {
+		if cur.node() == node {
+			return cur
+		}
+	}
+	return nil
+}
+
+func sortedNodes(byNode map[string][]*candidate) []string {
+	out := make([]string, 0, len(byNode))
+	for n := range byNode {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Candidates exposes the candidate paths of a prefix at a node (for
+// the verifier's diagnostics and tests).
+func (e *Encoder) Candidates(prefix, node string) [][]string {
+	var out [][]string
+	for _, c := range e.cands[prefix][node] {
+		out = append(out, append([]string(nil), c.path...))
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+// Package synth implements a constraint-based network configuration
+// synthesizer in the style of NetComplete, the system the paper builds
+// on: given a topology, a configuration sketch (router configurations
+// with symbolic holes), and a path-requirement specification, it
+// encodes BGP route propagation and selection symbolically, solves the
+// resulting finite-domain constraints with internal/smt, and decodes
+// the model back into concrete router configurations.
+//
+// The same encoder is reused by the explanation engine (internal/core):
+// the paper's "seed specification" is exactly this encoding, produced
+// with every router concrete except the device under explanation.
+//
+// # Encoding overview
+//
+// For every destination prefix p (originated by an external node) the
+// encoder enumerates candidate propagation paths from the origin to
+// every router, bounded in length. Walking a candidate path applies
+// each edge's export and import route-maps *symbolically*: match and
+// set lines over holes produce terms instead of values, so a path's
+// pass condition and resulting local-preference are logic terms over
+// the hole variables. Boolean selection variables — sel(v, p, pi) —
+// say which candidate each router picks, and constraints tie them to
+// availability and to the BGP decision process (local-pref first, then
+// concrete tie-breaks). Requirements become constraints over the
+// selection variables: forbidden paths must not be selected anywhere;
+// path preferences force the listed paths to be chosen in order of
+// availability.
+//
+// # Local-preference ranks
+//
+// Symbolic local-preferences range over a small rank domain [0, 15]
+// rather than the raw 32-bit BGP space, keeping the finite-domain
+// encoding compact (NetComplete similarly restricts hole domains).
+// Rank r corresponds to the concrete value 100 + (r-8)*10; the default
+// local preference 100 is rank 8. EncodeLP and DecodeLP convert.
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/spec"
+)
+
+// Options tunes the encoder.
+type Options struct {
+	// MaxPathLen bounds candidate propagation paths in nodes.
+	MaxPathLen int
+	// MaxCandidatesPerNode caps how many candidate paths are encoded
+	// per (router, prefix), shortest first. Zero means unlimited. When
+	// the cap truncates, Encoding.Stats.TruncatedPaths counts the
+	// drops — no silent truncation.
+	MaxCandidatesPerNode int
+	// AllowUnspecified selects the second interpretation of path
+	// preferences from the paper's Scenario 2: paths not listed in a
+	// preference requirement remain usable as a last resort. The
+	// default (false) reproduces NetComplete's behavior of blocking
+	// unlisted paths — the ambiguity the scenario is about.
+	AllowUnspecified bool
+}
+
+// DefaultOptions returns the settings used by the experiments.
+func DefaultOptions() Options {
+	return Options{MaxPathLen: 8, MaxCandidatesPerNode: 0}
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	if o.MaxPathLen == 0 {
+		o.MaxPathLen = 8
+	}
+	return o
+}
+
+// LPRankHi is the top of the local-preference rank domain.
+const LPRankHi = 15
+
+// lpRankDefault is the rank of the conventional default local
+// preference (100).
+const lpRankDefault = 8
+
+// EncodeLP converts a concrete local-preference value to its rank. The
+// value must lie on the rank grid 100 + 10*k for k in [-8, 7].
+func EncodeLP(lp int) (int64, error) {
+	r := (lp-100)/10 + lpRankDefault
+	if (lp-100)%10 != 0 || r < 0 || r > LPRankHi {
+		return 0, fmt.Errorf("synth: local-preference %d is not on the rank grid [20..170 step 10]", lp)
+	}
+	return int64(r), nil
+}
+
+// DecodeLP converts a rank back to the concrete local-preference
+// value.
+func DecodeLP(rank int64) int { return 100 + (int(rank)-lpRankDefault)*10 }
+
+// reverse returns a reversed copy of a node path.
+func reverse(p []string) []string {
+	out := make([]string, len(p))
+	for i, n := range p {
+		out[len(p)-1-i] = n
+	}
+	return out
+}
+
+// trafficPath converts a propagation path (origin first) to the
+// traffic path (source first) that spec patterns describe.
+func trafficPath(propagation []string) []string { return reverse(propagation) }
+
+// matchesTraffic reports whether the traffic view of a propagation
+// path contains the pattern as a subpath.
+func matchesTraffic(pattern spec.Path, propagation []string) bool {
+	return spec.MatchesSubpath(pattern, trafficPath(propagation))
+}
+
+// matchesTrafficExact reports whether the traffic view of a
+// propagation path matches the pattern end-to-end.
+func matchesTrafficExact(pattern spec.Path, propagation []string) bool {
+	return spec.Matches(pattern, trafficPath(propagation))
+}

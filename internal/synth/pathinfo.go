@@ -1,0 +1,105 @@
+package synth
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/topology"
+)
+
+// PathInfo exposes one candidate propagation path with its symbolic
+// ingredients — the explanation engine's lifting step builds candidate
+// subspecification encodings from these.
+type PathInfo struct {
+	// Prefix is the destination prefix string.
+	Prefix string
+	// Path is the propagation path, origin first.
+	Path []string
+	// EdgeConds[i] is the symbolic condition under which the route
+	// passes the edge Path[i] -> Path[i+1] (export policy at Path[i],
+	// import policy at Path[i+1]).
+	EdgeConds []logic.Term
+	// LP is the local-preference rank term of the route as held at the
+	// final node.
+	LP logic.Term
+	// Sel is the selection variable at the final node (nil at the
+	// origin).
+	Sel *logic.Var
+}
+
+// Traffic returns the traffic-direction view of the path (destination
+// side last).
+func (p PathInfo) Traffic() []string { return reverse(p.Path) }
+
+// PathInfos lists every candidate of the encoding, sorted by prefix
+// then path, rebuilt from the encoder's candidate graph.
+func (enc *Encoding) PathInfos() []PathInfo {
+	out := append([]PathInfo(nil), enc.paths...)
+	return out
+}
+
+// buildPathInfos flattens the candidate graph.
+func (e *Encoder) buildPathInfos() []PathInfo {
+	var out []PathInfo
+	prefixes := make([]string, 0, len(e.cands))
+	for p := range e.cands {
+		prefixes = append(prefixes, p)
+	}
+	sort.Strings(prefixes)
+	for _, prefix := range prefixes {
+		byNode := e.cands[prefix]
+		var all []*candidate
+		for _, cs := range byNode {
+			all = append(all, cs...)
+		}
+		sort.Slice(all, func(i, j int) bool {
+			return strings.Join(all[i].path, ",") < strings.Join(all[j].path, ",")
+		})
+		for _, c := range all {
+			if c.parent == nil {
+				continue // origins carry no edges
+			}
+			// Collect the edge conditions along the chain.
+			var chain []*candidate
+			for cur := c; cur.parent != nil; cur = cur.parent {
+				chain = append(chain, cur)
+			}
+			conds := make([]logic.Term, len(chain))
+			for i := range chain {
+				conds[len(chain)-1-i] = chain[i].edgeCond
+			}
+			out = append(out, PathInfo{
+				Prefix:    prefix,
+				Path:      append([]string(nil), c.path...),
+				EdgeConds: conds,
+				LP:        c.state.lp,
+				Sel:       c.sel,
+			})
+		}
+	}
+	return out
+}
+
+// PreferredTerm builds the condition under which route a is at least
+// as preferred as route b at their (shared) final node: strictly
+// higher local-pref rank, or at least equal when the concrete
+// tie-break already favors a. Both paths must end at the same node and
+// concern the same prefix.
+func PreferredTerm(a, b PathInfo, net *topology.Network) logic.Term {
+	if tieWins(a.Path, b.Path, net) {
+		return logic.Ge(a.LP, b.LP)
+	}
+	return logic.Gt(a.LP, b.LP)
+}
+
+func tieWins(pi, pj []string, net *topology.Network) bool {
+	ai, aj := asPathLen(pi, net), asPathLen(pj, net)
+	if ai != aj {
+		return ai < aj
+	}
+	if len(pi) != len(pj) {
+		return len(pi) < len(pj)
+	}
+	return strings.Join(pi, ",") < strings.Join(pj, ",")
+}

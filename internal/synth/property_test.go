@@ -1,0 +1,74 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/netgen"
+	"repro/internal/verify"
+)
+
+// TestSynthesisSoundnessAcrossWorkloads is the stack's end-to-end
+// soundness property: for seeded random workloads, whenever the
+// constraint-based synthesizer reports success, the independent
+// BGP-simulation verifier must agree. The encoder and the simulator
+// are separate implementations of BGP semantics, so this differential
+// check catches divergence in either.
+func TestSynthesisSoundnessAcrossWorkloads(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxPathLen = 7
+	opts.MaxCandidatesPerNode = 8
+	for seed := int64(1); seed <= 12; seed++ {
+		for _, withPref := range []bool{false, true} {
+			wl, err := netgen.Random(5+int(seed%5), 2.5, seed, withPref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Synthesize(wl.Net, wl.Sketch, wl.Requirements(), opts)
+			if err != nil {
+				// Some generated instances are genuinely
+				// unsatisfiable (e.g. the preference's primary pattern
+				// has no candidate under the caps); that is not a
+				// soundness issue.
+				continue
+			}
+			vs, err := verify.Check(wl.Net, res.Deployment, wl.Requirements())
+			if err != nil {
+				t.Fatalf("%s (pref=%v): %v", wl.Name, withPref, err)
+			}
+			if len(vs) != 0 {
+				t.Fatalf("%s (pref=%v): synthesizer said sat but the simulation disagrees: %v",
+					wl.Name, withPref, vs)
+			}
+		}
+	}
+}
+
+// TestSynthesisDeterminism: the same workload always synthesizes to
+// the same deployment (solver and encoder are deterministic).
+func TestSynthesisDeterminism(t *testing.T) {
+	wl, err := netgen.Random(8, 2.5, 99, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.MaxPathLen = 7
+	opts.MaxCandidatesPerNode = 8
+	a, errA := Synthesize(wl.Net, wl.Sketch, wl.Requirements(), opts)
+	b, errB := Synthesize(wl.Net, wl.Sketch, wl.Requirements(), opts)
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("determinism broken: %v vs %v", errA, errB)
+	}
+	if errA != nil {
+		t.Skip("instance unsatisfiable; nothing to compare")
+	}
+	for name := range a.Deployment {
+		if got, want := a.Deployment[name], b.Deployment[name]; got == nil || want == nil {
+			t.Fatalf("router %s missing", name)
+		}
+	}
+	for name, v := range a.Model {
+		if !v.Equal(b.Model[name]) {
+			t.Fatalf("model differs at %s: %v vs %v", name, v, b.Model[name])
+		}
+	}
+}

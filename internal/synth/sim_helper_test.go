@@ -1,0 +1,12 @@
+package synth
+
+import (
+	"repro/internal/bgp"
+	"repro/internal/config"
+	"repro/internal/scenarios"
+)
+
+// simulate runs the deployment on the scenario's network.
+func simulate(sc *scenarios.Scenario, dep config.Deployment) (*bgp.Result, error) {
+	return bgp.Simulate(sc.Net, dep)
+}

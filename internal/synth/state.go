@@ -1,0 +1,174 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bgp"
+	"repro/internal/config"
+	"repro/internal/logic"
+	"repro/internal/topology"
+)
+
+// vocab holds the finite sorts the encoding ranges over: route-map
+// actions, the network's prefixes, the community vocabulary, and the
+// neighbor names usable in next-hop matches.
+type vocab struct {
+	actionSort *logic.Sort
+	prefixSort *logic.Sort
+	commSort   *logic.Sort
+	nbrSort    *logic.Sort
+	ipSort     *logic.Sort
+
+	prefixes    []string // sorted prefix strings
+	communities []bgp.Community
+	ips         []string
+}
+
+// actionPermit and actionDeny are the two constants of the action
+// sort.
+const (
+	actionPermit = "permit"
+	actionDeny   = "deny"
+)
+
+func buildVocab(net *topology.Network, sketch config.Deployment) *vocab {
+	v := &vocab{}
+	v.actionSort = logic.NewEnumSort("RMAction", actionPermit, actionDeny)
+
+	seenP := map[string]bool{}
+	for _, r := range net.Routers() {
+		if r.HasPrefix {
+			seenP[r.Prefix.String()] = true
+		}
+	}
+	for p := range seenP {
+		v.prefixes = append(v.prefixes, p)
+	}
+	sort.Strings(v.prefixes)
+	v.prefixSort = logic.NewEnumSort("Prefix", v.prefixes...)
+
+	// The base vocabulary is always available so community holes have
+	// room to choose, and — critically for the explainer — so the
+	// vocabulary does not shrink when a concrete tag is symbolized
+	// away (the encoding must stay comparable across symbolizations).
+	seenC := map[bgp.Community]bool{
+		bgp.MustCommunity("100:1"): true,
+		bgp.MustCommunity("100:2"): true,
+	}
+	for _, c := range sketch {
+		for _, name := range c.RouteMapNames() {
+			for _, cl := range c.RouteMaps[name].Clauses {
+				for _, m := range cl.Matches {
+					if m.Kind == config.MatchCommunity && m.ValueHole == "" {
+						seenC[m.Community] = true
+					}
+				}
+				for _, s := range cl.Sets {
+					if s.Kind == config.SetCommunity && s.ParamHole == "" {
+						seenC[s.Community] = true
+					}
+				}
+			}
+		}
+	}
+	for c := range seenC {
+		v.communities = append(v.communities, c)
+	}
+	sort.Slice(v.communities, func(i, j int) bool {
+		return v.communities[i].String() < v.communities[j].String()
+	})
+	commNames := make([]string, len(v.communities))
+	for i, c := range v.communities {
+		commNames[i] = "c" + c.String()
+	}
+	v.commSort = logic.NewEnumSort("Community", commNames...)
+
+	v.nbrSort = logic.NewEnumSort("Neighbor", net.RouterNames()...)
+
+	seenIP := map[string]bool{"10.0.0.1": true, "10.0.0.2": true}
+	for _, c := range sketch {
+		for _, name := range c.RouteMapNames() {
+			for _, cl := range c.RouteMaps[name].Clauses {
+				for _, s := range cl.Sets {
+					if s.Kind == config.SetNextHopIP && s.ParamHole == "" && s.NextHopIP != "" {
+						seenIP[s.NextHopIP] = true
+					}
+				}
+			}
+		}
+	}
+	for ip := range seenIP {
+		v.ips = append(v.ips, ip)
+	}
+	sort.Strings(v.ips)
+	v.ipSort = logic.NewEnumSort("NextHopIP", v.ips...)
+	return v
+}
+
+// commConst returns the enum literal of a community.
+func (v *vocab) commConst(c bgp.Community) *logic.EnumLit {
+	return logic.NewEnum(v.commSort, "c"+c.String())
+}
+
+// prefixConst returns the enum literal of a prefix string.
+func (v *vocab) prefixConst(p string) *logic.EnumLit {
+	return logic.NewEnum(v.prefixSort, p)
+}
+
+// routeState is the symbolic attribute state of a route announcement
+// at some point along a candidate propagation path.
+type routeState struct {
+	// prefix is the (always concrete) destination prefix string.
+	prefix string
+	// lp is the local-preference rank at the current node, an
+	// Int-sorted term.
+	lp logic.Term
+	// comms maps each vocabulary community to the (Bool-sorted)
+	// condition under which the route carries it. Absent means false.
+	comms map[bgp.Community]logic.Term
+	// nextHop is the neighbor the current node learned the route from
+	// ("" at the origin). Always concrete: it is determined by the
+	// candidate path.
+	nextHop string
+}
+
+func originState(prefix string) *routeState {
+	return &routeState{
+		prefix: prefix,
+		lp:     logic.NewInt(lpRankDefault),
+		comms:  map[bgp.Community]logic.Term{},
+	}
+}
+
+func (s *routeState) clone() *routeState {
+	cp := *s
+	cp.comms = make(map[bgp.Community]logic.Term, len(s.comms))
+	for c, t := range s.comms {
+		cp.comms[c] = t
+	}
+	return &cp
+}
+
+// hasComm returns the condition under which the route carries c.
+func (s *routeState) hasComm(c bgp.Community) logic.Term {
+	if t, ok := s.comms[c]; ok {
+		return t
+	}
+	return logic.False
+}
+
+// holeVar creates (or reuses) the logic variable for a hole. The hole
+// kind determines the sort.
+func (e *Encoder) holeVar(name string, mk func() *logic.Var) (*logic.Var, error) {
+	if v, ok := e.holeVars[name]; ok {
+		fresh := mk()
+		if !logic.SameSort(v.S, fresh.S) {
+			return nil, fmt.Errorf("synth: hole %q used at two sorts (%v and %v)", name, v.S, fresh.S)
+		}
+		return v, nil
+	}
+	v := mk()
+	e.holeVars[name] = v
+	return v, nil
+}

@@ -1,0 +1,172 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Paper builds the Figure 1b topology: a managed network AS100 with
+// three routers R1, R2, R3 in a triangle; Provider 1 (P1, AS500)
+// attached to R1; Provider 2 (P2, AS300) attached to R2; the customer
+// network (C, AS600) attached to R3; and a destination network D1
+// reachable through both providers.
+//
+//	P1 ------- D1 ------- P2
+//	|                     |
+//	R1 ------------------ R2
+//	  \                  /
+//	   \---- R3 --------/
+//	         |
+//	         C
+func Paper() *Network {
+	n := New()
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	must(n.AddRouter("R1", 100))
+	must(n.AddRouter("R2", 100))
+	must(n.AddRouter("R3", 100))
+	must(n.AddExternal("P1", 500, MustPrefix("128.0.1.0/24")))
+	must(n.AddExternal("P2", 300, MustPrefix("128.0.2.0/24")))
+	must(n.AddStub("C", 600, MustPrefix("123.0.1.0/20"))) // the customer prefix from Fig. 1c
+	must(n.AddStub("D1", 700, MustPrefix("140.0.1.0/24")))
+	must(n.AddLink("R1", "R2"))
+	must(n.AddLink("R1", "R3"))
+	must(n.AddLink("R2", "R3"))
+	must(n.AddLink("P1", "R1"))
+	must(n.AddLink("P2", "R2"))
+	must(n.AddLink("C", "R3"))
+	must(n.AddLink("D1", "P1"))
+	must(n.AddLink("D1", "P2"))
+	return n
+}
+
+// Grid builds a w x h grid of internal routers named Rx_y, with a
+// customer (C) attached to the south-west corner and two providers
+// (P1, P2) attached to the north-east and south-east corners. Used by
+// the scalability experiments.
+func Grid(w, h int) *Network {
+	if w < 2 || h < 1 {
+		panic(fmt.Sprintf("topology: grid %dx%d too small", w, h))
+	}
+	n := New()
+	name := func(x, y int) string { return fmt.Sprintf("R%d_%d", x, y) }
+	for x := 0; x < w; x++ {
+		for y := 0; y < h; y++ {
+			if err := n.AddRouter(name(x, y), 100); err != nil {
+				panic(err)
+			}
+		}
+	}
+	for x := 0; x < w; x++ {
+		for y := 0; y < h; y++ {
+			if x+1 < w {
+				n.AddLink(name(x, y), name(x+1, y))
+			}
+			if y+1 < h {
+				n.AddLink(name(x, y), name(x, y+1))
+			}
+		}
+	}
+	n.AddStub("C", 600, MustPrefix("123.0.1.0/20"))
+	n.AddExternal("P1", 500, MustPrefix("128.0.1.0/24"))
+	n.AddExternal("P2", 300, MustPrefix("128.0.2.0/24"))
+	n.AddStub("D1", 700, MustPrefix("140.0.1.0/24"))
+	n.AddLink("C", name(0, 0))
+	n.AddLink("P1", name(w-1, h-1))
+	n.AddLink("P2", name(w-1, 0))
+	n.AddLink("D1", "P1")
+	n.AddLink("D1", "P2")
+	return n
+}
+
+// FatTree builds a k-ary fat-tree pod fabric (k even): (k/2)^2 core
+// routers, k pods of k/2 aggregation and k/2 edge routers each. A
+// customer hangs off the first edge router and two providers off two
+// core routers, with a shared destination D1, so the same intent
+// families as the paper's scenarios can be expressed on it.
+func FatTree(k int) *Network {
+	if k < 2 || k%2 != 0 {
+		panic(fmt.Sprintf("topology: fat-tree arity %d must be even and >= 2", k))
+	}
+	n := New()
+	half := k / 2
+	core := func(i, j int) string { return fmt.Sprintf("CO%d_%d", i, j) }
+	agg := func(p, i int) string { return fmt.Sprintf("AG%d_%d", p, i) }
+	edge := func(p, i int) string { return fmt.Sprintf("ED%d_%d", p, i) }
+	for i := 0; i < half; i++ {
+		for j := 0; j < half; j++ {
+			n.AddRouter(core(i, j), 100)
+		}
+	}
+	for p := 0; p < k; p++ {
+		for i := 0; i < half; i++ {
+			n.AddRouter(agg(p, i), 100)
+			n.AddRouter(edge(p, i), 100)
+		}
+		for i := 0; i < half; i++ {
+			for j := 0; j < half; j++ {
+				n.AddLink(agg(p, i), edge(p, j))
+			}
+		}
+		for i := 0; i < half; i++ {
+			for j := 0; j < half; j++ {
+				n.AddLink(agg(p, i), core(i, j))
+			}
+		}
+	}
+	n.AddStub("C", 600, MustPrefix("123.0.1.0/20"))
+	n.AddExternal("P1", 500, MustPrefix("128.0.1.0/24"))
+	n.AddExternal("P2", 300, MustPrefix("128.0.2.0/24"))
+	n.AddStub("D1", 700, MustPrefix("140.0.1.0/24"))
+	n.AddLink("C", edge(0, 0))
+	n.AddLink("P1", core(0, 0))
+	n.AddLink("P2", core(half-1, half-1))
+	n.AddLink("D1", "P1")
+	n.AddLink("D1", "P2")
+	return n
+}
+
+// Random builds a connected random network of nRouters internal
+// routers with the given average degree, plus the standard C/P1/P2/D1
+// externals. The same seed always yields the same network.
+func Random(nRouters int, avgDegree float64, seed int64) *Network {
+	if nRouters < 3 {
+		panic("topology: random network needs at least 3 routers")
+	}
+	r := rand.New(rand.NewSource(seed))
+	n := New()
+	names := make([]string, nRouters)
+	for i := range names {
+		names[i] = fmt.Sprintf("R%d", i)
+		n.AddRouter(names[i], 100)
+	}
+	// Random spanning tree first (guarantees connectivity).
+	perm := r.Perm(nRouters)
+	for i := 1; i < nRouters; i++ {
+		a := names[perm[i]]
+		b := names[perm[r.Intn(i)]]
+		n.AddLink(a, b)
+	}
+	// Extra edges up to the target degree.
+	target := int(avgDegree*float64(nRouters)/2) - (nRouters - 1)
+	for e := 0; e < target; e++ {
+		a := names[r.Intn(nRouters)]
+		b := names[r.Intn(nRouters)]
+		if a != b {
+			n.AddLink(a, b)
+		}
+	}
+	n.AddStub("C", 600, MustPrefix("123.0.1.0/20"))
+	n.AddExternal("P1", 500, MustPrefix("128.0.1.0/24"))
+	n.AddExternal("P2", 300, MustPrefix("128.0.2.0/24"))
+	n.AddStub("D1", 700, MustPrefix("140.0.1.0/24"))
+	n.AddLink("C", names[0])
+	n.AddLink("P1", names[nRouters-1])
+	n.AddLink("P2", names[nRouters/2])
+	n.AddLink("D1", "P1")
+	n.AddLink("D1", "P2")
+	return n
+}

@@ -1,0 +1,64 @@
+package topology
+
+import "testing"
+
+func TestCloneIndependence(t *testing.T) {
+	a := Paper()
+	b := a.Clone()
+	b.RemoveLink("R1", "R2")
+	if !a.HasLink("R1", "R2") {
+		t.Fatal("Clone shares adjacency")
+	}
+	if b.HasLink("R1", "R2") {
+		t.Fatal("RemoveLink did not remove")
+	}
+	if a.NumLinks() != b.NumLinks()+1 {
+		t.Fatalf("link counts: %d vs %d", a.NumLinks(), b.NumLinks())
+	}
+	// Router records are intentionally shared (immutable after build).
+	if a.Router("R1") != b.Router("R1") {
+		t.Fatal("router records should be shared")
+	}
+}
+
+func TestRemoveLinkIdempotent(t *testing.T) {
+	n := Paper()
+	n.RemoveLink("R1", "R2")
+	n.RemoveLink("R1", "R2") // no-op
+	n.RemoveLink("R1", "ZZ") // unknown: no-op
+	if n.HasLink("R1", "R2") {
+		t.Fatal("link still present")
+	}
+}
+
+func TestLinksSortedPairs(t *testing.T) {
+	n := Paper()
+	links := n.Links()
+	if len(links) != n.NumLinks() {
+		t.Fatalf("Links() = %d pairs, NumLinks = %d", len(links), n.NumLinks())
+	}
+	for _, l := range links {
+		if l[0] >= l[1] {
+			t.Fatalf("pair %v not ordered", l)
+		}
+		if !n.HasLink(l[0], l[1]) {
+			t.Fatalf("pair %v not a link", l)
+		}
+	}
+}
+
+func TestCloneSurvivesSimulationShape(t *testing.T) {
+	// Removing a link from a clone must not perturb path enumeration
+	// on the original.
+	a := Paper()
+	before := len(a.SimplePaths("C", "P1", 6))
+	b := a.Clone()
+	b.RemoveLink("R3", "R1")
+	after := len(a.SimplePaths("C", "P1", 6))
+	if before != after {
+		t.Fatal("clone mutation leaked into the original")
+	}
+	if len(b.SimplePaths("C", "P1", 6)) >= before {
+		t.Fatal("removed link did not reduce path count")
+	}
+}

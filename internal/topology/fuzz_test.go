@@ -1,0 +1,28 @@
+package topology
+
+import "testing"
+
+// FuzzParse checks the topology parser never panics and that accepted
+// topologies round-trip.
+func FuzzParse(f *testing.F) {
+	f.Add("router R1 as 100\nexternal P1 as 500 prefix 128.0.1.0/24\nlink R1 P1\n")
+	f.Add("stub C as 600 prefix 123.0.1.0/20\n")
+	f.Add("# comment\nrouter A as 1\nrouter B as 2\nlink A B\n")
+	f.Add("link X Y")
+	f.Add("router")
+	f.Add("external P as -5")
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := Print(n)
+		n2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed topology does not reparse: %v\n%s", err, printed)
+		}
+		if Print(n2) != printed {
+			t.Fatalf("print not stable:\n%s\n---\n%s", printed, Print(n2))
+		}
+	})
+}

@@ -1,0 +1,112 @@
+package topology
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a topology from the plain-text format produced by
+// Print:
+//
+//	# comment
+//	router R1 as 100
+//	external P1 as 500 prefix 128.0.1.0/24
+//	stub C as 600 prefix 123.0.1.0/20
+//	link R1 P1
+//
+// External and stub lines may omit the prefix clause.
+func Parse(src string) (*Network, error) {
+	n := New()
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("topology: line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "router", "external", "stub":
+			if len(fields) < 4 || fields[2] != "as" {
+				return nil, fail("expected '%s <name> as <asn> [prefix <p>]'", fields[0])
+			}
+			name := fields[1]
+			asn, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fail("bad AS number %q", fields[3])
+			}
+			var prefix netip.Prefix
+			if len(fields) == 6 && fields[4] == "prefix" {
+				prefix, err = netip.ParsePrefix(fields[5])
+				if err != nil {
+					return nil, fail("bad prefix %q: %v", fields[5], err)
+				}
+			} else if len(fields) != 4 {
+				return nil, fail("trailing tokens")
+			}
+			switch fields[0] {
+			case "router":
+				if prefix.IsValid() {
+					return nil, fail("internal routers do not originate prefixes in this model")
+				}
+				err = n.AddRouter(name, asn)
+			case "external":
+				err = n.AddExternal(name, asn, prefix)
+			default:
+				err = n.AddStub(name, asn, prefix)
+			}
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+		case "link":
+			if len(fields) != 3 {
+				return nil, fail("expected 'link <a> <b>'")
+			}
+			if err := n.AddLink(fields[1], fields[2]); err != nil {
+				return nil, fail("%v", err)
+			}
+		default:
+			return nil, fail("unrecognized directive %q", fields[0])
+		}
+	}
+	return n, nil
+}
+
+// Print renders the network in the format Parse reads, nodes first
+// (sorted), then links (sorted).
+func Print(n *Network) string {
+	var sb strings.Builder
+	for _, r := range n.Routers() {
+		switch {
+		case r.Role == Internal:
+			fmt.Fprintf(&sb, "router %s as %d\n", r.Name, r.AS)
+		case r.Stub:
+			fmt.Fprintf(&sb, "stub %s as %d", r.Name, r.AS)
+			if r.HasPrefix {
+				fmt.Fprintf(&sb, " prefix %s", r.Prefix)
+			}
+			sb.WriteString("\n")
+		default:
+			fmt.Fprintf(&sb, "external %s as %d", r.Name, r.AS)
+			if r.HasPrefix {
+				fmt.Fprintf(&sb, " prefix %s", r.Prefix)
+			}
+			sb.WriteString("\n")
+		}
+	}
+	links := n.Links()
+	sort.Slice(links, func(i, j int) bool {
+		if links[i][0] != links[j][0] {
+			return links[i][0] < links[j][0]
+		}
+		return links[i][1] < links[j][1]
+	})
+	for _, l := range links {
+		fmt.Fprintf(&sb, "link %s %s\n", l[0], l[1])
+	}
+	return sb.String()
+}

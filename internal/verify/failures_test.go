@@ -1,0 +1,132 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/scenarios"
+	"repro/internal/synth"
+	"repro/internal/topology"
+)
+
+func TestNoTransitHoldsUnderAllFailures(t *testing.T) {
+	// The synthesized no-transit deployment enforces the intent by
+	// configuration, so it must survive every single-link failure.
+	sc := scenarios.Scenario1()
+	res, err := synth.Synthesize(sc.Net, sc.Sketch, sc.Requirements(), synth.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := CheckUnderAllFailures(sc.Net, res.Deployment, sc.Requirements())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("no-transit broke under failures: %v", vs)
+	}
+}
+
+func TestLuckyRoutingCaughtUnderFailures(t *testing.T) {
+	// A deployment that satisfies a forbid only because of failure-free
+	// path selection — not by configuration — is flagged once a link
+	// failure reroutes traffic onto the forbidden pattern.
+	net := topology.Paper()
+	reqs := mustReq(t, `Req { !(C->R3->R2->...->D1) }`)
+	// With identity policies, C's failure-free route to D1 goes via R1
+	// (tie-break), so the forbid holds by luck.
+	vs, err := Check(net, config.Deployment{}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("failure-free network should (by luck) satisfy the forbid: %v", vs)
+	}
+	// Failing R3-R1 pushes traffic onto the forbidden pattern.
+	fvs, err := CheckUnderAllFailures(net, config.Deployment{}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fvs) == 0 {
+		t.Fatal("lucky routing not caught under failures")
+	}
+	found := false
+	for _, v := range fvs {
+		if strings.Contains(v.Reason, "after failing link") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violations lack failure context: %v", fvs)
+	}
+}
+
+func TestAllowExcusedUnderFailures(t *testing.T) {
+	// Allow requirements may break under failures without being
+	// reported by CheckUnderAllFailures.
+	net := topology.Paper()
+	reqs := mustReq(t, `Req { +(C->...->D1) }`)
+	vs, err := CheckUnderAllFailures(net, config.Deployment{}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("allow should be excused under failures: %v", vs)
+	}
+}
+
+func TestCheckAllowViolations(t *testing.T) {
+	net := topology.Paper()
+	// Unreachable destination: C is cut off by a deny-everything at R3.
+	r3 := config.New("R3")
+	r3.AddRouteMap(&config.RouteMap{Name: "none"})
+	r3.AddNeighbor("C", "", "none")
+	dep := config.Deployment{"R3": r3}
+	reqs := mustReq(t, `Req { +(C->...->D1) }`)
+	vs, err := Check(net, dep, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || !strings.Contains(vs[0].Reason, "cannot reach") {
+		t.Fatalf("violations = %v", vs)
+	}
+	// Wrong path shape: demand the P2 side while tie-breaks pick P1.
+	reqs = mustReq(t, `Req { +(C->R3->R2->P2->...->D1) }`)
+	vs, err = Check(net, config.Deployment{}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || vs[0].Witness == nil {
+		t.Fatalf("violations = %v", vs)
+	}
+	// Bad destination.
+	reqs = mustReq(t, `Req { +(C->...->R1) }`)
+	vs, err = Check(net, config.Deployment{}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || !strings.Contains(vs[0].Reason, "originates no prefix") {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestDeterministicViolations(t *testing.T) {
+	net := topology.Paper()
+	reqs := mustReq(t, `Req1 { !(P1->...->P2) !(P2->...->P1) }`)
+	a, err := Check(net, config.Deployment{}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Check(net, config.Deployment{}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("violation count not deterministic")
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatal("violation order not deterministic")
+		}
+	}
+}

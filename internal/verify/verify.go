@@ -1,0 +1,245 @@
+// Package verify checks concrete deployments against path-requirement
+// specifications by running the BGP simulation and inspecting the
+// converged forwarding paths — the ground-truth oracle the synthesizer
+// and the explanation engine are validated against.
+//
+// Two modes:
+//
+//   - Check validates the failure-free network: forbidden patterns must
+//     not appear in any forwarding path, and each preference's most
+//     preferred path must be the one in use.
+//   - CheckUnderFailures additionally fails each link of a preference's
+//     primary path (one at a time) and verifies traffic falls back only
+//     to listed paths, in order — never to an unlisted path. This is
+//     the observable difference between the two interpretations of
+//     path preferences discussed in the paper's Scenario 2.
+package verify
+
+import (
+	"fmt"
+	"net/netip"
+
+	"repro/internal/bgp"
+	"repro/internal/config"
+	"repro/internal/spec"
+	"repro/internal/topology"
+)
+
+// Violation reports one requirement failure.
+type Violation struct {
+	// Req is the violated requirement.
+	Req spec.Requirement
+	// Witness is the offending forwarding path (nil when the failure
+	// is unreachability).
+	Witness []string
+	// Reason explains the violation.
+	Reason string
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	if v.Witness != nil {
+		return fmt.Sprintf("%s: %s (witness path %v)", v.Req, v.Reason, v.Witness)
+	}
+	return fmt.Sprintf("%s: %s", v.Req, v.Reason)
+}
+
+// Check simulates the deployment on the failure-free network and
+// returns all requirement violations (empty means the deployment
+// satisfies the specification).
+func Check(net *topology.Network, dep config.Deployment, reqs []spec.Requirement) ([]Violation, error) {
+	res, err := bgp.Simulate(net, dep)
+	if err != nil {
+		return nil, fmt.Errorf("verify: %w", err)
+	}
+	var out []Violation
+	for _, r := range reqs {
+		switch q := r.(type) {
+		case *spec.Forbid:
+			out = append(out, checkForbid(net, res, q)...)
+		case *spec.Allow:
+			out = append(out, checkAllow(net, res, q)...)
+		case *spec.Preference:
+			out = append(out, checkPreference(net, res, q)...)
+		default:
+			return nil, fmt.Errorf("verify: unsupported requirement %T", r)
+		}
+	}
+	return out, nil
+}
+
+// checkAllow verifies the source reaches the destination along a
+// matching path.
+func checkAllow(net *topology.Network, res *bgp.Result, a *spec.Allow) []Violation {
+	src, dst := a.Path.First(), a.Path.Last()
+	origin := net.Router(dst)
+	if origin == nil || !origin.HasPrefix {
+		return []Violation{{Req: a, Reason: fmt.Sprintf("destination %q originates no prefix", dst)}}
+	}
+	path := res.ForwardingPath(src, origin.Prefix)
+	if path == nil {
+		return []Violation{{Req: a, Reason: fmt.Sprintf("%s cannot reach %s", src, origin.Prefix)}}
+	}
+	if !spec.Matches(a.Path, path) {
+		return []Violation{{
+			Req:     a,
+			Witness: path,
+			Reason:  "traffic follows a path outside the allowed pattern",
+		}}
+	}
+	return nil
+}
+
+// checkForbid scans every (router, prefix) forwarding path for the
+// forbidden pattern.
+func checkForbid(net *topology.Network, res *bgp.Result, f *spec.Forbid) []Violation {
+	var out []Violation
+	for _, src := range net.RouterNames() {
+		for _, origin := range net.Routers() {
+			if !origin.HasPrefix {
+				continue
+			}
+			path := res.ForwardingPath(src, origin.Prefix)
+			if path == nil {
+				continue
+			}
+			if spec.MatchesSubpath(f.Path, path) {
+				out = append(out, Violation{
+					Req:     f,
+					Witness: path,
+					Reason:  fmt.Sprintf("traffic from %s to %s realizes the forbidden pattern", src, origin.Prefix),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// preferencePrefix resolves the destination prefix of a preference.
+func preferencePrefix(net *topology.Network, p *spec.Preference) (string, netip.Prefix, error) {
+	dst := p.Paths[0].Last()
+	origin := net.Router(dst)
+	if origin == nil || !origin.HasPrefix {
+		return "", netip.Prefix{}, fmt.Errorf("verify: preference destination %q originates no prefix", dst)
+	}
+	return p.Paths[0].First(), origin.Prefix, nil
+}
+
+// checkPreference verifies the failure-free network uses the most
+// preferred path.
+func checkPreference(net *topology.Network, res *bgp.Result, p *spec.Preference) []Violation {
+	src, prefix, err := preferencePrefix(net, p)
+	if err != nil {
+		return []Violation{{Req: p, Reason: err.Error()}}
+	}
+	path := res.ForwardingPath(src, prefix)
+	if path == nil {
+		return []Violation{{Req: p, Reason: fmt.Sprintf("%s cannot reach %s", src, prefix)}}
+	}
+	if !spec.Matches(p.Paths[0], path) {
+		return []Violation{{
+			Req:     p,
+			Witness: path,
+			Reason:  fmt.Sprintf("failure-free traffic does not follow the most preferred path %s", p.Paths[0]),
+		}}
+	}
+	return nil
+}
+
+// CheckUnderFailures exercises a preference under single-link
+// failures: for every link on the primary forwarding path, the link is
+// removed and the network re-simulated. The resulting path (if any)
+// must match one of the listed patterns; traffic on an unlisted path
+// is reported as a violation. When allowUnspecified is true, unlisted
+// fallback paths are tolerated (the second interpretation from the
+// paper's Scenario 2).
+func CheckUnderFailures(net *topology.Network, dep config.Deployment, p *spec.Preference, allowUnspecified bool) ([]Violation, error) {
+	src, prefix, err := preferencePrefix(net, p)
+	if err != nil {
+		return nil, err
+	}
+	base, err := bgp.Simulate(net, dep)
+	if err != nil {
+		return nil, fmt.Errorf("verify: %w", err)
+	}
+	primary := base.ForwardingPath(src, prefix)
+	if primary == nil {
+		return []Violation{{Req: p, Reason: fmt.Sprintf("%s cannot reach %s before any failure", src, prefix)}}, nil
+	}
+	var out []Violation
+	for i := 1; i < len(primary); i++ {
+		a, b := primary[i-1], primary[i]
+		failed := net.Clone()
+		failed.RemoveLink(a, b)
+		res, err := bgp.Simulate(failed, dep)
+		if err != nil {
+			return nil, fmt.Errorf("verify: after failing %s-%s: %w", a, b, err)
+		}
+		path := res.ForwardingPath(src, prefix)
+		if path == nil {
+			continue // unreachable after failure: no unlisted path used
+		}
+		listed := false
+		for _, pat := range p.Paths {
+			if spec.Matches(pat, path) {
+				listed = true
+				break
+			}
+		}
+		if !listed && !allowUnspecified {
+			out = append(out, Violation{
+				Req:     p,
+				Witness: path,
+				Reason:  fmt.Sprintf("after failing link %s-%s traffic uses an unlisted path", a, b),
+			})
+		}
+	}
+	return out, nil
+}
+
+// CheckUnderAllFailures re-checks the full specification under every
+// single-link failure of the network (external attachment links
+// included). A requirement that only holds because of the failure-free
+// routing — e.g. a no-transit intent enforced by luck rather than by
+// configuration — is caught here. Unreachability violations of allow
+// requirements whose path crosses the failed link are excused: cutting
+// a pattern's only link legitimately breaks it.
+func CheckUnderAllFailures(net *topology.Network, dep config.Deployment, reqs []spec.Requirement) ([]Violation, error) {
+	var out []Violation
+	for _, link := range net.Links() {
+		failed := net.Clone()
+		failed.RemoveLink(link[0], link[1])
+		if !failed.Connected() {
+			continue
+		}
+		vs, err := Check(failed, dep, reqs)
+		if err != nil {
+			return nil, fmt.Errorf("verify: after failing %s-%s: %w", link[0], link[1], err)
+		}
+		for _, v := range vs {
+			switch q := v.Req.(type) {
+			case *spec.Allow:
+				// Reachability may legitimately be lost to failures.
+				_ = q
+				continue
+			case *spec.Preference:
+				// Preference order under failures is checked by
+				// CheckUnderFailures; here only forbids are strict.
+				continue
+			}
+			v.Reason = fmt.Sprintf("after failing link %s-%s: %s", link[0], link[1], v.Reason)
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// Satisfies is a convenience wrapper: true when Check reports no
+// violations.
+func Satisfies(net *topology.Network, dep config.Deployment, reqs []spec.Requirement) (bool, error) {
+	vs, err := Check(net, dep, reqs)
+	if err != nil {
+		return false, err
+	}
+	return len(vs) == 0, nil
+}
