@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -21,7 +22,15 @@ func main() {
 		"experiment to run: seed, simplify, linearity, pervar, figures, interpretation, ablation, rules, complement, scale, all")
 	quick := flag.Bool("quick", false, "trim the scaling sweep")
 	format := flag.String("format", "text", "output format: text or json")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (e.g. 30s, 5m; 0 = no limit)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	emit := func(tables []*bench.Table) {
 		if *format == "json" {
@@ -51,27 +60,27 @@ func main() {
 
 	switch *table {
 	case "seed":
-		run(bench.SeedTable())
+		run(bench.SeedTable(ctx))
 	case "simplify":
-		run(bench.SimplifyTable())
+		run(bench.SimplifyTable(ctx))
 	case "linearity":
-		run(bench.LinearityTable())
+		run(bench.LinearityTable(ctx))
 	case "pervar":
-		run(bench.PerVarTable())
+		run(bench.PerVarTable(ctx))
 	case "figures":
-		run(bench.FigureTable())
+		run(bench.FigureTable(ctx))
 	case "interpretation":
-		run(bench.InterpretationTable())
+		run(bench.InterpretationTable(ctx))
 	case "ablation":
-		run(bench.AblationTable())
+		run(bench.AblationTable(ctx))
 	case "rules":
-		run(bench.RuleFireTable())
+		run(bench.RuleFireTable(ctx))
 	case "complement":
-		run(bench.ComplementTable())
+		run(bench.ComplementTable(ctx))
 	case "scale":
-		run(bench.ScaleTable(*quick))
+		run(bench.ScaleTable(ctx, *quick))
 	case "all":
-		tables, err := bench.All(*quick)
+		tables, err := bench.All(ctx, *quick)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "netbench:", err)
 			os.Exit(1)

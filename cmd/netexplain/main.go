@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -32,7 +33,15 @@ func main() {
 	complement := flag.Bool("complement", false, "explain what the REST of the network must do, holding -router fixed")
 	interp2 := flag.Bool("interp2", false, "synthesize and explain under interpretation 2 (unlisted preference paths as last resorts)")
 	rules := flag.Bool("rules", false, "list the 15 simplification rules and exit")
+	timeout := flag.Duration("timeout", 0, "abort synthesis and explanation after this duration (e.g. 30s; 0 = no limit)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *rules {
 		for _, r := range rewrite.AllRules {
@@ -47,7 +56,7 @@ func main() {
 	}
 	sopts := synth.DefaultOptions()
 	sopts.AllowUnspecified = *interp2
-	res, err := synth.Synthesize(sc.Net, sc.Sketch, sc.Requirements(), sopts)
+	res, err := synth.SynthesizeContext(ctx, sc.Net, sc.Sketch, sc.Requirements(), sopts)
 	if err != nil {
 		fail(err)
 	}
@@ -69,7 +78,7 @@ func main() {
 	}
 
 	if *all {
-		report, err := explainer.Report()
+		report, err := explainer.ReportContext(ctx)
 		if err != nil {
 			fail(err)
 		}
@@ -77,7 +86,7 @@ func main() {
 		return
 	}
 	if *complement {
-		comp, err := explainer.ExplainComplement(*router)
+		comp, err := explainer.ExplainComplementContext(ctx, *router)
 		if err != nil {
 			fail(err)
 		}
@@ -98,12 +107,12 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		ex, err = explainer.Explain(*router, []core.Target{tgt})
+		ex, err = explainer.ExplainContext(ctx, *router, []core.Target{tgt})
 		if err != nil {
 			fail(err)
 		}
 	} else {
-		ex, err = explainer.ExplainAll(*router)
+		ex, err = explainer.ExplainAllContext(ctx, *router)
 		if err != nil {
 			fail(err)
 		}
@@ -124,7 +133,7 @@ func main() {
 			fmt.Println("(necessary; sufficiency not fully verified)")
 		}
 		if *validate && !ex.Subspec.IsEmpty() {
-			checks, err := explainer.CheckSubspec(*router, ex.Subspec)
+			checks, err := explainer.CheckSubspecContext(ctx, *router, ex.Subspec)
 			if err != nil {
 				fail(err)
 			}

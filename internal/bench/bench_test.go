@@ -1,13 +1,14 @@
 package bench
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
 )
 
 func TestSeedTable(t *testing.T) {
-	tbl, err := SeedTable()
+	tbl, err := SeedTable(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +28,7 @@ func TestSeedTable(t *testing.T) {
 }
 
 func TestSimplifyTable(t *testing.T) {
-	tbl, err := SimplifyTable()
+	tbl, err := SimplifyTable(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestSimplifyTable(t *testing.T) {
 }
 
 func TestLinearityTable(t *testing.T) {
-	tbl, err := LinearityTable()
+	tbl, err := LinearityTable(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestLinearityTable(t *testing.T) {
 }
 
 func TestPerVarTable(t *testing.T) {
-	tbl, err := PerVarTable()
+	tbl, err := PerVarTable(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestPerVarTable(t *testing.T) {
 }
 
 func TestFigureTable(t *testing.T) {
-	tbl, err := FigureTable()
+	tbl, err := FigureTable(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestFigureTable(t *testing.T) {
 }
 
 func TestInterpretationTable(t *testing.T) {
-	tbl, err := InterpretationTable()
+	tbl, err := InterpretationTable(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestInterpretationTable(t *testing.T) {
 }
 
 func TestAblationTable(t *testing.T) {
-	tbl, err := AblationTable()
+	tbl, err := AblationTable(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestAblationTable(t *testing.T) {
 }
 
 func TestRuleFireTable(t *testing.T) {
-	tbl, err := RuleFireTable()
+	tbl, err := RuleFireTable(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestRuleFireTable(t *testing.T) {
 }
 
 func TestComplementTable(t *testing.T) {
-	tbl, err := ComplementTable()
+	tbl, err := ComplementTable(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestTableJSON(t *testing.T) {
 }
 
 func TestScaleTableQuick(t *testing.T) {
-	tbl, err := ScaleTable(true)
+	tbl, err := ScaleTable(context.Background(), true)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,12 +1,12 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
 	"repro/internal/bgp"
-	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/logic"
 	"repro/internal/netgen"
@@ -19,22 +19,22 @@ import (
 )
 
 // synthesizeScenario synthesizes one scenario (shared helper).
-func synthesizeScenario(sc *scenarios.Scenario) (*synth.Result, error) {
-	return synth.Synthesize(sc.Net, sc.Sketch, sc.Requirements(), synth.DefaultOptions())
+func synthesizeScenario(ctx context.Context, sc *scenarios.Scenario) (*synth.Result, error) {
+	return synth.SynthesizeContext(ctx, sc.Net, sc.Sketch, sc.Requirements(), synth.DefaultOptions())
 }
 
 // SeedTable reproduces claim §4-C1: seed specifications exceed 1000
 // constraints even on the simple Figure 1b scenarios. Reported per
 // scenario: encoder constraints, constraint atoms, SAT clauses after
 // bit-blasting, hole and selection variables.
-func SeedTable() (*Table, error) {
+func SeedTable(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:      "seed (§4-C1)",
 		Caption: "Seed specification sizes per scenario. Paper: 'more than 1000 constraints even in the simple scenario'.",
 		Columns: []string{"scenario", "constraints", "atoms", "sat-clauses", "sat-vars", "holes", "sel-vars"},
 	}
 	for _, sc := range scenarios.All() {
-		enc, err := synth.NewEncoder(sc.Net, sc.Sketch, synth.DefaultOptions()).Encode(sc.Requirements())
+		enc, err := synth.NewEncoder(sc.Net, sc.Sketch, synth.DefaultOptions()).EncodeContext(ctx, sc.Requirements())
 		if err != nil {
 			return nil, err
 		}
@@ -52,14 +52,14 @@ func SeedTable() (*Table, error) {
 // seed to a few constraints. Reported per (scenario, router): seed
 // atoms, simplified atoms, residual atoms over the device's variables,
 // and the reduction factor.
-func SimplifyTable() (*Table, error) {
+func SimplifyTable(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:      "simplify (§4-C2, Figure 6)",
 		Caption: "Rewrite-rule simplification of the seed, explaining each router in full. Paper: reduction 'resulted in only a few constraints'.",
 		Columns: []string{"scenario", "router", "seed-atoms", "simplified", "residual", "reduction", "passes", "subspec-clauses"},
 	}
 	for _, sc := range scenarios.All() {
-		res, err := synthesizeScenario(sc)
+		res, err := synthesizeScenario(ctx, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -68,7 +68,7 @@ func SimplifyTable() (*Table, error) {
 			return nil, err
 		}
 		for _, router := range []string{"R1", "R2", "R3"} {
-			e, err := ex.ExplainAll(router)
+			e, err := ex.ExplainAllContext(ctx, router)
 			if err != nil {
 				return nil, err
 			}
@@ -86,14 +86,14 @@ func SimplifyTable() (*Table, error) {
 // LinearityTable reproduces claim §4-C3: subspecification size is
 // linear in the number of symbolic configuration variables. R1's
 // fields in scenario 3 are symbolized one more at a time.
-func LinearityTable() (*Table, error) {
+func LinearityTable(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:      "linearity (§4-C3)",
 		Caption: "Residual subspecification size vs number of symbolized variables at R1 (scenario 3). Paper: 'linear in relation to the configuration variables in question'.",
 		Columns: []string{"symbolized-vars", "residual-atoms", "residual-conjuncts", "atoms-per-var"},
 	}
 	sc := scenarios.Scenario3()
-	res, err := synthesizeScenario(sc)
+	res, err := synthesizeScenario(ctx, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -110,7 +110,7 @@ func LinearityTable() (*Table, error) {
 	}
 	_ = ex
 	for n := 1; n <= len(all); n++ {
-		e, err := exNoLift.Explain("R1", all[:n])
+		e, err := exNoLift.ExplainContext(ctx, "R1", all[:n])
 		if err != nil {
 			return nil, err
 		}
@@ -123,14 +123,14 @@ func LinearityTable() (*Table, error) {
 // PerVarTable reproduces claim §4-C4: one-variable-at-a-time
 // explanations stay small and interpretable. Every field of R1 in
 // scenario 1 is explained on its own.
-func PerVarTable() (*Table, error) {
+func PerVarTable(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:      "pervar (§4-C4)",
 		Caption: "Per-variable explanations of R1 (scenario 1). Paper: 'generating and inspecting sub-specifications one variable at a time was an effective strategy'.",
 		Columns: []string{"variable", "was", "residual-atoms", "constraint"},
 	}
 	sc := scenarios.Scenario1()
-	res, err := synthesizeScenario(sc)
+	res, err := synthesizeScenario(ctx, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -141,7 +141,7 @@ func PerVarTable() (*Table, error) {
 		return nil, err
 	}
 	for _, tgt := range core.AllTargets(res.Deployment["R1"]) {
-		e, err := ex.Explain("R1", []core.Target{tgt})
+		e, err := ex.ExplainContext(ctx, "R1", []core.Target{tgt})
 		if err != nil {
 			return nil, err
 		}
@@ -159,7 +159,7 @@ func PerVarTable() (*Table, error) {
 // FigureTable regenerates the content of Figures 2, 4, and 5: the
 // lifted subspecifications for the scenario/router pairs the paper
 // shows.
-func FigureTable() (*Table, error) {
+func FigureTable(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:      "figures (Fig. 2, 4, 5)",
 		Caption: "Lifted subspecifications for the routers the paper's figures show (forbids in route order, preferences in traffic order).",
@@ -180,7 +180,7 @@ func FigureTable() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := synthesizeScenario(sc)
+		res, err := synthesizeScenario(ctx, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -188,7 +188,7 @@ func FigureTable() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		e, err := ex.ExplainAll(query.router)
+		e, err := ex.ExplainAllContext(ctx, query.router)
 		if err != nil {
 			return nil, err
 		}
@@ -212,7 +212,7 @@ func FigureTable() (*Table, error) {
 // InterpretationTable quantifies the Scenario 2 ambiguity (Figure 3/4
 // discussion): reachability of D1 from C under double link failures,
 // for the two interpretations of the preference.
-func InterpretationTable() (*Table, error) {
+func InterpretationTable(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:      "interpretation (Scenario 2)",
 		Caption: "C->D1 reachability under double link failures for the two preference interpretations. Interpretation (1) blocks unlisted paths (less redundancy).",
@@ -223,7 +223,7 @@ func InterpretationTable() (*Table, error) {
 	for _, allow := range []bool{false, true} {
 		opts := synth.DefaultOptions()
 		opts.AllowUnspecified = allow
-		res, err := synth.Synthesize(sc.Net, sc.Sketch, sc.Requirements(), opts)
+		res, err := synth.SynthesizeContext(ctx, sc.Net, sc.Sketch, sc.Requirements(), opts)
 		if err != nil {
 			return nil, err
 		}
@@ -256,14 +256,14 @@ func InterpretationTable() (*Table, error) {
 // AblationTable measures what the simplification machinery
 // contributes: full rule set, without equality propagation (S14), and
 // a single pass instead of the fixpoint.
-func AblationTable() (*Table, error) {
+func AblationTable(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:      "ablation (simplifier)",
 		Caption: "Simplified size of scenario 3's R1 seed under ablated simplifiers.",
 		Columns: []string{"configuration", "simplified-atoms", "passes"},
 	}
 	sc := scenarios.Scenario3()
-	res, err := synthesizeScenario(sc)
+	res, err := synthesizeScenario(ctx, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -273,7 +273,7 @@ func AblationTable() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	e, err := ex.Explain("R1", core.AllTargets(res.Deployment["R1"]))
+	e, err := ex.ExplainContext(ctx, "R1", core.AllTargets(res.Deployment["R1"]))
 	if err != nil {
 		return nil, err
 	}
@@ -296,7 +296,7 @@ func AblationTable() (*Table, error) {
 
 // RuleFireTable reports which of the fifteen rules carry the
 // simplification (per scenario, explaining R1 fully).
-func RuleFireTable() (*Table, error) {
+func RuleFireTable(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:      "rules (15 rewrite rules)",
 		Caption: "Rule fire counts while simplifying the R1 seed of each scenario.",
@@ -304,7 +304,7 @@ func RuleFireTable() (*Table, error) {
 	}
 	counts := make([]map[rewrite.RuleName]int, 0, 3)
 	for _, sc := range scenarios.All() {
-		res, err := synthesizeScenario(sc)
+		res, err := synthesizeScenario(ctx, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -314,7 +314,7 @@ func RuleFireTable() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		e, err := ex.ExplainAll("R1")
+		e, err := ex.ExplainAllContext(ctx, "R1")
 		if err != nil {
 			return nil, err
 		}
@@ -330,14 +330,14 @@ func RuleFireTable() (*Table, error) {
 // hold R3 fixed and report what the rest of the network must
 // guarantee (the assume/guarantee split the paper sketches under
 // "High-level summary of the global behaviors").
-func ComplementTable() (*Table, error) {
+func ComplementTable(ctx context.Context) (*Table, error) {
 	t := &Table{
 		ID:      "complement (extension, paper §5)",
 		Caption: "Assume/guarantee view: holding R3 fixed, residual constraints on every other router.",
 		Columns: []string{"scenario", "seed-atoms", "simplified", "router", "assumptions"},
 	}
 	for _, sc := range scenarios.All() {
-		res, err := synthesizeScenario(sc)
+		res, err := synthesizeScenario(ctx, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -345,7 +345,7 @@ func ComplementTable() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		comp, err := ex.ExplainComplement("R3")
+		comp, err := ex.ExplainComplementContext(ctx, "R3")
 		if err != nil {
 			return nil, err
 		}
@@ -363,13 +363,15 @@ func ComplementTable() (*Table, error) {
 
 // ScaleTable runs the scalability extension (the paper leaves this
 // "untested"): grid and random topologies of growing size, measuring
-// encoding size, synthesis time, and explanation time for one
-// provider-adjacent router. quick trims the sweep for test runs.
-func ScaleTable(quick bool) (*Table, error) {
+// encoding size, synthesis time, and the time to explain every
+// configured router through one engine session (whose statistics show
+// the shared base encode and candidate reuse). quick trims the sweep
+// for test runs.
+func ScaleTable(ctx context.Context, quick bool) (*Table, error) {
 	t := &Table{
 		ID:      "scale (extension Ext-1)",
-		Caption: "Scalability on larger topologies (no-transit workload; MaxCandidatesPerNode=8). The paper: 'scalability ... remains untested'.",
-		Columns: []string{"workload", "routers", "links", "seed-atoms", "truncated", "synth-ms", "explain-ms", "residual", "verified"},
+		Caption: "Scalability on larger topologies (no-transit workload; MaxCandidatesPerNode=8). explain-ms covers every configured router through one session; base-enc/encodes/reused-cands are the session's encoding statistics. The paper: 'scalability ... remains untested'.",
+		Columns: []string{"workload", "routers", "links", "seed-atoms", "truncated", "synth-ms", "explain-ms", "base-enc", "encodes", "reused-cands", "verified"},
 	}
 	var workloads []*netgen.Workload
 	gridSizes := [][2]int{{2, 2}, {3, 2}, {3, 3}, {4, 3}}
@@ -406,19 +408,20 @@ func ScaleTable(quick bool) (*Table, error) {
 	opts.MaxCandidatesPerNode = 8
 	for _, wl := range workloads {
 		start := time.Now()
-		res, err := synth.Synthesize(wl.Net, wl.Sketch, wl.Requirements(), opts)
+		res, err := synth.SynthesizeContext(ctx, wl.Net, wl.Sketch, wl.Requirements(), opts)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", wl.Name, err)
 		}
 		synthMS := time.Since(start).Milliseconds()
 
-		ok, err := verify.Satisfies(wl.Net, res.Deployment, wl.Requirements())
+		ok, err := verify.SatisfiesContext(ctx, wl.Net, res.Deployment, wl.Requirements())
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", wl.Name, err)
 		}
 
-		// Explain one provider-adjacent router.
-		router := firstSketchRouter(wl.Sketch)
+		// Explain every configured router through one session: the
+		// base structure is encoded once and every per-router seed is
+		// derived from it.
 		copts := core.DefaultOptions()
 		copts.Synth = opts
 		copts.Lift = false
@@ -427,38 +430,30 @@ func ScaleTable(quick bool) (*Table, error) {
 			return nil, err
 		}
 		start = time.Now()
-		e, err := ex.ExplainAll(router)
-		if err != nil {
-			return nil, err
+		if _, err := ex.ReportContext(ctx); err != nil {
+			return nil, fmt.Errorf("%s: %w", wl.Name, err)
 		}
 		explainMS := time.Since(start).Milliseconds()
+		st := ex.Stats()
 
-		t.AddRow(wl.Name, len(wl.Net.Internals()), wl.Net.NumLinks(), e.SeedSize,
-			res.Encoding.Stats.TruncatedPaths, synthMS, explainMS, e.ResidualSize, ok)
+		t.AddRow(wl.Name, len(wl.Net.Internals()), wl.Net.NumLinks(),
+			res.Encoding.Stats.ConstraintSize, res.Encoding.Stats.TruncatedPaths,
+			synthMS, explainMS, st.BaseEncodes, st.Encodes, st.ReusedCandidates, ok)
 	}
 	return t, nil
 }
 
-func firstSketchRouter(dep config.Deployment) string {
-	names := make([]string, 0, len(dep))
-	for n := range dep {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names[0]
-}
-
 // All returns every experiment table. quick trims the scaling sweep.
-func All(quick bool) ([]*Table, error) {
-	builders := []func() (*Table, error){
+func All(ctx context.Context, quick bool) ([]*Table, error) {
+	builders := []func(context.Context) (*Table, error){
 		SeedTable, SimplifyTable, LinearityTable, PerVarTable,
 		FigureTable, InterpretationTable, AblationTable, RuleFireTable,
 		ComplementTable,
-		func() (*Table, error) { return ScaleTable(quick) },
+		func(ctx context.Context) (*Table, error) { return ScaleTable(ctx, quick) },
 	}
 	var out []*Table
 	for _, b := range builders {
-		t, err := b()
+		t, err := b(ctx)
 		if err != nil {
 			return nil, err
 		}

@@ -1,13 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/config"
 	"repro/internal/logic"
 	"repro/internal/rewrite"
-	"repro/internal/synth"
 )
 
 // ComplementExplanation answers the question the paper's Section 5
@@ -32,6 +32,14 @@ type ComplementExplanation struct {
 // ExplainComplement symbolizes every configured router except the
 // given one and reports the per-router residual constraints.
 func (e *Explainer) ExplainComplement(router string) (*ComplementExplanation, error) {
+	return e.ExplainComplementContext(context.Background(), router)
+}
+
+// ExplainComplementContext is ExplainComplement with cancellation and
+// the budget's deadline applied.
+func (e *Explainer) ExplainComplementContext(ctx context.Context, router string) (*ComplementExplanation, error) {
+	ctx, cancel := e.Opts.Budget.Apply(ctx)
+	defer cancel()
 	if e.Net.Router(router) == nil {
 		return nil, fmt.Errorf("core: unknown router %q", router)
 	}
@@ -56,7 +64,7 @@ func (e *Explainer) ExplainComplement(router string) (*ComplementExplanation, er
 			holeOwner[t.HoleName()] = name
 		}
 	}
-	enc, err := synth.NewEncoder(e.Net, sketch, e.Opts.Synth).Encode(e.Reqs)
+	enc, err := e.encode(ctx, sketch, "complement|"+router)
 	if err != nil {
 		return nil, err
 	}

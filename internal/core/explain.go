@@ -1,12 +1,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/config"
+	"repro/internal/engine"
 	"repro/internal/logic"
 	"repro/internal/rewrite"
+	"repro/internal/sat"
 	"repro/internal/spec"
 	"repro/internal/synth"
 	"repro/internal/topology"
@@ -23,6 +27,10 @@ type Options struct {
 	// MaxPatternNodes bounds the length of candidate subspecification
 	// path patterns during lifting.
 	MaxPatternNodes int
+	// Budget bounds the resources explanation queries may spend: a
+	// wall-clock deadline, a per-solve conflict cap, and the model
+	// cap of the sufficiency check. The zero value means unlimited.
+	Budget engine.Budget
 }
 
 // DefaultOptions returns the settings used by the experiments.
@@ -80,6 +88,12 @@ type Explainer struct {
 	Reqs       []spec.Requirement
 	Deployment config.Deployment
 	Opts       Options
+	// Session caches encodings across queries against this deployment
+	// (one base encode of the invariant structure, derived encodes
+	// cached by symbolization targets). NewExplainer installs one; a
+	// nil Session falls back to a fresh full encode per query, which
+	// produces identical results, only slower.
+	Session *engine.Session
 }
 
 // NewExplainer builds an explainer for a synthesis problem's output.
@@ -90,12 +104,64 @@ func NewExplainer(net *topology.Network, reqs []spec.Requirement, dep config.Dep
 			return nil, fmt.Errorf("core: deployment config %s still has holes", name)
 		}
 	}
-	return &Explainer{Net: net, Reqs: reqs, Deployment: dep, Opts: opts}, nil
+	sess := engine.NewSession(net, reqs, dep, opts.Synth)
+	sess.Budget = opts.Budget
+	return &Explainer{Net: net, Reqs: reqs, Deployment: dep, Opts: opts, Session: sess}, nil
+}
+
+// Stats returns the session's merged statistics (encode effort, cache
+// hits, solver work). Zero when the explainer has no session.
+func (e *Explainer) Stats() engine.Stats {
+	if e.Session == nil {
+		return engine.Stats{}
+	}
+	return e.Session.Stats()
+}
+
+// encodeKey names a sketch in the session cache: the router under
+// symbolization plus the symbolized fields. ExplainAll and
+// CheckSubspec symbolize the same fields of the same router and so
+// share one cached encoding.
+func encodeKey(router string, targets []Target) string {
+	names := make([]string, len(targets))
+	for i, t := range targets {
+		names[i] = t.HoleName()
+	}
+	sort.Strings(names)
+	return "explain|" + router + "|" + strings.Join(names, ",")
+}
+
+// encode produces the sketch's encoding, through the session cache
+// when one is installed.
+func (e *Explainer) encode(ctx context.Context, sketch config.Deployment, key string) (*synth.Encoding, error) {
+	if e.Session != nil {
+		return e.Session.Encode(ctx, sketch, key)
+	}
+	return synth.NewEncoder(e.Net, sketch, e.Opts.Synth).EncodeContext(ctx, e.Reqs)
+}
+
+// addSolverStats folds SAT effort into the session statistics.
+func (e *Explainer) addSolverStats(st sat.Stats) {
+	if e.Session != nil {
+		e.Session.AddSolverStats(st)
+	}
 }
 
 // ExplainAll explains every symbolizable field of the router at once:
 // "what must this device as a whole do".
 func (e *Explainer) ExplainAll(router string) (*Explanation, error) {
+	return e.ExplainAllContext(context.Background(), router)
+}
+
+// ExplainAllContext is ExplainAll with cancellation and the budget's
+// deadline applied.
+func (e *Explainer) ExplainAllContext(ctx context.Context, router string) (*Explanation, error) {
+	ctx, cancel := e.Opts.Budget.Apply(ctx)
+	defer cancel()
+	return e.explainAll(ctx, router)
+}
+
+func (e *Explainer) explainAll(ctx context.Context, router string) (*Explanation, error) {
 	c, ok := e.Deployment[router]
 	if !ok {
 		// A router with no configuration is trivially unconstrained:
@@ -103,15 +169,28 @@ func (e *Explainer) ExplainAll(router string) (*Explanation, error) {
 		if e.Net.Router(router) == nil {
 			return nil, fmt.Errorf("core: unknown router %q", router)
 		}
-		return e.Explain(router, nil)
+		return e.explain(ctx, router, nil)
 	}
-	return e.Explain(router, AllTargets(c))
+	return e.explain(ctx, router, AllTargets(c))
 }
 
 // Explain generates the explanation for the chosen fields of the
 // router. An empty target list yields the trivially empty
 // subspecification (the device is not being asked about).
 func (e *Explainer) Explain(router string, targets []Target) (*Explanation, error) {
+	return e.ExplainContext(context.Background(), router, targets)
+}
+
+// ExplainContext is Explain with cancellation and the budget's
+// deadline applied: a cancelled or expired context aborts encoding and
+// any running solver call promptly.
+func (e *Explainer) ExplainContext(ctx context.Context, router string, targets []Target) (*Explanation, error) {
+	ctx, cancel := e.Opts.Budget.Apply(ctx)
+	defer cancel()
+	return e.explain(ctx, router, targets)
+}
+
+func (e *Explainer) explain(ctx context.Context, router string, targets []Target) (*Explanation, error) {
 	node := e.Net.Router(router)
 	if node == nil {
 		return nil, fmt.Errorf("core: unknown router %q", router)
@@ -143,7 +222,7 @@ func (e *Explainer) Explain(router string, targets []Target) (*Explanation, erro
 
 	// Step 2: the seed specification, produced by the synthesizer's
 	// own encoder over the partially symbolic deployment.
-	enc, err := synth.NewEncoder(e.Net, sketch, e.Opts.Synth).Encode(e.Reqs)
+	enc, err := e.encode(ctx, sketch, encodeKey(router, targets))
 	if err != nil {
 		return nil, err
 	}
@@ -177,7 +256,7 @@ func (e *Explainer) Explain(router string, targets []Target) (*Explanation, erro
 
 	// Step 4: lifting.
 	if e.Opts.Lift {
-		block, complete, err := e.lift(router, enc, ex)
+		block, complete, err := e.lift(ctx, router, enc, ex)
 		if err != nil {
 			return nil, err
 		}

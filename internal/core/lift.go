@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/logic"
 	"repro/internal/rewrite"
 	"repro/internal/sat"
@@ -44,12 +46,23 @@ type liftCandidate struct {
 	width int
 }
 
-// MaxSufficiencyModels bounds the model enumeration of the
-// sufficiency check.
-const MaxSufficiencyModels = 512
+// MaxSufficiencyModels is the default bound on the model enumeration
+// of the sufficiency check, used when the explainer's Budget does not
+// set MaxModels.
+const MaxSufficiencyModels = engine.DefaultMaxModels
+
+// newSolver builds an SMT solver with the explainer's conflict budget
+// applied.
+func (e *Explainer) newSolver() *smt.Solver {
+	s := smt.NewSolver()
+	if e.Opts.Budget.MaxConflicts > 0 {
+		s.SetConflictBudget(e.Opts.Budget.MaxConflicts)
+	}
+	return s
+}
 
 // lift runs the lifting pipeline for the router's explanation.
-func (e *Explainer) lift(router string, enc *synth.Encoding, ex *Explanation) (*spec.Block, bool, error) {
+func (e *Explainer) lift(ctx context.Context, router string, enc *synth.Encoding, ex *Explanation) (*spec.Block, bool, error) {
 	block := &spec.Block{Name: router}
 	if len(ex.HoleVars) == 0 {
 		// Nothing symbolic: the device is unconstrained by
@@ -70,7 +83,8 @@ func (e *Explainer) lift(router string, enc *synth.Encoding, ex *Explanation) (*
 	}
 
 	// Seed solver for necessity checks.
-	seedSolver := smt.NewSolver()
+	seedSolver := e.newSolver()
+	defer func() { e.addSolverStats(seedSolver.Stats()) }()
 	for _, v := range holeVars {
 		if err := seedSolver.Declare(v); err != nil {
 			return nil, false, err
@@ -79,19 +93,25 @@ func (e *Explainer) lift(router string, enc *synth.Encoding, ex *Explanation) (*
 	if err := seedSolver.AssertAll(enc.Constraints); err != nil {
 		return nil, false, err
 	}
-	if st, err := seedSolver.Solve(); err != nil || st != sat.Sat {
-		return nil, false, fmt.Errorf("core: seed specification unsatisfiable or error (%v, %v)", st, err)
+	if st, err := seedSolver.SolveContext(ctx); err != nil || st != sat.Sat {
+		if err != nil {
+			return nil, false, err
+		}
+		return nil, false, fmt.Errorf("core: seed specification unsatisfiable or error (%v)", st)
 	}
 
 	// Plain solver (domains only) for vacuity and redundancy.
 	var accepted []liftCandidate
 	for _, c := range cands {
 		// Vacuous: no completion violates it.
-		vacSolver := smt.NewSolver()
+		vacSolver := e.newSolver()
 		for _, v := range holeVars {
-			vacSolver.Declare(v)
+			if err := vacSolver.Declare(v); err != nil {
+				return nil, false, err
+			}
 		}
-		st, err := vacSolver.Solve(logic.Not(c.term))
+		st, err := vacSolver.SolveContext(ctx, logic.Not(c.term))
+		e.addSolverStats(vacSolver.Stats())
 		if err != nil {
 			return nil, false, err
 		}
@@ -99,7 +119,7 @@ func (e *Explainer) lift(router string, enc *synth.Encoding, ex *Explanation) (*
 			continue // tautological over the hole space: says nothing
 		}
 		// Necessary: seed forces it.
-		st, err = seedSolver.Solve(logic.Not(c.term))
+		st, err = seedSolver.SolveContext(ctx, logic.Not(c.term))
 		if err != nil {
 			return nil, false, err
 		}
@@ -163,9 +183,9 @@ func (e *Explainer) lift(router string, enc *synth.Encoding, ex *Explanation) (*
 		// vocabulary exists, so it suffices to check per-variable
 		// extendability: every value of every variable participates
 		// in some valid completion.
-		complete, err = e.checkUnconstrained(holeVars, seedSolver)
+		complete, err = e.checkUnconstrained(ctx, holeVars, seedSolver)
 	} else {
-		complete, err = e.checkSufficiency(holeVars, final, seedSolver)
+		complete, err = e.checkSufficiency(ctx, holeVars, final, seedSolver)
 	}
 	if err != nil {
 		return nil, false, err
@@ -175,7 +195,7 @@ func (e *Explainer) lift(router string, enc *synth.Encoding, ex *Explanation) (*
 
 // checkUnconstrained verifies that each value of each symbolic
 // variable extends to a model of the seed.
-func (e *Explainer) checkUnconstrained(holeVars []*logic.Var, seedSolver *smt.Solver) (bool, error) {
+func (e *Explainer) checkUnconstrained(ctx context.Context, holeVars []*logic.Var, seedSolver *smt.Solver) (bool, error) {
 	for _, v := range holeVars {
 		var values []logic.Term
 		switch {
@@ -191,7 +211,7 @@ func (e *Explainer) checkUnconstrained(holeVars []*logic.Var, seedSolver *smt.So
 			}
 		}
 		for _, val := range values {
-			st, err := seedSolver.Solve(logic.Eq(v, val))
+			st, err := seedSolver.SolveContext(ctx, logic.Eq(v, val))
 			if err != nil {
 				return false, err
 			}
@@ -234,10 +254,13 @@ func commonScope(router string, block *spec.Block) string {
 // over the hole variables and verifies each extends to a model of the
 // seed. Returns false (without error) when the enumeration exceeds its
 // budget.
-func (e *Explainer) checkSufficiency(holeVars []*logic.Var, final []liftCandidate, seedSolver *smt.Solver) (bool, error) {
-	enumSolver := smt.NewSolver()
+func (e *Explainer) checkSufficiency(ctx context.Context, holeVars []*logic.Var, final []liftCandidate, seedSolver *smt.Solver) (bool, error) {
+	enumSolver := e.newSolver()
+	defer func() { e.addSolverStats(enumSolver.Stats()) }()
 	for _, v := range holeVars {
-		enumSolver.Declare(v)
+		if err := enumSolver.Declare(v); err != nil {
+			return false, err
+		}
 	}
 	for _, c := range final {
 		if err := enumSolver.Assert(c.term); err != nil {
@@ -246,13 +269,13 @@ func (e *Explainer) checkSufficiency(holeVars []*logic.Var, final []liftCandidat
 	}
 	sufficient := true
 	var checkErr error
-	_, exhausted, err := enumSolver.EnumerateModels(holeVars, MaxSufficiencyModels, func(m logic.Assignment) bool {
+	_, exhausted, err := enumSolver.EnumerateModelsContext(ctx, holeVars, e.Opts.Budget.ModelCap(), func(m logic.Assignment) bool {
 		// Does this device behavior extend to a full seed model?
 		var assume []logic.Term
 		for _, v := range holeVars {
 			assume = append(assume, logic.Eq(v, m[v.Name].Term()))
 		}
-		st, err := seedSolver.Solve(assume...)
+		st, err := seedSolver.SolveContext(ctx, assume...)
 		if err != nil {
 			checkErr = err
 			return false

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -15,31 +17,75 @@ import (
 // a synthesis run (the paper's "taming complexity" workflow applied to
 // every device at once).
 func (e *Explainer) Report() (string, error) {
+	return e.ReportContext(context.Background())
+}
+
+// ReportContext is Report with cancellation and the budget's deadline
+// applied: when the context is cancelled or the deadline passes, the
+// in-flight explanations abort and the first error is returned once
+// every worker has exited (no goroutines are leaked).
+func (e *Explainer) ReportContext(ctx context.Context) (string, error) {
+	ctx, cancelBudget := e.Opts.Budget.Apply(ctx)
+	defer cancelBudget()
+
 	routers := make([]string, 0, len(e.Deployment))
 	for r := range e.Deployment {
 		routers = append(routers, r)
 	}
 	sort.Strings(routers)
 
-	// Routers are independent explanation problems: fan out. Each
-	// goroutine builds its own encoder and solvers (none of the shared
-	// inputs are mutated), so this is safe and embarrassingly
-	// parallel.
+	// Routers are independent explanation problems: run them on a
+	// fixed-size worker pool (none of the shared inputs are mutated,
+	// and the session cache is safe for concurrent use). A pool sized
+	// by GOMAXPROCS keeps memory bounded on wide deployments, where
+	// one goroutine per router would hold every encoder and solver
+	// alive at once. The first failure cancels the remaining work.
 	type outcome struct {
 		ex  *Explanation
 		err error
 	}
 	results := make([]outcome, len(routers))
-	var wg sync.WaitGroup
-	for i, router := range routers {
-		wg.Add(1)
-		go func(i int, router string) {
-			defer wg.Done()
-			ex, err := e.ExplainAll(router)
-			results[i] = outcome{ex: ex, err: err}
-		}(i, router)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(routers) {
+		workers = len(routers)
 	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				ex, err := e.explainAll(ctx, routers[i])
+				results[i] = outcome{ex: ex, err: err}
+				if err != nil {
+					cancel()
+				}
+			}
+		}()
+	}
+feed:
+	for i := range routers {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
 	wg.Wait()
+	for i := range results {
+		if results[i].ex == nil && results[i].err == nil {
+			// Never fed to a worker: the context was cancelled first.
+			if err := ctx.Err(); err != nil {
+				results[i].err = err
+			} else {
+				results[i].err = fmt.Errorf("core: %s not explained", routers[i])
+			}
+		}
+	}
 
 	var sb strings.Builder
 	sb.WriteString("EXPLANATION REPORT\n")

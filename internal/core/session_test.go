@@ -1,0 +1,211 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/scenarios"
+)
+
+// TestSessionReportByteIdentical checks that the session-cached path
+// (base encode + derived encodes) produces exactly the Report the
+// per-call full-encode path produces, on every paper scenario. The
+// candidate reuse must be invisible in the output.
+func TestSessionReportByteIdentical(t *testing.T) {
+	for _, sc := range scenarios.All() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			dep := synthScenario(t, sc)
+			withSession := newExplainer(t, sc, dep, nil)
+			if withSession.Session == nil {
+				t.Fatal("NewExplainer did not install a session")
+			}
+			noSession := newExplainer(t, sc, dep, nil)
+			noSession.Session = nil
+
+			want, err := noSession.Report()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := withSession.Report()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("session report differs from per-call report.\nsession:\n%s\nper-call:\n%s", got, want)
+			}
+			if reused := withSession.Stats().ReusedCandidates; reused == 0 {
+				t.Error("session report reused no candidates; the base encode is not being shared")
+			}
+		})
+	}
+}
+
+// TestSessionOneBaseEncode checks the headline property of the shared
+// cache: a whole-network report performs exactly one base encode, and
+// repeating a query is answered from the cache.
+func TestSessionOneBaseEncode(t *testing.T) {
+	sc := scenarios.Scenario1()
+	dep := synthScenario(t, sc)
+	e := newExplainer(t, sc, dep, nil)
+
+	if _, err := e.Report(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.BaseEncodes != 1 {
+		t.Errorf("BaseEncodes = %d after a multi-router report, want 1", st.BaseEncodes)
+	}
+	if st.Encodes < 2 {
+		t.Errorf("Encodes = %d, want one per configured router (>= 2)", st.Encodes)
+	}
+	if st.CacheHits != 0 {
+		t.Errorf("CacheHits = %d on first report, want 0", st.CacheHits)
+	}
+	if st.EncodeTime <= 0 {
+		t.Error("EncodeTime not recorded")
+	}
+	if st.Solves == 0 {
+		t.Error("no solver stats folded in by lifting")
+	}
+
+	// A repeated explanation re-uses the cached encoding.
+	if _, err := e.ExplainAll("R1"); err != nil {
+		t.Fatal(err)
+	}
+	st2 := e.Stats()
+	if st2.BaseEncodes != 1 {
+		t.Errorf("BaseEncodes = %d after repeat, want still 1", st2.BaseEncodes)
+	}
+	if st2.Encodes != st.Encodes {
+		t.Errorf("Encodes grew %d -> %d on a repeated query", st.Encodes, st2.Encodes)
+	}
+	if st2.CacheHits != st.CacheHits+1 {
+		t.Errorf("CacheHits = %d after repeat, want %d", st2.CacheHits, st.CacheHits+1)
+	}
+
+	// CheckSubspec builds the same sketch as ExplainAll and must hit
+	// the same cache entry.
+	ex, err := e.ExplainAll("R1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Subspec != nil && !ex.Subspec.IsEmpty() {
+		before := e.Stats()
+		if _, err := e.CheckSubspec("R1", ex.Subspec); err != nil {
+			t.Fatal(err)
+		}
+		after := e.Stats()
+		if after.Encodes != before.Encodes {
+			t.Errorf("CheckSubspec re-encoded (%d -> %d) instead of hitting the cache", before.Encodes, after.Encodes)
+		}
+	}
+}
+
+// TestBudgetDeadlineAbortsReport checks that an already-expired budget
+// deadline aborts ExplainAll and Report cleanly — with a deadline
+// error, not a hang or a partial result — and leaks no goroutines.
+func TestBudgetDeadlineAbortsReport(t *testing.T) {
+	sc := scenarios.Scenario3()
+	dep := synthScenario(t, sc)
+	opts := DefaultOptions()
+	opts.Budget = engine.Budget{Deadline: time.Now().Add(-time.Second)}
+	e, err := NewExplainer(sc.Net, sc.Requirements(), dep, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := runtime.NumGoroutine()
+	if _, err := e.ExplainAll("R1"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("ExplainAll err = %v, want context.DeadlineExceeded", err)
+	}
+	if _, err := e.Report(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Report err = %v, want context.DeadlineExceeded", err)
+	}
+	// The worker pool must have drained. NumGoroutine is noisy
+	// (runtime helpers come and go), so allow it to settle.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestBudgetDeadlineMidReport cancels a report that is already under
+// way and checks clean abort plus goroutine drain.
+func TestBudgetDeadlineMidReport(t *testing.T) {
+	sc := scenarios.Scenario3()
+	dep := synthScenario(t, sc)
+	e := newExplainer(t, sc, dep, nil)
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := e.ReportContext(ctx)
+		errc <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		// nil if the report beat the cancel; otherwise it must be the
+		// cancellation, propagated from whatever layer saw it first.
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("ReportContext err = %v, want nil or context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("ReportContext did not return after cancellation")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestBudgetModelCapInExplainer checks the MaxModels knob reaches the
+// sufficiency check: with a cap of 1 on a router whose subspec admits
+// many behaviors, sufficiency cannot be concluded.
+func TestBudgetModelCapInExplainer(t *testing.T) {
+	sc := scenarios.Scenario1()
+	dep := synthScenario(t, sc)
+
+	full := newExplainer(t, sc, dep, nil)
+	ref, err := full.ExplainAll("R1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.SubspecComplete {
+		t.Skip("reference explanation not complete; cap comparison is meaningless")
+	}
+
+	opts := DefaultOptions()
+	opts.Budget = engine.Budget{MaxModels: 1}
+	capped, err := NewExplainer(sc.Net, sc.Requirements(), dep, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := capped.ExplainAll("R1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.SubspecComplete {
+		t.Error("sufficiency reported complete under MaxModels=1; the budget cap is not reaching enumeration")
+	}
+}

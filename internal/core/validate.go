@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -30,6 +31,16 @@ type ClauseCheck struct {
 // subspecifications ... is a more feasible task than directly
 // validating against the global specifications."
 func (e *Explainer) CheckSubspec(router string, block *spec.Block) ([]ClauseCheck, error) {
+	return e.CheckSubspecContext(context.Background(), router, block)
+}
+
+// CheckSubspecContext is CheckSubspec with cancellation and the
+// budget's deadline applied. The sketch it encodes matches the one
+// ExplainAll builds, so a prior explanation of the router answers the
+// encoding from the session cache.
+func (e *Explainer) CheckSubspecContext(ctx context.Context, router string, block *spec.Block) ([]ClauseCheck, error) {
+	ctx, cancel := e.Opts.Budget.Apply(ctx)
+	defer cancel()
 	c, ok := e.Deployment[router]
 	if !ok {
 		return nil, fmt.Errorf("core: no deployed configuration for %q", router)
@@ -48,7 +59,7 @@ func (e *Explainer) CheckSubspec(router string, block *spec.Block) ([]ClauseChec
 		sketch[router] = sym
 		replaced = rep
 	}
-	enc, err := synth.NewEncoder(e.Net, sketch, e.Opts.Synth).Encode(e.Reqs)
+	enc, err := e.encode(ctx, sketch, encodeKey(router, targets))
 	if err != nil {
 		return nil, err
 	}
@@ -76,7 +87,12 @@ func (e *Explainer) CheckSubspec(router string, block *spec.Block) ([]ClauseChec
 
 // SatisfiesSubspec reports whether every clause holds.
 func (e *Explainer) SatisfiesSubspec(router string, block *spec.Block) (bool, error) {
-	checks, err := e.CheckSubspec(router, block)
+	return e.SatisfiesSubspecContext(context.Background(), router, block)
+}
+
+// SatisfiesSubspecContext is SatisfiesSubspec with cancellation.
+func (e *Explainer) SatisfiesSubspecContext(ctx context.Context, router string, block *spec.Block) (bool, error) {
+	checks, err := e.CheckSubspecContext(ctx, router, block)
 	if err != nil {
 		return false, err
 	}

@@ -1,0 +1,85 @@
+// Package engine provides the session layer of the explanation stack:
+// a shared encoding cache over the synthesizer's encoder, a unified
+// resource budget plumbed down to the SAT search, and merged
+// statistics across all layers.
+//
+// The explanation workflows in internal/core are many small queries
+// against one deployment — explain every router, explain one variable
+// at a time, validate a subspecification — and each query re-encodes a
+// deployment that is almost entirely unchanged. A Session encodes the
+// concrete deployment's invariant structure once (the base encode) and
+// derives each query's partially-symbolic seed specification from it,
+// so a whole-network report performs one base encode plus cheap
+// derivations instead of O(routers) full encodes.
+package engine
+
+import (
+	"context"
+	"time"
+)
+
+// DefaultMaxModels is the model-enumeration cap used when a Budget
+// does not set MaxModels (the sufficiency check of the lifting step
+// enumerates subspecification models up to this bound).
+const DefaultMaxModels = 512
+
+// Budget bounds the resources an explanation query may spend, across
+// every layer of the stack. The zero value means unlimited (except for
+// model enumeration, which falls back to DefaultMaxModels). It
+// replaces the ad-hoc per-layer knobs (the raw SAT conflict budget and
+// the lifting model cap) with one value plumbed down from the top.
+type Budget struct {
+	// Deadline is the wall-clock instant after which queries abort
+	// with context.DeadlineExceeded. Zero means no deadline.
+	Deadline time.Time
+	// MaxConflicts bounds the conflicts any single SAT solve may
+	// spend before returning Unknown. Zero or negative means no bound.
+	MaxConflicts int64
+	// MaxModels bounds model enumeration during sufficiency checking.
+	// Zero means DefaultMaxModels.
+	MaxModels int
+}
+
+// Apply derives a context carrying the budget's deadline. The returned
+// cancel function must be called to release the deadline timer; when
+// the budget has no deadline, ctx is returned unchanged with a no-op
+// cancel.
+func (b Budget) Apply(ctx context.Context) (context.Context, context.CancelFunc) {
+	if b.Deadline.IsZero() {
+		return ctx, func() {}
+	}
+	return context.WithDeadline(ctx, b.Deadline)
+}
+
+// ModelCap returns the effective model-enumeration bound.
+func (b Budget) ModelCap() int {
+	if b.MaxModels > 0 {
+		return b.MaxModels
+	}
+	return DefaultMaxModels
+}
+
+// Stats merges the work counters of every layer touched by a session:
+// encoding effort (and how much of it the cache absorbed) plus
+// SAT-level solving effort reported back by the explanation pipeline.
+type Stats struct {
+	// BaseEncodes counts base (invariant-structure) encodes. A session
+	// performs at most one unless the first attempt fails.
+	BaseEncodes int
+	// Encodes counts derived (per-query) encodes actually performed.
+	Encodes int
+	// CacheHits counts queries answered from the encoding cache.
+	CacheHits int
+	// Candidates and ReusedCandidates total the candidate paths built
+	// by derived encodes and how many of them were copied from the
+	// base instead of re-derived.
+	Candidates       int
+	ReusedCandidates int
+	// EncodeTime is the wall-clock time spent encoding (base and
+	// derived, cache hits excluded).
+	EncodeTime time.Duration
+	// Solves and Conflicts total the SAT solver calls and conflicts
+	// reported via AddSolverStats.
+	Solves    uint64
+	Conflicts uint64
+}

@@ -1,0 +1,161 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/sat"
+	"repro/internal/spec"
+	"repro/internal/synth"
+	"repro/internal/topology"
+)
+
+// Session is the shared state of one deployment's explanation queries:
+// the base encoding of the concrete deployment (built once, lazily)
+// and a cache of derived encodings keyed by the caller's sketch key.
+// A Session is safe for concurrent use; concurrent requests for the
+// same key are coalesced into one encode (single flight).
+type Session struct {
+	net  *topology.Network
+	reqs []spec.Requirement
+	dep  config.Deployment
+	opts synth.Options
+
+	// Budget bounds the resources of queries run through this session.
+	// Callers read it to derive deadlines and solver budgets; it is not
+	// mutated by the session itself and must be set before the session
+	// is shared across goroutines.
+	Budget Budget
+
+	baseMu   sync.Mutex
+	base     *synth.Base
+	baseDead bool // base build failed for a non-context reason; stop retrying
+	mu       sync.Mutex
+	entries  map[string]*entry
+	stats    Stats
+}
+
+type entry struct {
+	ready chan struct{} // closed when enc/err are set
+	enc   *synth.Encoding
+	err   error
+}
+
+// NewSession creates a session over a synthesis problem's output. The
+// deployment is the concrete synthesized deployment whose invariant
+// structure the session caches; reqs and opts must match what derived
+// queries will encode with.
+func NewSession(net *topology.Network, reqs []spec.Requirement, dep config.Deployment, opts synth.Options) *Session {
+	return &Session{
+		net:     net,
+		reqs:    reqs,
+		dep:     dep,
+		opts:    opts,
+		entries: make(map[string]*entry),
+	}
+}
+
+// Encode returns the encoding of the (possibly partially symbolic)
+// sketch, caching by key. The key must uniquely determine the sketch
+// given the session's deployment — callers derive both from the same
+// symbolization targets. The first call builds the base encoding of
+// the concrete deployment; every call derives its sketch's encoding
+// from that base, so candidates untouched by the symbolization are
+// reused rather than re-derived. Failed encodes are not cached (a
+// query cancelled by its context can be retried).
+func (s *Session) Encode(ctx context.Context, sketch config.Deployment, key string) (*synth.Encoding, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		s.mu.Unlock()
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if e.err == nil {
+			s.mu.Lock()
+			s.stats.CacheHits++
+			s.mu.Unlock()
+		}
+		return e.enc, e.err
+	}
+	e := &entry{ready: make(chan struct{})}
+	s.entries[key] = e
+	s.mu.Unlock()
+
+	e.enc, e.err = s.encode(ctx, sketch)
+	close(e.ready)
+	if e.err != nil {
+		s.mu.Lock()
+		delete(s.entries, key)
+		s.mu.Unlock()
+	}
+	return e.enc, e.err
+}
+
+// encode performs one derived encode, attaching the base when
+// available.
+func (s *Session) encode(ctx context.Context, sketch config.Deployment) (*synth.Encoding, error) {
+	base := s.ensureBase(ctx)
+	start := time.Now()
+	enc, err := synth.NewEncoder(s.net, sketch, s.opts).WithBase(base).EncodeContext(ctx, s.reqs)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.stats.Encodes++
+	s.stats.Candidates += enc.Stats.Candidates
+	s.stats.ReusedCandidates += enc.Stats.ReusedCandidates
+	s.stats.EncodeTime += time.Since(start)
+	s.mu.Unlock()
+	return enc, nil
+}
+
+// ensureBase builds the base encoding once. Base construction is an
+// optimization: if it fails for a reason other than cancellation the
+// failure is latched and derived encodes simply proceed without reuse
+// (they would surface any real encoding error themselves); a
+// cancelled build is retried by the next query.
+func (s *Session) ensureBase(ctx context.Context) *synth.Base {
+	s.baseMu.Lock()
+	defer s.baseMu.Unlock()
+	if s.base != nil || s.baseDead {
+		return s.base
+	}
+	start := time.Now()
+	base, err := synth.NewBase(ctx, s.net, s.dep, s.opts)
+	if err != nil {
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			s.baseDead = true
+		}
+		return nil
+	}
+	s.base = base
+	s.mu.Lock()
+	s.stats.BaseEncodes++
+	s.stats.EncodeTime += time.Since(start)
+	s.mu.Unlock()
+	return base
+}
+
+// AddSolverStats folds SAT-level effort (from a solver that has
+// finished its work) into the session's merged statistics.
+func (s *Session) AddSolverStats(st sat.Stats) {
+	s.mu.Lock()
+	s.stats.Solves += st.Solves
+	s.stats.Conflicts += st.Conflicts
+	s.mu.Unlock()
+}
+
+// Stats returns a snapshot of the merged statistics.
+func (s *Session) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

@@ -1,0 +1,138 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/scenarios"
+	"repro/internal/synth"
+)
+
+func newSession(t *testing.T) *engine.Session {
+	t.Helper()
+	sc := scenarios.Scenario1()
+	res, err := synth.Synthesize(sc.Net, sc.Sketch, sc.Requirements(), synth.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return engine.NewSession(sc.Net, sc.Requirements(), res.Deployment, synth.DefaultOptions())
+}
+
+func TestSessionEncodeCaches(t *testing.T) {
+	s := newSession(t)
+	sc := scenarios.Scenario1()
+	res, err := synth.Synthesize(sc.Net, sc.Sketch, sc.Requirements(), synth.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	enc1, err := s.Encode(ctx, res.Deployment, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := s.Encode(ctx, res.Deployment, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc1 != enc2 {
+		t.Error("same key returned distinct encodings")
+	}
+	st := s.Stats()
+	if st.BaseEncodes != 1 || st.Encodes != 1 || st.CacheHits != 1 {
+		t.Errorf("stats = base %d, encodes %d, hits %d; want 1, 1, 1",
+			st.BaseEncodes, st.Encodes, st.CacheHits)
+	}
+
+	// A different key encodes again but shares the base.
+	if _, err := s.Encode(ctx, res.Deployment, "k2"); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if st.BaseEncodes != 1 || st.Encodes != 2 {
+		t.Errorf("after second key: base %d, encodes %d; want 1, 2", st.BaseEncodes, st.Encodes)
+	}
+	if st.ReusedCandidates == 0 {
+		t.Error("derived encode of the unchanged deployment reused no candidates")
+	}
+}
+
+func TestSessionSingleFlight(t *testing.T) {
+	s := newSession(t)
+	sc := scenarios.Scenario1()
+	res, err := synth.Synthesize(sc.Net, sc.Sketch, sc.Requirements(), synth.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = s.Encode(context.Background(), res.Deployment, "shared")
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.BaseEncodes != 1 {
+		t.Errorf("BaseEncodes = %d under concurrency, want 1", st.BaseEncodes)
+	}
+	if st.Encodes != 1 {
+		t.Errorf("Encodes = %d for one shared key, want 1 (single flight)", st.Encodes)
+	}
+	if st.CacheHits != n-1 {
+		t.Errorf("CacheHits = %d, want %d", st.CacheHits, n-1)
+	}
+}
+
+func TestSessionCancelledEncodeNotCached(t *testing.T) {
+	s := newSession(t)
+	sc := scenarios.Scenario1()
+	res, err := synth.Synthesize(sc.Net, sc.Sketch, sc.Requirements(), synth.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Encode(cancelled, res.Deployment, "k"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Encode err = %v, want context.Canceled", err)
+	}
+	// The failure must not poison the key: a live context succeeds.
+	if _, err := s.Encode(context.Background(), res.Deployment, "k"); err != nil {
+		t.Fatalf("retry after cancellation failed: %v", err)
+	}
+}
+
+func TestBudgetApply(t *testing.T) {
+	var b engine.Budget
+	ctx, cancel := b.Apply(context.Background())
+	if _, ok := ctx.Deadline(); ok {
+		t.Error("zero budget must not set a deadline")
+	}
+	cancel()
+
+	when := time.Now().Add(time.Hour)
+	b = engine.Budget{Deadline: when}
+	ctx, cancel = b.Apply(context.Background())
+	defer cancel()
+	if d, ok := ctx.Deadline(); !ok || !d.Equal(when) {
+		t.Errorf("deadline = %v, %v; want %v", d, ok, when)
+	}
+
+	if got := (engine.Budget{}).ModelCap(); got != engine.DefaultMaxModels {
+		t.Errorf("default ModelCap = %d, want %d", got, engine.DefaultMaxModels)
+	}
+	if got := (engine.Budget{MaxModels: 7}).ModelCap(); got != 7 {
+		t.Errorf("ModelCap = %d, want 7", got)
+	}
+}

@@ -1,0 +1,99 @@
+package sat
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestSolveContextCancelled(t *testing.T) {
+	// An already-cancelled context must abort before any search.
+	s := NewSolver()
+	pigeonhole(s, 8, 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st, err := s.SolveContext(ctx)
+	if st != Unknown {
+		t.Fatalf("SolveContext = %v, want Unknown", st)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSolveContextCancelMidSearch(t *testing.T) {
+	// Cancelling while the solver grinds on a hard unsat instance must
+	// return promptly — within one restart interval — rather than after
+	// the full refutation.
+	s := NewSolver()
+	pigeonhole(s, 9, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var st Status
+	var err error
+	go func() {
+		defer close(done)
+		st, err = s.SolveContext(ctx)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SolveContext did not return within 5s of cancellation")
+	}
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want nil or context.Canceled", err)
+	}
+	// The instance may have been refuted before the cancel landed; if
+	// not, the abort must be reported as Unknown + Canceled.
+	if err == nil && st != Unsat {
+		t.Fatalf("uncancelled solve = %v, want Unsat", st)
+	}
+	if err != nil && st != Unknown {
+		t.Fatalf("cancelled solve = (%v, %v), want Unknown", st, err)
+	}
+
+	// The solver must remain usable after a cancelled solve.
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("re-solve after cancel = %v, want Unsat", got)
+	}
+}
+
+func TestSolveContextDeadline(t *testing.T) {
+	s := NewSolver()
+	pigeonhole(s, 10, 9)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	st, err := s.SolveContext(ctx)
+	if err == nil {
+		// Finished before the deadline on a fast machine: fine, but the
+		// verdict must then be the true one.
+		if st != Unsat {
+			t.Fatalf("solve = %v, want Unsat", st)
+		}
+		return
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if st != Unknown {
+		t.Fatalf("status = %v, want Unknown", st)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline abort took %v", elapsed)
+	}
+}
+
+func TestSolveCountsSolves(t *testing.T) {
+	s := NewSolver()
+	v := newVars(s, 2)
+	s.AddClause(PosLit(v[0]), PosLit(v[1]))
+	s.Solve()
+	s.Solve(NegLit(v[0]))
+	if s.Stats.Solves != 2 {
+		t.Fatalf("Stats.Solves = %d, want 2", s.Stats.Solves)
+	}
+}

@@ -1,12 +1,14 @@
 package sat
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
 
 // Stats counts solver work, exposed for the benchmark harness.
 type Stats struct {
+	Solves       uint64 // Solve / SolveContext calls
 	Decisions    uint64
 	Propagations uint64
 	Conflicts    uint64
@@ -524,8 +526,20 @@ func (s *Solver) detach(c *clause) {
 // Unsat under assumptions, Core returns a subset of the assumptions
 // that is already unsatisfiable.
 func (s *Solver) Solve(assumptions ...Lit) Status {
+	st, _ := s.SolveContext(context.Background(), assumptions...)
+	return st
+}
+
+// SolveContext is Solve with cancellation: the context is checked
+// inside the CDCL search loop (every few conflicts) and at every
+// restart, so a cancelled or expired context aborts a running solve
+// within one restart interval. On cancellation the status is Unknown
+// and the error is the context's error; all other outcomes return a
+// nil error.
+func (s *Solver) SolveContext(ctx context.Context, assumptions ...Lit) (Status, error) {
+	s.Stats.Solves++
 	if !s.ok {
-		return Unsat
+		return Unsat, nil
 	}
 	s.assumptions = assumptions
 	s.core = nil
@@ -535,20 +549,26 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	conflictsAtStart := s.Stats.Conflicts
 	var restart uint64
 	for {
+		if err := ctx.Err(); err != nil {
+			return Unknown, err
+		}
 		budget := int64(luby(100, restart))
-		st := s.search(budget, &maxLearnts)
+		st := s.search(ctx, budget, &maxLearnts)
 		if st == Sat {
 			s.model = make([]LBool, len(s.assigns))
 			copy(s.model, s.assigns)
-			return Sat
+			return Sat, nil
 		}
 		if st == Unsat {
-			return Unsat
+			return Unsat, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return Unknown, err
 		}
 		restart++
 		s.Stats.Restarts++
 		if s.ConflictBudget > 0 && int64(s.Stats.Conflicts-conflictsAtStart) >= s.ConflictBudget {
-			return Unknown
+			return Unknown, nil
 		}
 	}
 }
@@ -557,11 +577,23 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 // Solve-under-assumptions call. The slice is owned by the solver.
 func (s *Solver) Core() []Lit { return s.core }
 
+// ctxCheckInterval is how many search-loop iterations pass between
+// context checks. Each iteration runs a full unit propagation, so the
+// check adds no measurable overhead while still bounding the abort
+// latency well below a restart interval.
+const ctxCheckInterval = 64
+
 // search runs CDCL until a result, a conflict budget exhaustion
-// (restart), or unsat.
-func (s *Solver) search(budget int64, maxLearnts *float64) Status {
-	var conflicts int64
+// (restart), a cancelled context (both surface as Unknown; the caller
+// re-checks the context), or unsat.
+func (s *Solver) search(ctx context.Context, budget int64, maxLearnts *float64) Status {
+	var conflicts, iter int64
 	for {
+		if iter%ctxCheckInterval == 0 && ctx.Err() != nil {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		iter++
 		conflict := s.propagate()
 		if conflict != nil {
 			s.Stats.Conflicts++

@@ -1,6 +1,7 @@
 package smt
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/logic"
@@ -17,6 +18,14 @@ import (
 // of models visited and whether the projection was exhausted (false
 // means max was hit or f stopped the walk).
 func (s *Solver) EnumerateModels(vars []*logic.Var, max int, f func(logic.Assignment) bool) (int, bool, error) {
+	return s.EnumerateModelsContext(context.Background(), vars, max, f)
+}
+
+// EnumerateModelsContext is EnumerateModels with cancellation: the
+// context is checked before every model query, and threaded into each
+// underlying solve, so a cancelled or expired context stops the walk
+// promptly with the context's error.
+func (s *Solver) EnumerateModelsContext(ctx context.Context, vars []*logic.Var, max int, f func(logic.Assignment) bool) (int, bool, error) {
 	if len(vars) == 0 {
 		return 0, true, fmt.Errorf("smt: EnumerateModels needs at least one variable")
 	}
@@ -27,7 +36,7 @@ func (s *Solver) EnumerateModels(vars []*logic.Var, max int, f func(logic.Assign
 	}
 	count := 0
 	for count < max {
-		st, err := s.Solve()
+		st, err := s.SolveContext(ctx)
 		if err != nil {
 			return count, false, err
 		}

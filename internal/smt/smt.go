@@ -22,6 +22,7 @@
 package smt
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/logic"
@@ -103,6 +104,11 @@ func NewSolver() *Solver {
 
 // Stats exposes the underlying SAT solver statistics.
 func (s *Solver) Stats() sat.Stats { return s.sat.Stats }
+
+// SetConflictBudget bounds the number of conflicts any single Solve
+// call may spend before coming back Unknown. Zero or negative removes
+// the bound. This is the SAT-level half of an engine.Budget.
+func (s *Solver) SetConflictBudget(n int64) { s.sat.ConflictBudget = n }
 
 // NumSATVars reports how many propositional variables the encoding has
 // allocated so far.
@@ -224,6 +230,14 @@ func (s *Solver) AssertAll(ts []logic.Term) error {
 // terms. On Unsat with assumptions, Core identifies a responsible
 // subset.
 func (s *Solver) Solve(assumptions ...logic.Term) (sat.Status, error) {
+	return s.SolveContext(context.Background(), assumptions...)
+}
+
+// SolveContext is Solve with cancellation: the context is threaded
+// into the underlying SAT search, so a cancelled or expired context
+// aborts a running solve promptly. On cancellation the status is
+// Unknown and the error is the context's error.
+func (s *Solver) SolveContext(ctx context.Context, assumptions ...logic.Term) (sat.Status, error) {
 	s.lastAssumed = assumptions
 	s.lastLits = s.lastLits[:0]
 	for _, a := range assumptions {
@@ -236,7 +250,7 @@ func (s *Solver) Solve(assumptions ...logic.Term) (sat.Status, error) {
 		}
 		s.lastLits = append(s.lastLits, l)
 	}
-	return s.sat.Solve(s.lastLits...), nil
+	return s.sat.SolveContext(ctx, s.lastLits...)
 }
 
 // Core returns assumption terms responsible for the last Unsat result,

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -56,7 +57,7 @@ Req4 {
 func TestAllowErrors(t *testing.T) {
 	net := topology.Paper()
 	e := NewEncoder(net, nil, DefaultOptions())
-	if err := e.enumerateCandidates(); err != nil {
+	if err := e.enumerateCandidates(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Destination without a prefix.

@@ -1,0 +1,69 @@
+package synth
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/topology"
+)
+
+// Base is the invariant structure of a concrete deployment's encoding:
+// every candidate propagation path with its fully-evaluated edge
+// condition and route state. Explanation queries symbolize one router
+// at a time and re-encode; every candidate path that avoids the
+// symbolized router is identical across those encodings, so a Base
+// built once lets each derived encoder (see Encoder.WithBase) skip the
+// symbolic policy evaluation for the unchanged bulk of the network.
+//
+// A Base is immutable after construction and safe for concurrent use
+// by any number of encoders: the candidates it holds are never
+// mutated, and the terms they carry are immutable by construction.
+type Base struct {
+	net  *topology.Network
+	dep  config.Deployment
+	opts Options
+	// cands[prefix][pathKey] indexes the base candidates.
+	cands map[string]map[string]*candidate
+}
+
+// NewBase enumerates the candidate structure of a concrete deployment.
+// The deployment must be concrete: symbolic holes would leak hole
+// variables owned by this throwaway encoder into derived encodings.
+func NewBase(ctx context.Context, net *topology.Network, dep config.Deployment, opts Options) (*Base, error) {
+	for name, c := range dep {
+		if !c.Concrete() {
+			return nil, fmt.Errorf("synth: base deployment config %s still has holes", name)
+		}
+	}
+	e := NewEncoder(net, dep, opts)
+	if err := e.enumerateCandidates(ctx); err != nil {
+		return nil, err
+	}
+	b := &Base{
+		net:   net,
+		dep:   dep,
+		opts:  e.opts,
+		cands: make(map[string]map[string]*candidate, len(e.cands)),
+	}
+	for prefix, byNode := range e.cands {
+		m := map[string]*candidate{}
+		for _, cs := range byNode {
+			for _, c := range cs {
+				m[strings.Join(c.path, "_")] = c
+			}
+		}
+		b.cands[prefix] = m
+	}
+	return b, nil
+}
+
+// NumCandidates reports how many candidate paths the base holds.
+func (b *Base) NumCandidates() int {
+	n := 0
+	for _, m := range b.cands {
+		n += len(m)
+	}
+	return n
+}

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -75,6 +76,10 @@ type EncStats struct {
 	SelVars        int
 	Candidates     int
 	TruncatedPaths int
+	// ReusedCandidates counts candidates whose edge condition and
+	// route state were taken from a Base instead of being recomputed
+	// (see WithBase). Always <= Candidates.
+	ReusedCandidates int
 }
 
 // Encoding is the output of Encode: the constraint system plus the
@@ -109,6 +114,14 @@ type Encoder struct {
 	cands       map[string]map[string][]*candidate
 	constraints []logic.Term
 	stats       EncStats
+
+	// base, when set via WithBase, lets enumerateCandidates reuse the
+	// edge conditions and route states of candidates whose path avoids
+	// every dirty router (a router whose sketch config differs from the
+	// base deployment). Terms are immutable and compared structurally,
+	// so reuse is exact: the encoding is identical to a fresh one.
+	base  *Base
+	dirty map[string]bool
 }
 
 // NewEncoder creates an encoder over a topology and a (possibly
@@ -128,12 +141,52 @@ func (e *Encoder) assert(t logic.Term) {
 	e.constraints = append(e.constraints, t)
 }
 
+// WithBase attaches a cached base encoding (see NewBase): candidates
+// whose propagation path avoids every router that differs between the
+// sketch and the base deployment reuse the base's symbolic edge
+// conditions and route states instead of re-deriving them. The base is
+// ignored (silently, falling back to a full encode) when it was built
+// over a different topology or with different candidate-enumeration
+// options, so attaching a base never changes the encoding — only the
+// work done to produce it. Returns the encoder for chaining.
+func (e *Encoder) WithBase(b *Base) *Encoder {
+	if b == nil || b.net != e.net || b.opts != e.opts {
+		return e
+	}
+	dirty := make(map[string]bool)
+	for name, c := range e.sketch {
+		if b.dep[name] != c {
+			dirty[name] = true
+		}
+	}
+	for name := range b.dep {
+		if _, ok := e.sketch[name]; !ok {
+			dirty[name] = true
+		}
+	}
+	e.base = b
+	e.dirty = dirty
+	return e
+}
+
 // Encode builds the constraint system for the requirements.
 func (e *Encoder) Encode(reqs []spec.Requirement) (*Encoding, error) {
+	return e.EncodeContext(context.Background(), reqs)
+}
+
+// EncodeContext is Encode with cancellation: the context is checked
+// between encoding phases and inside candidate enumeration.
+func (e *Encoder) EncodeContext(ctx context.Context, reqs []spec.Requirement) (*Encoding, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := e.declareAllHoles(); err != nil {
 		return nil, err
 	}
-	if err := e.enumerateCandidates(); err != nil {
+	if err := e.enumerateCandidates(ctx); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	e.encodeSelection()
@@ -245,11 +298,18 @@ func (e *Encoder) setHoleMaker(s *config.Set) (func() *logic.Var, error) {
 // enumerateCandidates runs a BFS per originated prefix, applying edge
 // policies symbolically along the way. BFS order makes candidate
 // discovery shortest-first and deterministic, so the per-node
-// candidate cap keeps the shortest paths.
-func (e *Encoder) enumerateCandidates() error {
+// candidate cap keeps the shortest paths. When a base is attached
+// (WithBase), candidates whose path avoids every dirty router copy the
+// base's edge condition and route state instead of re-deriving them —
+// the BFS structure itself depends only on the topology and options,
+// so discovery order (and with it the encoding) is unchanged.
+func (e *Encoder) enumerateCandidates(ctx context.Context) error {
 	for _, origin := range e.net.Routers() {
 		if !origin.HasPrefix {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 		prefix := origin.Prefix.String()
 		byNode := make(map[string][]*candidate)
@@ -262,7 +322,12 @@ func (e *Encoder) enumerateCandidates() error {
 		}
 		byNode[origin.Name] = []*candidate{root}
 		queue := []*candidate{root}
-		for len(queue) > 0 {
+		for popped := 0; len(queue) > 0; popped++ {
+			if popped%ctxCheckInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			cur := queue[0]
 			queue = queue[1:]
 			if len(cur.path) >= e.opts.MaxPathLen {
@@ -281,13 +346,21 @@ func (e *Encoder) enumerateCandidates() error {
 					e.stats.TruncatedPaths++
 					continue
 				}
-				cond, st, err := e.edgePass(cur.node(), nb, cur.state)
-				if err != nil {
-					return err
-				}
 				path := make([]string, len(cur.path)+1)
 				copy(path, cur.path)
 				path[len(cur.path)] = nb
+				var cond logic.Term
+				var st *routeState
+				if bc := e.baseCandidate(prefix, path); bc != nil {
+					cond, st = bc.edgeCond, bc.state
+					e.stats.ReusedCandidates++
+				} else {
+					var err error
+					cond, st, err = e.edgePass(cur.node(), nb, cur.state)
+					if err != nil {
+						return err
+					}
+				}
 				next := &candidate{
 					prefix:   prefix,
 					path:     path,
@@ -304,6 +377,26 @@ func (e *Encoder) enumerateCandidates() error {
 		}
 	}
 	return nil
+}
+
+// ctxCheckInterval is how many BFS pops pass between context checks
+// during candidate enumeration.
+const ctxCheckInterval = 64
+
+// baseCandidate returns the base's candidate for the path when reuse
+// is sound: a base is attached and no node of the path is dirty (every
+// edge's export and import policy, and every state transformation
+// along the path, is computed from configs identical to the base's).
+func (e *Encoder) baseCandidate(prefix string, path []string) *candidate {
+	if e.base == nil {
+		return nil
+	}
+	for _, n := range path {
+		if e.dirty[n] {
+			return nil
+		}
+	}
+	return e.base.cands[prefix][strings.Join(path, "_")]
 }
 
 func contains(path []string, node string) bool {

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bgp"
@@ -165,7 +166,7 @@ func TestEncoderRejectsConflictingHoleSorts(t *testing.T) {
 func TestForbidMatchingOriginErrors(t *testing.T) {
 	net := topology.Paper()
 	e := NewEncoder(net, config.Deployment{}, DefaultOptions())
-	if err := e.enumerateCandidates(); err != nil {
+	if err := e.enumerateCandidates(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// A pattern matching a bare origin announcement is a specification

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -31,7 +32,14 @@ type Result struct {
 // if the constraints are unsatisfiable (no completion of the sketch
 // meets the requirements) or if the encoding fails.
 func Synthesize(net *topology.Network, sketch config.Deployment, reqs []spec.Requirement, opts Options) (*Result, error) {
-	enc, err := NewEncoder(net, sketch, opts).Encode(reqs)
+	return SynthesizeContext(context.Background(), net, sketch, reqs, opts)
+}
+
+// SynthesizeContext is Synthesize with cancellation: the context is
+// threaded through encoding and the constraint solve, so a cancelled
+// or expired context aborts a running synthesis promptly.
+func SynthesizeContext(ctx context.Context, net *topology.Network, sketch config.Deployment, reqs []spec.Requirement, opts Options) (*Result, error) {
+	enc, err := NewEncoder(net, sketch, opts).EncodeContext(ctx, reqs)
 	if err != nil {
 		return nil, err
 	}
@@ -44,7 +52,7 @@ func Synthesize(net *topology.Network, sketch config.Deployment, reqs []spec.Req
 	if err := solver.AssertAll(enc.Constraints); err != nil {
 		return nil, err
 	}
-	st, err := solver.Solve()
+	st, err := solver.SolveContext(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -35,7 +36,7 @@ func TestLPRankRoundTrip(t *testing.T) {
 func TestCandidateEnumeration(t *testing.T) {
 	net := topology.Paper()
 	e := NewEncoder(net, config.Deployment{}, DefaultOptions())
-	if err := e.enumerateCandidates(); err != nil {
+	if err := e.enumerateCandidates(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Candidates for D1's prefix at C: four paths, none through the
@@ -70,7 +71,7 @@ func TestCandidateCapTruncates(t *testing.T) {
 	opts := DefaultOptions()
 	opts.MaxCandidatesPerNode = 1
 	e := NewEncoder(net, config.Deployment{}, opts)
-	if err := e.enumerateCandidates(); err != nil {
+	if err := e.enumerateCandidates(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if e.stats.TruncatedPaths == 0 {
@@ -237,7 +238,7 @@ func TestSynthesizeUnsat(t *testing.T) {
 func TestPreferenceValidation(t *testing.T) {
 	net := topology.Paper()
 	e := NewEncoder(net, config.Deployment{}, DefaultOptions())
-	if err := e.enumerateCandidates(); err != nil {
+	if err := e.enumerateCandidates(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Mismatched endpoints.

@@ -16,6 +16,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 
@@ -48,12 +49,24 @@ func (v Violation) String() string {
 // returns all requirement violations (empty means the deployment
 // satisfies the specification).
 func Check(net *topology.Network, dep config.Deployment, reqs []spec.Requirement) ([]Violation, error) {
+	return CheckContext(context.Background(), net, dep, reqs)
+}
+
+// CheckContext is Check with cancellation, checked before the
+// simulation and between requirements.
+func CheckContext(ctx context.Context, net *topology.Network, dep config.Deployment, reqs []spec.Requirement) ([]Violation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res, err := bgp.Simulate(net, dep)
 	if err != nil {
 		return nil, fmt.Errorf("verify: %w", err)
 	}
 	var out []Violation
 	for _, r := range reqs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		switch q := r.(type) {
 		case *spec.Forbid:
 			out = append(out, checkForbid(net, res, q)...)
@@ -154,6 +167,12 @@ func checkPreference(net *topology.Network, res *bgp.Result, p *spec.Preference)
 // fallback paths are tolerated (the second interpretation from the
 // paper's Scenario 2).
 func CheckUnderFailures(net *topology.Network, dep config.Deployment, p *spec.Preference, allowUnspecified bool) ([]Violation, error) {
+	return CheckUnderFailuresContext(context.Background(), net, dep, p, allowUnspecified)
+}
+
+// CheckUnderFailuresContext is CheckUnderFailures with cancellation,
+// checked before each link-failure simulation.
+func CheckUnderFailuresContext(ctx context.Context, net *topology.Network, dep config.Deployment, p *spec.Preference, allowUnspecified bool) ([]Violation, error) {
 	src, prefix, err := preferencePrefix(net, p)
 	if err != nil {
 		return nil, err
@@ -168,6 +187,9 @@ func CheckUnderFailures(net *topology.Network, dep config.Deployment, p *spec.Pr
 	}
 	var out []Violation
 	for i := 1; i < len(primary); i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		a, b := primary[i-1], primary[i]
 		failed := net.Clone()
 		failed.RemoveLink(a, b)
@@ -205,6 +227,12 @@ func CheckUnderFailures(net *topology.Network, dep config.Deployment, p *spec.Pr
 // requirements whose path crosses the failed link are excused: cutting
 // a pattern's only link legitimately breaks it.
 func CheckUnderAllFailures(net *topology.Network, dep config.Deployment, reqs []spec.Requirement) ([]Violation, error) {
+	return CheckUnderAllFailuresContext(context.Background(), net, dep, reqs)
+}
+
+// CheckUnderAllFailuresContext is CheckUnderAllFailures with
+// cancellation, checked before each link-failure simulation.
+func CheckUnderAllFailuresContext(ctx context.Context, net *topology.Network, dep config.Deployment, reqs []spec.Requirement) ([]Violation, error) {
 	var out []Violation
 	for _, link := range net.Links() {
 		failed := net.Clone()
@@ -212,7 +240,7 @@ func CheckUnderAllFailures(net *topology.Network, dep config.Deployment, reqs []
 		if !failed.Connected() {
 			continue
 		}
-		vs, err := Check(failed, dep, reqs)
+		vs, err := CheckContext(ctx, failed, dep, reqs)
 		if err != nil {
 			return nil, fmt.Errorf("verify: after failing %s-%s: %w", link[0], link[1], err)
 		}
@@ -237,7 +265,12 @@ func CheckUnderAllFailures(net *topology.Network, dep config.Deployment, reqs []
 // Satisfies is a convenience wrapper: true when Check reports no
 // violations.
 func Satisfies(net *topology.Network, dep config.Deployment, reqs []spec.Requirement) (bool, error) {
-	vs, err := Check(net, dep, reqs)
+	return SatisfiesContext(context.Background(), net, dep, reqs)
+}
+
+// SatisfiesContext is Satisfies with cancellation.
+func SatisfiesContext(ctx context.Context, net *topology.Network, dep config.Deployment, reqs []spec.Requirement) (bool, error) {
+	vs, err := CheckContext(ctx, net, dep, reqs)
 	if err != nil {
 		return false, err
 	}
