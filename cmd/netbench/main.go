@@ -2,9 +2,11 @@
 // quantitative claim, plus the scaling and ablation extensions, as
 // text tables.
 //
-//	netbench              # all experiments
-//	netbench -table seed  # one experiment
-//	netbench -quick       # trimmed scaling sweep
+//	netbench                        # all experiments
+//	netbench -table seed            # one experiment
+//	netbench -quick                 # trimmed scaling sweep
+//	netbench -benchjson BENCH_x.json  # machine-readable pipeline timings
+//	netbench -cpuprofile cpu.pprof  # profile the run
 package main
 
 import (
@@ -13,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/bench"
 )
@@ -23,6 +27,9 @@ func main() {
 	quick := flag.Bool("quick", false, "trim the scaling sweep")
 	format := flag.String("format", "text", "output format: text or json")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (e.g. 30s, 5m; 0 = no limit)")
+	benchJSON := flag.String("benchjson", "", "write machine-readable pipeline measurements (scenario, wall time, SAT conflicts, cache hits) to this file and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -30,6 +37,43 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "netbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "netbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "netbench:", err)
+			}
+		}()
+	}
+
+	if *benchJSON != "" {
+		if err := bench.WritePerfJSON(ctx, *benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "netbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *benchJSON)
+		return
 	}
 
 	emit := func(tables []*bench.Table) {

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -119,8 +120,13 @@ func main() {
 	}
 
 	fmt.Printf("router %s: %d symbolic variables\n", ex.Router, len(ex.HoleVars))
-	for name, was := range ex.Replaced {
-		fmt.Printf("  %s (was %s)\n", name, was)
+	names := make([]string, 0, len(ex.Replaced))
+	for name := range ex.Replaced {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %s (was %s)\n", name, ex.Replaced[name])
 	}
 	fmt.Printf("\nseed specification: %d constraints, %d atoms\n", ex.SeedConstraints, ex.SeedSize)
 	fmt.Printf("simplified (%d passes): %d atoms, reduction %.0fx\n", ex.Passes, ex.SimplifiedSize, ex.Reduction())

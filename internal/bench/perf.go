@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/scenarios"
+)
+
+// PerfEntry is one scenario's end-to-end measurement of the
+// explanation pipeline (full report over all routers), in the
+// machine-readable shape CI and the perf-tracking scripts consume.
+type PerfEntry struct {
+	Scenario string `json:"scenario"`
+	// WallMS is the wall-clock time of the full explanation report
+	// (synthesis excluded, which is the synthesizer's cost, not the
+	// explainer's).
+	WallMS float64 `json:"wall_ms"`
+	// SynthMS is the wall-clock time of synthesizing the scenario.
+	SynthMS float64 `json:"synth_ms"`
+	// SATConflicts and SATSolves total the SAT effort of every solver
+	// the report ran.
+	SATConflicts uint64 `json:"sat_conflicts"`
+	SATSolves    uint64 `json:"sat_solves"`
+	// CacheHits counts queries answered from the session's encoding
+	// cache; Encodes counts derived encodes actually performed.
+	CacheHits int `json:"cache_hits"`
+	Encodes   int `json:"encodes"`
+	// ReusedCandidates counts candidate paths copied from the session's
+	// base encoding instead of re-derived.
+	ReusedCandidates int `json:"reused_candidates"`
+	// InternedTerms is the size of the shared hash-cons table after the
+	// run (cumulative across entries: the table is process-wide).
+	InternedTerms int `json:"interned_terms"`
+}
+
+// PerfReport is the payload written by netbench -benchjson.
+type PerfReport struct {
+	Name    string      `json:"name"`
+	Entries []PerfEntry `json:"entries"`
+}
+
+// Perf measures the end-to-end explanation pipeline on every seed
+// scenario.
+func Perf(ctx context.Context) (*PerfReport, error) {
+	rep := &PerfReport{Name: "explain-pipeline"}
+	for _, sc := range scenarios.All() {
+		synthStart := time.Now()
+		res, err := synthesizeScenario(ctx, sc)
+		if err != nil {
+			return nil, err
+		}
+		synthMS := float64(time.Since(synthStart).Microseconds()) / 1000
+
+		ex, err := core.NewExplainer(sc.Net, sc.Requirements(), res.Deployment, core.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if _, err := ex.ReportContext(ctx); err != nil {
+			return nil, err
+		}
+		wallMS := float64(time.Since(start).Microseconds()) / 1000
+
+		st := ex.Stats()
+		rep.Entries = append(rep.Entries, PerfEntry{
+			Scenario:         sc.Name,
+			WallMS:           wallMS,
+			SynthMS:          synthMS,
+			SATConflicts:     st.Conflicts,
+			SATSolves:        st.Solves,
+			CacheHits:        st.CacheHits,
+			Encodes:          st.Encodes,
+			ReusedCandidates: st.ReusedCandidates,
+			InternedTerms:    logic.Default().Size(),
+		})
+	}
+	return rep, nil
+}
+
+// WritePerfJSON runs Perf and writes the report to path, indented for
+// committing alongside benchmark baselines (BENCH_*.json).
+func WritePerfJSON(ctx context.Context, path string) error {
+	rep, err := Perf(ctx)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

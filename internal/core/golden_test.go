@@ -1,0 +1,50 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/scenarios"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden report files")
+
+// TestReportMatchesGolden pins the whole-network explanation report of
+// every seed scenario byte-for-byte against a committed golden file.
+// The goldens were captured before the hash-consing layer landed, so
+// this is the regression gate that term interning, solver memoization
+// and candidate reuse stay invisible in the output. Regenerate with
+// `go test ./internal/core -run TestReportMatchesGolden -update` and
+// inspect the diff — any change here is a user-visible behavior change.
+func TestReportMatchesGolden(t *testing.T) {
+	for _, sc := range scenarios.All() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			dep := synthScenario(t, sc)
+			e := newExplainer(t, sc, dep, nil)
+			got, err := e.Report()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "report_"+sc.Name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("report for %s differs from golden %s.\ngot:\n%s", sc.Name, path, got)
+			}
+		})
+	}
+}

@@ -55,6 +55,9 @@ const MaxSufficiencyModels = engine.DefaultMaxModels
 // applied.
 func (e *Explainer) newSolver() *smt.Solver {
 	s := smt.NewSolver()
+	if e.Session != nil {
+		s.UseInterner(e.Session.Interner())
+	}
 	if e.Opts.Budget.MaxConflicts > 0 {
 		s.SetConflictBudget(e.Opts.Budget.MaxConflicts)
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/logic"
 	"repro/internal/sat"
 	"repro/internal/spec"
 	"repro/internal/synth"
@@ -23,6 +24,12 @@ type Session struct {
 	reqs []spec.Requirement
 	dep  config.Deployment
 	opts synth.Options
+
+	// in is the hash-cons table shared by every encode and solve run
+	// through this session, so structurally equal terms are pointer-
+	// identical across queries (set once at construction; immutable
+	// afterwards, hence safe to read concurrently).
+	in *logic.Interner
 
 	// Budget bounds the resources of queries run through this session.
 	// Callers read it to derive deadlines and solver budgets; it is not
@@ -54,9 +61,16 @@ func NewSession(net *topology.Network, reqs []spec.Requirement, dep config.Deplo
 		reqs:    reqs,
 		dep:     dep,
 		opts:    opts,
+		in:      logic.Default(),
 		entries: make(map[string]*entry),
 	}
 }
+
+// Interner returns the session's shared term table. Solvers working on
+// this session's encodings should adopt it (smt.Solver.UseInterner) so
+// their memo tables key on the same canonical pointers the encodings
+// hold.
+func (s *Session) Interner() *logic.Interner { return s.in }
 
 // Encode returns the encoding of the (possibly partially symbolic)
 // sketch, caching by key. The key must uniquely determine the sketch
@@ -104,7 +118,7 @@ func (s *Session) Encode(ctx context.Context, sketch config.Deployment, key stri
 func (s *Session) encode(ctx context.Context, sketch config.Deployment) (*synth.Encoding, error) {
 	base := s.ensureBase(ctx)
 	start := time.Now()
-	enc, err := synth.NewEncoder(s.net, sketch, s.opts).WithBase(base).EncodeContext(ctx, s.reqs)
+	enc, err := synth.NewEncoder(s.net, sketch, s.opts).WithBase(base).WithInterner(s.in).EncodeContext(ctx, s.reqs)
 	if err != nil {
 		return nil, err
 	}

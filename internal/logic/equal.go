@@ -1,19 +1,33 @@
 package logic
 
-import "hash/fnv"
-
 // Equal reports structural equality of two terms. Variables compare by
-// name and sort; literals by value; applications by operator and
-// argument-wise equality. And/Or argument order is significant — the
-// rewrite engine canonicalizes ordering where it matters.
+// name, sort, and integer domain; literals by value; applications by
+// operator and argument-wise equality. And/Or argument order is
+// significant — the rewrite engine canonicalizes ordering where it
+// matters.
+//
+// Terms built by this package's constructors are hash-consed (see
+// intern.go), so Equal almost always decides in O(1): pointer-equal
+// means equal, and two distinct canonical pointers of the same
+// interner mean unequal. The structural walk only runs for hand-built
+// or cross-interner nodes, and even then recursion hits the pointer
+// fast path at the first shared child.
 func Equal(a, b Term) bool {
 	if a == b {
 		return true
 	}
+	if ia := owner(a); ia != nil && ia == owner(b) {
+		// Both canonical in the same interner: structurally equal terms
+		// are pointer-identical, so distinct pointers are unequal.
+		return false
+	}
+	if ha, hb := cachedHash(a), cachedHash(b); ha != 0 && hb != 0 && ha != hb {
+		return false
+	}
 	switch x := a.(type) {
 	case *Var:
 		y, ok := b.(*Var)
-		return ok && x.Name == y.Name && SameSort(x.S, y.S)
+		return ok && x.Name == y.Name && x.Lo == y.Lo && x.Hi == y.Hi && SameSort(x.S, y.S)
 	case *BoolLit:
 		y, ok := b.(*BoolLit)
 		return ok && x.Val == y.Val
@@ -38,64 +52,139 @@ func Equal(a, b Term) bool {
 	return false
 }
 
-// Hash computes a structural hash consistent with Equal: equal terms
-// hash equally. It is used to deduplicate conjuncts and memoize
-// rewriting.
+// Hash returns a structural hash consistent with Equal: equal terms
+// hash equally. Interned terms (anything built by the constructors)
+// carry their hash from intern time, so Hash is O(1) on them; unowned
+// hand-built nodes are hashed by traversal, reusing cached child
+// hashes where present. Hash never returns 0.
 func Hash(t Term) uint64 {
-	h := fnv.New64a()
-	hashTerm(t, h)
-	return h.Sum64()
+	if h := cachedHash(t); h != 0 {
+		return h
+	}
+	return computeHash(t)
 }
 
-type hasher interface {
-	Write(p []byte) (int, error)
-}
-
-func hashTerm(t Term, h hasher) {
+// cachedHash returns the hash stored at intern time, or 0 when the
+// node has none.
+func cachedHash(t Term) uint64 {
 	switch n := t.(type) {
 	case *Var:
-		h.Write([]byte{1})
-		h.Write([]byte(n.Name))
-		hashSort(n.S, h)
+		return n.hash
 	case *BoolLit:
-		if n.Val {
-			h.Write([]byte{2, 1})
-		} else {
-			h.Write([]byte{2, 0})
-		}
+		return n.hash
 	case *IntLit:
-		h.Write([]byte{3})
-		writeInt64(h, n.Val)
+		return n.hash
 	case *EnumLit:
-		h.Write([]byte{4})
-		h.Write([]byte(n.Val))
-		hashSort(n.S, h)
+		return n.hash
 	case *Apply:
-		h.Write([]byte{5, byte(n.Op)})
-		writeInt64(h, int64(len(n.Args)))
-		for _, a := range n.Args {
-			hashTerm(a, h)
-		}
+		return n.hash
 	}
+	return 0
 }
 
-func hashSort(s *Sort, h hasher) {
-	h.Write([]byte{byte(s.Kind)})
-	if s.Kind == KindEnum {
-		h.Write([]byte(s.Name))
+func computeHash(t Term) uint64 {
+	switch n := t.(type) {
+	case *Var:
+		return hashVar(n)
+	case *BoolLit:
+		return hashBool(n.Val)
+	case *IntLit:
+		return hashInt(n.Val)
+	case *EnumLit:
+		return hashEnum(n)
+	case *Apply:
+		return hashApply(n)
 	}
+	return 1
 }
 
-func writeInt64(h hasher, v int64) {
-	var buf [8]byte
+// The node hashes below are FNV-1a over a tagged flattening of the
+// node, except that Apply mixes in its arguments' (cached) hashes as
+// single words instead of re-walking the subterm — this is what makes
+// interning O(1) per construction.
+
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func mixByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime
+}
+
+func mixWord(h, w uint64) uint64 {
 	for i := 0; i < 8; i++ {
-		buf[i] = byte(v >> (8 * i))
+		h = mixByte(h, byte(w>>(8*i)))
 	}
-	h.Write(buf[:])
+	return h
+}
+
+func mixString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = mixByte(h, s[i])
+	}
+	return h
+}
+
+func mixSort(h uint64, s *Sort) uint64 {
+	h = mixByte(h, byte(s.Kind))
+	if s.Kind == KindEnum {
+		h = mixString(h, s.Name)
+	}
+	return h
+}
+
+// nonzero keeps 0 available as the "no cached hash" sentinel.
+func nonzero(h uint64) uint64 {
+	if h == 0 {
+		return 1
+	}
+	return h
+}
+
+func hashVar(v *Var) uint64 {
+	h := mixByte(fnvOffset, 1)
+	h = mixString(h, v.Name)
+	h = mixSort(h, v.S)
+	h = mixWord(h, uint64(v.Lo))
+	h = mixWord(h, uint64(v.Hi))
+	return nonzero(h)
+}
+
+func hashBool(v bool) uint64 {
+	h := mixByte(fnvOffset, 2)
+	if v {
+		h = mixByte(h, 1)
+	} else {
+		h = mixByte(h, 0)
+	}
+	return nonzero(h)
+}
+
+func hashInt(v int64) uint64 {
+	return nonzero(mixWord(mixByte(fnvOffset, 3), uint64(v)))
+}
+
+func hashEnum(e *EnumLit) uint64 {
+	h := mixByte(fnvOffset, 4)
+	h = mixString(h, e.Val)
+	h = mixSort(h, e.S)
+	return nonzero(h)
+}
+
+func hashApply(a *Apply) uint64 {
+	h := mixByte(fnvOffset, 5)
+	h = mixByte(h, byte(a.Op))
+	h = mixWord(h, uint64(len(a.Args)))
+	for _, arg := range a.Args {
+		h = mixWord(h, Hash(arg))
+	}
+	return nonzero(h)
 }
 
 // DedupTerms removes structural duplicates from ts, preserving first
-// occurrences.
+// occurrences. With interned inputs duplicates are pointer duplicates,
+// so the common case is one map probe per term.
 func DedupTerms(ts []Term) []Term {
 	seen := make(map[uint64][]Term, len(ts))
 	out := ts[:0:0]

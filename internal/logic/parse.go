@@ -30,7 +30,10 @@ func NewParser(vars []*Var, enums []*Sort) (*Parser, error) {
 		if _, dup := p.vars[v.Name]; dup {
 			return nil, fmt.Errorf("logic: duplicate variable declaration %q", v.Name)
 		}
-		p.vars[v.Name] = v
+		// Canonicalize the declaration so parsed terms share nodes with
+		// terms built through the constructors (a no-op for variables
+		// that already came from NewVar/NewIntVar).
+		p.vars[v.Name] = defaultInterner.Intern(v).(*Var)
 	}
 	for _, s := range enums {
 		if !s.IsEnum() {

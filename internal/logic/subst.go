@@ -41,7 +41,7 @@ func Substitute(t Term, sub map[string]Term) Term {
 		if !changed {
 			return t
 		}
-		return &Apply{Op: n.Op, Args: args}
+		return internApply(&Apply{Op: n.Op, Args: args})
 	}
 	panic(fmt.Sprintf("logic: Substitute on unknown term type %T", t))
 }
@@ -135,7 +135,9 @@ func Map(t Term, f func(Term) Term) Term {
 			}
 		}
 		if changed {
-			return f(&Apply{Op: n.Op, Args: args})
+			// Intern the rebuilt node so f sees a canonical term (and
+			// memoizing callers can key on it by pointer).
+			return f(internApply(&Apply{Op: n.Op, Args: args}))
 		}
 		return f(t)
 	default:

@@ -87,6 +87,9 @@ type Var struct {
 	// Lo and Hi bound integer variables inclusively. They are only
 	// meaningful when S is the Int sort.
 	Lo, Hi int64
+
+	hash uint64
+	in   *Interner
 }
 
 // Sort implements Term.
@@ -96,23 +99,30 @@ func (v *Var) isTerm()     {}
 // BoolLit is a boolean constant.
 type BoolLit struct {
 	Val bool
+
+	hash uint64
+	in   *Interner
 }
 
 // Sort implements Term.
 func (b *BoolLit) Sort() *Sort { return Bool }
 func (b *BoolLit) isTerm()     {}
 
-// True and False are the shared boolean constants. Constructors reuse
-// them so pointer comparison against them is safe (though Equal remains
-// the canonical comparison).
+// True and False are the shared boolean constants: the only two
+// BoolLit nodes in the process. Every interner canonicalizes boolean
+// literals to these singletons, so pointer comparison against them is
+// always safe.
 var (
-	True  = &BoolLit{Val: true}
-	False = &BoolLit{Val: false}
+	True  = &BoolLit{Val: true, hash: hashBool(true)}
+	False = &BoolLit{Val: false, hash: hashBool(false)}
 )
 
 // IntLit is an integer constant.
 type IntLit struct {
 	Val int64
+
+	hash uint64
+	in   *Interner
 }
 
 // Sort implements Term.
@@ -123,6 +133,9 @@ func (i *IntLit) isTerm()     {}
 type EnumLit struct {
 	S   *Sort
 	Val string
+
+	hash uint64
+	in   *Interner
 }
 
 // Sort implements Term.
@@ -135,6 +148,9 @@ func (e *EnumLit) isTerm()     {}
 type Apply struct {
 	Op   Op
 	Args []Term
+
+	hash uint64
+	in   *Interner
 }
 
 // Sort implements Term.

@@ -1,0 +1,32 @@
+package rewrite_test
+
+import (
+	"testing"
+
+	"repro/internal/rewrite"
+	"repro/internal/scenarios"
+	"repro/internal/synth"
+)
+
+// BenchmarkSimplifyFixpoint measures the full fixpoint simplification
+// of each paper scenario's seed specification (largest last).
+func BenchmarkSimplifyFixpoint(b *testing.B) {
+	for _, name := range []string{"scenario1", "scenario2", "scenario3"} {
+		b.Run(name, func(b *testing.B) {
+			sc, err := scenarios.ByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			enc, err := synth.NewEncoder(sc.Net, sc.Sketch, synth.DefaultOptions()).Encode(sc.Requirements())
+			if err != nil {
+				b.Fatal(err)
+			}
+			seed := enc.Conjunction()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rewrite.New().Simplify(seed)
+			}
+		})
+	}
+}

@@ -52,7 +52,8 @@ func (s *Simplifier) Simplify(t logic.Term) logic.Term {
 	s.Trace = s.Trace[:0]
 	for pass := 0; pass < s.MaxPasses; pass++ {
 		s.Passes = pass + 1
-		next := logic.Map(cur, s.simplifyNode)
+		memo := make(map[logic.Term]logic.Term)
+		next := s.mapMemo(cur, memo)
 		if !s.DisableEqPropagation {
 			next = s.propagateEqualities(next)
 		}
@@ -63,6 +64,39 @@ func (s *Simplifier) Simplify(t logic.Term) logic.Term {
 		cur = next
 	}
 	return cur
+}
+
+// mapMemo is the memoizing counterpart of logic.Map(t, s.simplifyNode):
+// it rebuilds t bottom-up, but because terms are hash-consed, a subterm
+// shared across many occurrences is keyed by its canonical pointer and
+// simplified only once per memo table. The local rules are context-free
+// (a node's rewrite depends only on the node and its already-simplified
+// children), which is what makes sharing a memo across occurrences —
+// and across sibling conjuncts in propagateEqualities — sound. Note the
+// rule fire counters consequently count per distinct subterm, not per
+// occurrence.
+func (s *Simplifier) mapMemo(t logic.Term, memo map[logic.Term]logic.Term) logic.Term {
+	t = logic.Intern(t)
+	if r, ok := memo[t]; ok {
+		return r
+	}
+	out := t
+	if n, ok := t.(*logic.Apply); ok {
+		changed := false
+		args := make([]logic.Term, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = s.mapMemo(a, memo)
+			if args[i] != a {
+				changed = true
+			}
+		}
+		if changed {
+			out = logic.Intern(&logic.Apply{Op: n.Op, Args: args})
+		}
+	}
+	out = s.simplifyNode(out)
+	memo[t] = out
+	return out
 }
 
 // Simplify is a convenience wrapper using a fresh Simplifier.
@@ -578,6 +612,11 @@ func (s *Simplifier) foldArith(a *logic.Apply) logic.Term {
 // preserving, and inner simplification then collapses the substituted
 // occurrences.
 func (s *Simplifier) propagateEqualities(t logic.Term) logic.Term {
+	// The propagation itself is context-dependent (a binding holds only
+	// inside its conjunction) and must not be memoized, but the inner
+	// re-simplification after substitution applies only the context-free
+	// local rules, so one memo table is shared across all conjunctions.
+	memo := make(map[logic.Term]logic.Term)
 	return logic.Map(t, func(u logic.Term) logic.Term {
 		a, ok := u.(*logic.Apply)
 		if !ok || a.Op != logic.OpAnd {
@@ -620,7 +659,7 @@ func (s *Simplifier) propagateEqualities(t logic.Term) logic.Term {
 		s.fired(RuleEqPropagation)
 		out := make([]logic.Term, len(args))
 		for i, c := range args {
-			out[i] = logic.Map(c, s.simplifyNode)
+			out[i] = s.mapMemo(c, memo)
 		}
 		res := logic.And(out...)
 		if ap, ok := res.(*logic.Apply); ok {

@@ -1,0 +1,58 @@
+package smt
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// sharedSubtermFormula builds a boolean formula whose subterms are
+// heavily shared: a ladder f_i = (f_{i-1} & a_i) | (f_{i-1} & b_i),
+// where every f_{i-1} occurs twice. Without O(1) structural sharing
+// the Tseitin memo pays O(|f_{i-1}|) per probe, so encoding the ladder
+// is quadratic in its depth.
+func sharedSubtermFormula(depth int) logic.Term {
+	f := logic.Term(logic.NewBoolVar("x0"))
+	for i := 1; i <= depth; i++ {
+		a := logic.NewBoolVar(fmt.Sprintf("a%d", i))
+		b := logic.NewBoolVar(fmt.Sprintf("b%d", i))
+		f = logic.Or(logic.And(f, a), logic.And(f, b))
+	}
+	return f
+}
+
+// BenchmarkEncodeSharedSubterms measures asserting a formula with
+// pervasive subterm sharing — the litOf/valueListOf memo hot path.
+func BenchmarkEncodeSharedSubterms(b *testing.B) {
+	f := sharedSubtermFormula(14)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewSolver()
+		if err := s.Assert(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnumerate50Models measures enumerating 50 models of a
+// two-variable constraint — the blocking-clause hot path.
+func BenchmarkEnumerate50Models(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := NewSolver()
+		n := logic.NewIntVar("n", 0, 63)
+		m := logic.NewIntVar("m", 0, 63)
+		if err := s.Assert(logic.Ne(n, m)); err != nil {
+			b.Fatal(err)
+		}
+		count, _, err := s.EnumerateModels([]*logic.Var{n, m}, 50, func(logic.Assignment) bool { return true })
+		if err != nil {
+			b.Fatal(err)
+		}
+		if count != 50 {
+			b.Fatalf("count = %d, want 50", count)
+		}
+	}
+}

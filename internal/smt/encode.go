@@ -9,20 +9,21 @@ import (
 
 // litOf returns a propositional literal equisatisfiable with the
 // Bool-sorted term t (a Tseitin encoding: the literal is constrained to
-// be equivalent to t). Results are memoized by structural equality so
-// shared subterms are encoded once.
+// be equivalent to t). Results are memoized by canonical pointer so
+// shared subterms are encoded once, and each probe is a single map
+// lookup: t is interned on entry (an O(1) ownership check for terms
+// built by the logic constructors), and the arguments of a canonical
+// term are canonical themselves, so the recursion never re-interns.
 func (s *Solver) litOf(t logic.Term) (sat.Lit, error) {
-	h := logic.Hash(t)
-	for _, e := range s.boolMemo[h] {
-		if logic.Equal(e.term, t) {
-			return e.lit, nil
-		}
+	t = s.in.Intern(t)
+	if l, ok := s.boolMemo[t]; ok {
+		return l, nil
 	}
 	l, err := s.encodeBool(t)
 	if err != nil {
 		return 0, err
 	}
-	s.boolMemo[h] = append(s.boolMemo[h], boolMemoEntry{term: t, lit: l})
+	s.boolMemo[t] = l
 	return l, nil
 }
 
@@ -242,19 +243,17 @@ func (s *Solver) cmpLit(op logic.Op, a, b logic.Term) (sat.Lit, error) {
 }
 
 // valueListOf returns the value-list encoding of a non-boolean term,
-// memoized structurally.
+// memoized by canonical pointer (see litOf).
 func (s *Solver) valueListOf(t logic.Term) (*valueList, error) {
-	h := logic.Hash(t)
-	for _, e := range s.valMemo[h] {
-		if logic.Equal(e.term, t) {
-			return e.vl, nil
-		}
+	t = s.in.Intern(t)
+	if vl, ok := s.valMemo[t]; ok {
+		return vl, nil
 	}
 	vl, err := s.encodeValue(t)
 	if err != nil {
 		return nil, err
 	}
-	s.valMemo[h] = append(s.valMemo[h], valMemoEntry{term: t, vl: vl})
+	s.valMemo[t] = vl
 	return vl, nil
 }
 

@@ -48,24 +48,54 @@ func (s *Solver) EnumerateModelsContext(ctx context.Context, vars []*logic.Var, 
 			return count, false, err
 		}
 		projected := logic.Assignment{}
-		var blocking []logic.Term
+		blocking := make([]sat.Lit, 0, len(vars))
 		for _, v := range vars {
 			val, ok := full[v.Name]
 			if !ok {
 				return count, false, fmt.Errorf("smt: model misses %q", v.Name)
 			}
 			projected[v.Name] = val
-			blocking = append(blocking, logic.Ne(v, val.Term()))
+			l, err := s.modelLit(v)
+			if err != nil {
+				return count, false, err
+			}
+			blocking = append(blocking, l.Neg())
 		}
 		count++
 		if !f(projected) {
 			return count, false, nil
 		}
-		if err := s.Assert(logic.Or(blocking...)); err != nil {
-			return count, false, err
-		}
+		// Block the model with one SAT-level clause over the variables'
+		// already-encoded selector literals — no term construction and
+		// no per-model Tseitin encoding. The clause is equivalent to
+		// asserting Or(Ne(v, value)...) over the projection: each
+		// selector literal is exactly "v takes its model value".
+		s.sat.AddClause(blocking...)
 	}
 	return count, false, nil
+}
+
+// modelLit returns the already-encoded literal that is true exactly
+// when the declared variable takes its value in the current model: the
+// boolean variable's own literal (or its negation), or the value
+// list's selector for the chosen value.
+func (s *Solver) modelLit(v *logic.Var) (sat.Lit, error) {
+	e, ok := s.enc[v.Name]
+	if !ok {
+		return 0, fmt.Errorf("smt: variable %q not declared", v.Name)
+	}
+	if v.S.IsBool() {
+		if s.sat.ValueLit(e.boolLit) == sat.LTrue {
+			return e.boolLit, nil
+		}
+		return e.boolLit.Neg(), nil
+	}
+	for _, l := range e.vl.lits {
+		if s.sat.ValueLit(l) == sat.LTrue {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("smt: no value selected for %q in model", v.Name)
 }
 
 // CountModels counts the models projected onto vars, up to max.

@@ -39,13 +39,19 @@ const MaxValueListSize = 1 << 14
 type Solver struct {
 	sat *sat.Solver
 
+	// in canonicalizes every term entering the solver, so the memo
+	// tables below can key directly on the canonical pointer.
+	in *logic.Interner
+
 	// declared variables by name.
 	vars map[string]*logic.Var
 	enc  map[string]*varEncoding
 
-	// Tseitin memo tables keyed by structural hash.
-	boolMemo map[uint64][]boolMemoEntry
-	valMemo  map[uint64][]valMemoEntry
+	// Tseitin memo tables keyed by canonical (interned) term pointer:
+	// a memo probe is one map lookup, with no structural hashing or
+	// deep-equality scan.
+	boolMemo map[logic.Term]sat.Lit
+	valMemo  map[logic.Term]*valueList
 
 	litTrue  sat.Lit // a literal constrained true
 	litFalse sat.Lit
@@ -55,16 +61,6 @@ type Solver struct {
 	// assumption bookkeeping for core extraction.
 	lastAssumed []logic.Term
 	lastLits    []sat.Lit
-}
-
-type boolMemoEntry struct {
-	term logic.Term
-	lit  sat.Lit
-}
-
-type valMemoEntry struct {
-	term logic.Term
-	vl   *valueList
 }
 
 // varEncoding is the propositional encoding of one declared variable.
@@ -90,10 +86,11 @@ type valueList struct {
 func NewSolver() *Solver {
 	s := &Solver{
 		sat:      sat.NewSolver(),
+		in:       logic.Default(),
 		vars:     make(map[string]*logic.Var),
 		enc:      make(map[string]*varEncoding),
-		boolMemo: make(map[uint64][]boolMemoEntry),
-		valMemo:  make(map[uint64][]valMemoEntry),
+		boolMemo: make(map[logic.Term]sat.Lit),
+		valMemo:  make(map[logic.Term]*valueList),
 	}
 	vt := s.sat.NewVar()
 	s.litTrue = sat.PosLit(vt)
@@ -104,6 +101,16 @@ func NewSolver() *Solver {
 
 // Stats exposes the underlying SAT solver statistics.
 func (s *Solver) Stats() sat.Stats { return s.sat.Stats }
+
+// UseInterner directs the solver to canonicalize incoming terms
+// through in instead of the package-default interner. Call before the
+// first Assert/Declare — the memo tables key on canonical pointers, so
+// switching universes mid-stream would silently miss earlier entries.
+func (s *Solver) UseInterner(in *logic.Interner) {
+	if in != nil {
+		s.in = in
+	}
+}
 
 // SetConflictBudget bounds the number of conflicts any single Solve
 // call may spend before coming back Unknown. Zero or negative removes

@@ -108,6 +108,7 @@ type Encoder struct {
 	sketch config.Deployment
 	opts   Options
 	vocab  *vocab
+	in     *logic.Interner
 
 	holeVars map[string]*logic.Var
 	// cands[prefix][node] lists candidates in discovery (BFS) order.
@@ -132,13 +133,26 @@ func NewEncoder(net *topology.Network, sketch config.Deployment, opts Options) *
 		sketch:   sketch,
 		opts:     opts.withDefaults(),
 		vocab:    buildVocab(net, sketch),
+		in:       logic.Default(),
 		holeVars: make(map[string]*logic.Var),
 		cands:    make(map[string]map[string][]*candidate),
 	}
 }
 
+// WithInterner directs the encoder to canonicalize every emitted
+// constraint through in, so a session's encodings, simplifier and
+// solver all share one hash-cons table (an O(1) ownership check per
+// constraint when the terms were built by the logic constructors).
+// Call before Encode. Returns the encoder for chaining.
+func (e *Encoder) WithInterner(in *logic.Interner) *Encoder {
+	if in != nil {
+		e.in = in
+	}
+	return e
+}
+
 func (e *Encoder) assert(t logic.Term) {
-	e.constraints = append(e.constraints, t)
+	e.constraints = append(e.constraints, e.in.Intern(t))
 }
 
 // WithBase attaches a cached base encoding (see NewBase): candidates
