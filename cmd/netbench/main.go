@@ -23,7 +23,7 @@ import (
 
 func main() {
 	table := flag.String("table", "all",
-		"experiment to run: seed, simplify, linearity, pervar, figures, interpretation, ablation, rules, complement, scale, all")
+		"experiment to run: seed, simplify, linearity, pervar, figures, interpretation, ablation, rules, complement, lift, scale, all")
 	quick := flag.Bool("quick", false, "trim the scaling sweep")
 	format := flag.String("format", "text", "output format: text or json")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (e.g. 30s, 5m; 0 = no limit)")
@@ -121,6 +121,8 @@ func main() {
 		run(bench.RuleFireTable(ctx))
 	case "complement":
 		run(bench.ComplementTable(ctx))
+	case "lift":
+		run(bench.LiftTable(ctx))
 	case "scale":
 		run(bench.ScaleTable(ctx, *quick))
 	case "all":

@@ -7,7 +7,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/logic"
-	"repro/internal/rewrite"
+	"repro/internal/sat"
 )
 
 // ComplementExplanation answers the question the paper's Section 5
@@ -23,6 +23,11 @@ type ComplementExplanation struct {
 	// that router's variables — the "assume" side of an assume/
 	// guarantee pair whose "guarantee" side is Explain(Router).
 	Assumptions map[string][]logic.Term
+	// Satisfiable reports the assume side is consistent: some
+	// completion of the rest of the network satisfies the seed. The
+	// synthesized deployment itself is one, so false indicates an
+	// encoding-level inconsistency worth surfacing.
+	Satisfiable bool
 
 	SeedSize       int
 	SimplifiedSize int
@@ -69,15 +74,15 @@ func (e *Explainer) ExplainComplementContext(ctx context.Context, router string)
 		return nil, err
 	}
 	seed := enc.Conjunction()
-	simp := rewrite.New()
-	simplified := simp.Simplify(seed)
+	sout := e.simplify(seed)
+	simplified := sout.Simplified
 
 	out := &ComplementExplanation{
 		Router:         router,
 		Assumptions:    map[string][]logic.Term{},
 		SeedSize:       logic.Size(seed),
 		SimplifiedSize: logic.Size(simplified),
-		Passes:         simp.Passes,
+		Passes:         sout.Passes,
 	}
 	for _, c := range logic.Conjuncts(simplified) {
 		owners := map[string]bool{}
@@ -90,6 +95,20 @@ func (e *Explainer) ExplainComplementContext(ctx context.Context, router string)
 			out.Assumptions[owner] = append(out.Assumptions[owner], c)
 		}
 	}
+
+	// Consistency of the assume side, decided on the pooled warm solver
+	// for this encoding (repeat complement queries — one per focus
+	// router is common — reuse the solver's clause database).
+	seedSolver, release, err := e.checkoutSolver("seed|complement|"+router, seedSolverBuild(enc))
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	st, err := seedSolver.SolveContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out.Satisfiable = st == sat.Sat
 	return out, nil
 }
 

@@ -27,6 +27,13 @@ type Options struct {
 	// MaxPatternNodes bounds the length of candidate subspecification
 	// path patterns during lifting.
 	MaxPatternNodes int
+	// LiftWorkers bounds the worker pool that checks lift candidates in
+	// parallel (each worker owns warm clones of the seed and domain
+	// solvers). Zero means GOMAXPROCS; 1 forces the sequential path.
+	// The explanation output is identical for every value — verdicts
+	// are merged in candidate order — so this is purely a resource
+	// knob.
+	LiftWorkers int
 	// Budget bounds the resources explanation queries may spend: a
 	// wall-clock deadline, a per-solve conflict cap, and the model
 	// cap of the sufficiency check. The zero value means unlimited.
@@ -147,6 +154,21 @@ func (e *Explainer) addSolverStats(st sat.Stats) {
 	}
 }
 
+// simplify runs the rewrite fixpoint on a seed term, through the
+// session's simplification cache when one is installed.
+func (e *Explainer) simplify(seed logic.Term) *engine.SimplifyOutcome {
+	if e.Session != nil {
+		return e.Session.Simplify(seed)
+	}
+	simp := rewrite.New()
+	return &engine.SimplifyOutcome{
+		Simplified: simp.Simplify(seed),
+		Passes:     simp.Passes,
+		Trace:      append([]int(nil), simp.Trace...),
+		Stats:      simp.Stats,
+	}
+}
+
 // ExplainAll explains every symbolizable field of the router at once:
 // "what must this device as a whole do".
 func (e *Explainer) ExplainAll(router string) (*Explanation, error) {
@@ -222,7 +244,8 @@ func (e *Explainer) explain(ctx context.Context, router string, targets []Target
 
 	// Step 2: the seed specification, produced by the synthesizer's
 	// own encoder over the partially symbolic deployment.
-	enc, err := e.encode(ctx, sketch, encodeKey(router, targets))
+	key := encodeKey(router, targets)
+	enc, err := e.encode(ctx, sketch, key)
 	if err != nil {
 		return nil, err
 	}
@@ -231,13 +254,15 @@ func (e *Explainer) explain(ctx context.Context, router string, targets []Target
 	ex.SeedConstraints = enc.Stats.Constraints
 	ex.SeedSize = enc.Stats.ConstraintSize
 
-	// Step 3: simplification to fixpoint.
-	simp := rewrite.New()
-	ex.Simplified = simp.Simplify(ex.Seed)
+	// Step 3: simplification to fixpoint, answered from the session's
+	// cache on repeat queries (the seed term is pointer-identical when
+	// the encoding came from the cache).
+	sout := e.simplify(ex.Seed)
+	ex.Simplified = sout.Simplified
 	ex.SimplifiedSize = logic.Size(ex.Simplified)
-	ex.Passes = simp.Passes
-	ex.SimplifyTrace = append([]int(nil), simp.Trace...)
-	for r, n := range simp.Stats {
+	ex.Passes = sout.Passes
+	ex.SimplifyTrace = append([]int(nil), sout.Trace...)
+	for r, n := range sout.Stats {
 		ex.RuleStats[r] = n
 	}
 
@@ -256,7 +281,7 @@ func (e *Explainer) explain(ctx context.Context, router string, targets []Target
 
 	// Step 4: lifting.
 	if e.Opts.Lift {
-		block, complete, err := e.lift(ctx, router, enc, ex)
+		block, complete, err := e.lift(ctx, router, key, enc, ex)
 		if err != nil {
 			return nil, err
 		}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/logic"
@@ -51,21 +52,11 @@ type liftCandidate struct {
 // set MaxModels.
 const MaxSufficiencyModels = engine.DefaultMaxModels
 
-// newSolver builds an SMT solver with the explainer's conflict budget
-// applied.
-func (e *Explainer) newSolver() *smt.Solver {
-	s := smt.NewSolver()
-	if e.Session != nil {
-		s.UseInterner(e.Session.Interner())
-	}
-	if e.Opts.Budget.MaxConflicts > 0 {
-		s.SetConflictBudget(e.Opts.Budget.MaxConflicts)
-	}
-	return s
-}
-
-// lift runs the lifting pipeline for the router's explanation.
-func (e *Explainer) lift(ctx context.Context, router string, enc *synth.Encoding, ex *Explanation) (*spec.Block, bool, error) {
+// lift runs the lifting pipeline for the router's explanation. key is
+// the encoding's session cache key; the solvers lift uses are pooled
+// under it, so a repeat query against the same encoding starts from
+// warm solvers instead of re-encoding and re-learning from scratch.
+func (e *Explainer) lift(ctx context.Context, router, key string, enc *synth.Encoding, ex *Explanation) (*spec.Block, bool, error) {
 	block := &spec.Block{Name: router}
 	if len(ex.HoleVars) == 0 {
 		// Nothing symbolic: the device is unconstrained by
@@ -73,29 +64,24 @@ func (e *Explainer) lift(ctx context.Context, router string, enc *synth.Encoding
 		return block, true, nil
 	}
 	holeNames := map[string]bool{}
-	var holeVars []*logic.Var
-	for n, v := range ex.HoleVars {
+	for n := range ex.HoleVars {
 		holeNames[n] = true
-		holeVars = append(holeVars, v)
 	}
-	sort.Slice(holeVars, func(i, j int) bool { return holeVars[i].Name < holeVars[j].Name })
+	holeVars := sortedHoleVars(ex.HoleVars)
 
 	cands, err := e.liftCandidates(router, enc, holeNames)
 	if err != nil {
 		return nil, false, err
 	}
 
-	// Seed solver for necessity checks.
-	seedSolver := e.newSolver()
-	defer func() { e.addSolverStats(seedSolver.Stats()) }()
-	for _, v := range holeVars {
-		if err := seedSolver.Declare(v); err != nil {
-			return nil, false, err
-		}
-	}
-	if err := seedSolver.AssertAll(enc.Constraints); err != nil {
+	// Seed solver for necessity and extendability checks, checked out
+	// warm from the session pool when a previous query against the same
+	// encoding left one behind.
+	seedSolver, seedRelease, err := e.checkoutSolver("seed|"+key, seedSolverBuild(enc))
+	if err != nil {
 		return nil, false, err
 	}
+	defer seedRelease()
 	if st, err := seedSolver.SolveContext(ctx); err != nil || st != sat.Sat {
 		if err != nil {
 			return nil, false, err
@@ -103,31 +89,54 @@ func (e *Explainer) lift(ctx context.Context, router string, enc *synth.Encoding
 		return nil, false, fmt.Errorf("core: seed specification unsatisfiable or error (%v)", st)
 	}
 
-	// Plain solver (domains only) for vacuity and redundancy.
-	var accepted []liftCandidate
-	for _, c := range cands {
-		// Vacuous: no completion violates it.
-		vacSolver := e.newSolver()
+	// Domain solver (hole domains only) for vacuity checks and the
+	// sufficiency enumeration, pooled like the seed solver; temporary
+	// constraints go through guarded asserts, so it survives between
+	// query families without accumulating stale assertions.
+	domSolver, domRelease, err := e.checkoutSolver("domain|"+key, func(s *smt.Solver) error {
 		for _, v := range holeVars {
-			if err := vacSolver.Declare(v); err != nil {
-				return nil, false, err
+			if err := s.Declare(v); err != nil {
+				return err
 			}
 		}
-		st, err := vacSolver.SolveContext(ctx, logic.Not(c.term))
-		e.addSolverStats(vacSolver.Stats())
-		if err != nil {
-			return nil, false, err
-		}
-		if st != sat.Sat {
-			continue // tautological over the hole space: says nothing
-		}
-		// Necessary: seed forces it.
-		st, err = seedSolver.SolveContext(ctx, logic.Not(c.term))
-		if err != nil {
-			return nil, false, err
-		}
-		if st == sat.Unsat {
-			accepted = append(accepted, c)
+		return nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	defer domRelease()
+
+	// Decide NOT VACUOUS and NECESSARY for every candidate across the
+	// worker pool. Verdicts land in candidate order, so the accepted
+	// list — and everything downstream — is byte-identical for every
+	// worker count.
+	verdicts := make([]bool, len(cands))
+	err = e.runChecks(ctx, len(cands), []*smt.Solver{seedSolver, domSolver},
+		func(ctx context.Context, solvers []*smt.Solver, i int, lats *[]time.Duration) error {
+			seed, dom := solvers[0], solvers[1]
+			// Vacuous: no completion violates it.
+			st, err := timedSolve(ctx, dom, lats, logic.Not(cands[i].term))
+			if err != nil {
+				return err
+			}
+			if st != sat.Sat {
+				return nil // tautological over the hole space: says nothing
+			}
+			// Necessary: seed forces it.
+			st, err = timedSolve(ctx, seed, lats, logic.Not(cands[i].term))
+			if err != nil {
+				return err
+			}
+			verdicts[i] = st == sat.Unsat
+			return nil
+		})
+	if err != nil {
+		return nil, false, err
+	}
+	var accepted []liftCandidate
+	for i, ok := range verdicts {
+		if ok {
+			accepted = append(accepted, cands[i])
 		}
 	}
 
@@ -188,7 +197,7 @@ func (e *Explainer) lift(ctx context.Context, router string, enc *synth.Encoding
 		// in some valid completion.
 		complete, err = e.checkUnconstrained(ctx, holeVars, seedSolver)
 	} else {
-		complete, err = e.checkSufficiency(ctx, holeVars, final, seedSolver)
+		complete, err = e.checkSufficiency(ctx, holeVars, final, seedSolver, domSolver)
 	}
 	if err != nil {
 		return nil, false, err
@@ -197,30 +206,44 @@ func (e *Explainer) lift(ctx context.Context, router string, enc *synth.Encoding
 }
 
 // checkUnconstrained verifies that each value of each symbolic
-// variable extends to a model of the seed.
+// variable extends to a model of the seed. The probes are independent
+// assumption queries and fan out across the lift worker pool.
 func (e *Explainer) checkUnconstrained(ctx context.Context, holeVars []*logic.Var, seedSolver *smt.Solver) (bool, error) {
+	type probe struct {
+		v   *logic.Var
+		val logic.Term
+	}
+	var probes []probe
 	for _, v := range holeVars {
-		var values []logic.Term
 		switch {
 		case v.S.IsBool():
-			values = []logic.Term{logic.True, logic.False}
+			probes = append(probes, probe{v, logic.True}, probe{v, logic.False})
 		case v.S.IsInt():
 			for x := v.Lo; x <= v.Hi; x++ {
-				values = append(values, logic.NewInt(x))
+				probes = append(probes, probe{v, logic.NewInt(x)})
 			}
 		default:
 			for _, val := range v.S.Values {
-				values = append(values, logic.NewEnum(v.S, val))
+				probes = append(probes, probe{v, logic.NewEnum(v.S, val)})
 			}
 		}
-		for _, val := range values {
-			st, err := seedSolver.SolveContext(ctx, logic.Eq(v, val))
+	}
+	verdicts := make([]bool, len(probes))
+	err := e.runChecks(ctx, len(probes), []*smt.Solver{seedSolver},
+		func(ctx context.Context, solvers []*smt.Solver, i int, lats *[]time.Duration) error {
+			st, err := timedSolve(ctx, solvers[0], lats, logic.Eq(probes[i].v, probes[i].val))
 			if err != nil {
-				return false, err
+				return err
 			}
-			if st != sat.Sat {
-				return false, nil
-			}
+			verdicts[i] = st == sat.Sat
+			return nil
+		})
+	if err != nil {
+		return false, err
+	}
+	for _, ok := range verdicts {
+		if !ok {
+			return false, nil
 		}
 	}
 	return true, nil
@@ -257,28 +280,36 @@ func commonScope(router string, block *spec.Block) string {
 // over the hole variables and verifies each extends to a model of the
 // seed. Returns false (without error) when the enumeration exceeds its
 // budget.
-func (e *Explainer) checkSufficiency(ctx context.Context, holeVars []*logic.Var, final []liftCandidate, seedSolver *smt.Solver) (bool, error) {
-	enumSolver := e.newSolver()
-	defer func() { e.addSolverStats(enumSolver.Stats()) }()
-	for _, v := range holeVars {
-		if err := enumSolver.Declare(v); err != nil {
-			return false, err
+//
+// The subspecification clauses are asserted under guards on the warm
+// domain solver, and the enumeration's blocking clauses are scoped to
+// the walk, so the solver emerges unconstrained again (plus learnt
+// clauses, which stay sound) and goes back to the pool.
+func (e *Explainer) checkSufficiency(ctx context.Context, holeVars []*logic.Var, final []liftCandidate, seedSolver, domSolver *smt.Solver) (bool, error) {
+	guards := make([]smt.Guard, 0, len(final))
+	defer func() {
+		for _, g := range guards {
+			domSolver.Retract(g)
 		}
-	}
+	}()
 	for _, c := range final {
-		if err := enumSolver.Assert(c.term); err != nil {
+		g, err := domSolver.AssertGuarded(c.term)
+		if err != nil {
 			return false, err
 		}
+		guards = append(guards, g)
 	}
+	var lats []time.Duration
+	defer func() { e.addLiftQueries(lats) }()
 	sufficient := true
 	var checkErr error
-	_, exhausted, err := enumSolver.EnumerateModelsContext(ctx, holeVars, e.Opts.Budget.ModelCap(), func(m logic.Assignment) bool {
+	_, exhausted, err := domSolver.EnumerateModelsRetractableContext(ctx, holeVars, e.Opts.Budget.ModelCap(), func(m logic.Assignment) bool {
 		// Does this device behavior extend to a full seed model?
 		var assume []logic.Term
 		for _, v := range holeVars {
 			assume = append(assume, logic.Eq(v, m[v.Name].Term()))
 		}
-		st, err := seedSolver.SolveContext(ctx, assume...)
+		st, err := timedSolve(ctx, seedSolver, &lats, assume...)
 		if err != nil {
 			checkErr = err
 			return false

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/scenarios"
+	"repro/internal/synth"
+)
+
+// Lift-stage benchmarks. BenchmarkLiftWarm drives repeated
+// whole-network explanations through ONE explainer — the usage pattern
+// of iterative workflows (explain, edit, re-validate) — so every form
+// of query reuse the session offers applies. BenchmarkLiftCold builds
+// a fresh explainer per report, paying the full setup every time. The
+// warm/cold gap isolates what reuse buys end to end.
+
+func benchDeployment(b *testing.B, sc *scenarios.Scenario) (config.Deployment, []string) {
+	b.Helper()
+	res, err := synth.Synthesize(sc.Net, sc.Sketch, sc.Requirements(), synth.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	routers := make([]string, 0, len(res.Deployment))
+	for name := range res.Deployment {
+		routers = append(routers, name)
+	}
+	sort.Strings(routers)
+	return res.Deployment, routers
+}
+
+func explainRouters(b *testing.B, e *Explainer, routers []string) {
+	b.Helper()
+	ctx := context.Background()
+	for _, r := range routers {
+		if _, err := e.ExplainAllContext(ctx, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLiftWarm(b *testing.B) {
+	for _, sc := range scenarios.All() {
+		sc := sc
+		b.Run(sc.Name, func(b *testing.B) {
+			dep, routers := benchDeployment(b, sc)
+			e, err := NewExplainer(sc.Net, sc.Requirements(), dep, DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			// One untimed pass fills the session's caches.
+			explainRouters(b, e, routers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				explainRouters(b, e, routers)
+			}
+		})
+	}
+}
+
+func BenchmarkLiftCold(b *testing.B) {
+	for _, sc := range scenarios.All() {
+		sc := sc
+		b.Run(sc.Name, func(b *testing.B) {
+			dep, routers := benchDeployment(b, sc)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e, err := NewExplainer(sc.Net, sc.Requirements(), dep, DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				explainRouters(b, e, routers)
+			}
+		})
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/scenarios"
+)
+
+// TestReportIdenticalAcrossWorkerCounts pins the determinism contract
+// of the parallel lift: the whole-network report is byte-identical to
+// the committed golden for every worker count, because candidate
+// verdicts are merged in candidate order and the remaining checks are
+// verdict-equal regardless of solver warmth or schedule.
+func TestReportIdenticalAcrossWorkerCounts(t *testing.T) {
+	for _, sc := range scenarios.All() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			dep := synthScenario(t, sc)
+			want, err := os.ReadFile(filepath.Join("testdata", "report_"+sc.Name+".golden"))
+			if err != nil {
+				t.Fatalf("missing golden (run TestReportMatchesGolden -update): %v", err)
+			}
+			for _, workers := range []int{1, 2, 8} {
+				opts := DefaultOptions()
+				opts.LiftWorkers = workers
+				e, err := NewExplainer(sc.Net, sc.Requirements(), dep, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := e.Report()
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if got != string(want) {
+					t.Errorf("workers=%d: report differs from golden", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestWarmSolverReuseAcrossQueries checks that repeat queries against
+// one encoding hit the session's warm-solver pool and still produce
+// identical explanations.
+func TestWarmSolverReuseAcrossQueries(t *testing.T) {
+	sc := scenarios.All()[0]
+	dep := synthScenario(t, sc)
+	e := newExplainer(t, sc, dep, nil)
+	router := firstConfiguredRouter(dep)
+	first, err := e.ExplainAll(router)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if misses := e.Stats().WarmSolverMisses; misses == 0 {
+		t.Fatal("first explanation built no solvers")
+	}
+	second, err := e.ExplainAll(router)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.WarmSolverHits == 0 {
+		t.Errorf("repeat explanation hit no warm solvers (hits=%d misses=%d)", st.WarmSolverHits, st.WarmSolverMisses)
+	}
+	if !reflect.DeepEqual(subspecStrings(first.Subspec), subspecStrings(second.Subspec)) {
+		t.Errorf("warm repeat changed the subspec:\nfirst:  %v\nsecond: %v", subspecStrings(first.Subspec), subspecStrings(second.Subspec))
+	}
+	if first.SubspecComplete != second.SubspecComplete {
+		t.Errorf("warm repeat changed completeness: %v vs %v", first.SubspecComplete, second.SubspecComplete)
+	}
+	if st.LiftQueries == 0 {
+		t.Error("no lift query latencies recorded")
+	}
+	if st.SimplifyHits == 0 {
+		t.Error("repeat explanation did not hit the simplification cache")
+	}
+	if st.LiftQueries > 0 && (st.LiftP50 < 0 || st.LiftP95 < st.LiftP50) {
+		t.Errorf("implausible latency percentiles: p50=%v p95=%v", st.LiftP50, st.LiftP95)
+	}
+}
+
+// TestCheckSubspecNecessary checks the solver-backed necessity
+// validation agrees with lifting's own criterion: every clause the
+// lift accepted is entailed by the seed.
+func TestCheckSubspecNecessary(t *testing.T) {
+	for _, sc := range scenarios.All() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			dep := synthScenario(t, sc)
+			e := newExplainer(t, sc, dep, nil)
+			for router := range dep {
+				ex, err := e.ExplainAll(router)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ex.Subspec == nil || len(ex.Subspec.Reqs) == 0 {
+					continue
+				}
+				checks, err := e.CheckSubspecNecessary(router, ex.Subspec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(checks) != len(ex.Subspec.Reqs) {
+					t.Fatalf("%s: %d checks for %d clauses", router, len(checks), len(ex.Subspec.Reqs))
+				}
+				for _, ch := range checks {
+					if !ch.Necessary {
+						t.Errorf("%s: lifted clause %s reported not necessary", router, ch.Req)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestComplementSatisfiable checks the complement's consistency
+// verdict: the synthesized deployment itself completes the assume
+// side, so it must be satisfiable.
+func TestComplementSatisfiable(t *testing.T) {
+	sc := scenarios.All()[0]
+	dep := synthScenario(t, sc)
+	e := newExplainer(t, sc, dep, nil)
+	router := firstConfiguredRouter(dep)
+	out, err := e.ExplainComplement(router)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Satisfiable {
+		t.Errorf("complement of %s reported unsatisfiable", router)
+	}
+}
+
+// firstConfiguredRouter picks the alphabetically first configured
+// router, for tests that need any one device.
+func firstConfiguredRouter(dep config.Deployment) string {
+	names := make([]string, 0, len(dep))
+	for name := range dep {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names[0]
+}

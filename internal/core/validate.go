@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/logic"
+	"repro/internal/sat"
 	"repro/internal/spec"
 	"repro/internal/synth"
 )
@@ -81,6 +83,76 @@ func (e *Explainer) CheckSubspecContext(ctx context.Context, router string, bloc
 			return nil, fmt.Errorf("core: clause %s: %w", req, err)
 		}
 		out = append(out, ClauseCheck{Req: req, Holds: holds})
+	}
+	return out, nil
+}
+
+// NecessityCheck is the verdict of checking one subspecification
+// clause against the router's SEED specification rather than its
+// concrete configuration: Necessary means every completion of the
+// device that satisfies the seed satisfies the clause — the necessity
+// half of the lifting criterion, applied to a given block (for
+// example a hand-edited or externally proposed subspecification).
+type NecessityCheck struct {
+	Req       spec.Requirement
+	Necessary bool
+}
+
+// CheckSubspecNecessary reports, clause by clause, whether the block
+// is entailed by the router's seed specification.
+func (e *Explainer) CheckSubspecNecessary(router string, block *spec.Block) ([]NecessityCheck, error) {
+	return e.CheckSubspecNecessaryContext(context.Background(), router, block)
+}
+
+// CheckSubspecNecessaryContext is CheckSubspecNecessary with
+// cancellation and the budget's deadline applied. It encodes the same
+// sketch as ExplainAll and runs on the session's pooled warm seed
+// solver, so after an explanation of the router each clause costs one
+// assumption-driven solve on the solver that answered the lift
+// queries — no re-encoding and no fresh Tseitin translation.
+func (e *Explainer) CheckSubspecNecessaryContext(ctx context.Context, router string, block *spec.Block) ([]NecessityCheck, error) {
+	ctx, cancel := e.Opts.Budget.Apply(ctx)
+	defer cancel()
+	c, ok := e.Deployment[router]
+	if !ok {
+		return nil, fmt.Errorf("core: no deployed configuration for %q", router)
+	}
+	targets := AllTargets(c)
+	sketch := config.Deployment{}
+	for name, dc := range e.Deployment {
+		sketch[name] = dc
+	}
+	if len(targets) > 0 {
+		sym, _, err := Symbolize(c, targets)
+		if err != nil {
+			return nil, err
+		}
+		sketch[router] = sym
+	}
+	key := encodeKey(router, targets)
+	enc, err := e.encode(ctx, sketch, key)
+	if err != nil {
+		return nil, err
+	}
+	seedSolver, release, err := e.checkoutSolver("seed|"+key, seedSolverBuild(enc))
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	var lats []time.Duration
+	defer func() { e.addLiftQueries(lats) }()
+	infos := enc.PathInfos()
+	out := make([]NecessityCheck, 0, len(block.Reqs))
+	for _, req := range block.Reqs {
+		term, err := e.clauseTerm(infos, router, req)
+		if err != nil {
+			return nil, fmt.Errorf("core: clause %s: %w", req, err)
+		}
+		st, err := timedSolve(ctx, seedSolver, &lats, logic.Not(term))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, NecessityCheck{Req: req, Necessary: st == sat.Unsat})
 	}
 	return out, nil
 }

@@ -78,8 +78,26 @@ type Stats struct {
 	// EncodeTime is the wall-clock time spent encoding (base and
 	// derived, cache hits excluded).
 	EncodeTime time.Duration
-	// Solves and Conflicts total the SAT solver calls and conflicts
-	// reported via AddSolverStats.
-	Solves    uint64
-	Conflicts uint64
+	// Solves, Conflicts, Propagations, Decisions, and Learnt total the
+	// SAT-level effort reported via AddSolverStats. Every solver the
+	// pipeline runs — including per-worker clones and pooled warm
+	// solvers — is harvested into these, so no path drops its counts.
+	Solves       uint64
+	Conflicts    uint64
+	Propagations uint64
+	Decisions    uint64
+	Learnt       uint64
+	// WarmSolverHits and WarmSolverMisses count solver checkouts
+	// answered from the session's warm pool versus built cold.
+	WarmSolverHits   int
+	WarmSolverMisses int
+	// SimplifyHits counts seed simplifications answered from the
+	// session's cache instead of re-running the rewrite fixpoint.
+	SimplifyHits int
+	// LiftQueries counts individual lift-stage SMT queries; LiftP50 and
+	// LiftP95 are their latency percentiles (nearest-rank over every
+	// recorded query).
+	LiftQueries int
+	LiftP50     time.Duration
+	LiftP95     time.Duration
 }

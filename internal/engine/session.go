@@ -3,12 +3,15 @@ package engine
 import (
 	"context"
 	"errors"
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/config"
 	"repro/internal/logic"
+	"repro/internal/rewrite"
 	"repro/internal/sat"
+	"repro/internal/smt"
 	"repro/internal/spec"
 	"repro/internal/synth"
 	"repro/internal/topology"
@@ -43,6 +46,31 @@ type Session struct {
 	mu       sync.Mutex
 	entries  map[string]*entry
 	stats    Stats
+	liftNS   []int64 // per-query lift latencies, nanoseconds
+
+	// solvMu guards the warm-solver pool: idle solvers keyed by the
+	// encoding key they were built for. Checkout removes the solver
+	// (exclusive use — smt.Solver is not concurrency-safe), checkin
+	// returns it warm for the next query against the same encoding.
+	solvMu  sync.Mutex
+	solvers map[string]*smt.Solver
+
+	// simpMu guards the simplification cache, keyed by the canonical
+	// (interned) seed term. Simplification is a pure function of the
+	// term, so repeat queries over a cached encoding skip the whole
+	// rewrite fixpoint.
+	simpMu sync.Mutex
+	simps  map[logic.Term]*SimplifyOutcome
+}
+
+// SimplifyOutcome is one seed's cached simplification: the simplified
+// term plus the simplifier's diagnostics, which explanations report.
+// Outcomes are shared across queries and must be treated as immutable.
+type SimplifyOutcome struct {
+	Simplified logic.Term
+	Passes     int
+	Trace      []int
+	Stats      map[rewrite.RuleName]int
 }
 
 type entry struct {
@@ -63,6 +91,8 @@ func NewSession(net *topology.Network, reqs []spec.Requirement, dep config.Deplo
 		opts:    opts,
 		in:      logic.Default(),
 		entries: make(map[string]*entry),
+		solvers: make(map[string]*smt.Solver),
+		simps:   make(map[logic.Term]*SimplifyOutcome),
 	}
 }
 
@@ -158,18 +188,111 @@ func (s *Session) ensureBase(ctx context.Context) *synth.Base {
 	return base
 }
 
+// Simplify runs the rewrite fixpoint on the seed term, caching by the
+// term's canonical pointer — with hash-consed encodings a repeat query
+// over a cached encoding presents the very same seed pointer, so the
+// whole simplification is answered by one map lookup. Concurrent
+// misses on the same term may compute it twice; the function is pure
+// and deterministic, so either result is the same.
+func (s *Session) Simplify(seed logic.Term) *SimplifyOutcome {
+	seed = s.in.Intern(seed)
+	s.simpMu.Lock()
+	if out, ok := s.simps[seed]; ok {
+		s.simpMu.Unlock()
+		s.mu.Lock()
+		s.stats.SimplifyHits++
+		s.mu.Unlock()
+		return out
+	}
+	s.simpMu.Unlock()
+	simp := rewrite.New()
+	out := &SimplifyOutcome{
+		Simplified: simp.Simplify(seed),
+		Passes:     simp.Passes,
+		Trace:      append([]int(nil), simp.Trace...),
+		Stats:      simp.Stats,
+	}
+	s.simpMu.Lock()
+	s.simps[seed] = out
+	s.simpMu.Unlock()
+	return out
+}
+
+// CheckoutSolver removes and returns the idle warm solver held for
+// key, or nil when none is pooled (build one, use it, and CheckinSolver
+// it when done). The caller owns the returned solver exclusively until
+// checkin. Every call is counted as a warm hit or miss.
+func (s *Session) CheckoutSolver(key string) *smt.Solver {
+	s.solvMu.Lock()
+	sv := s.solvers[key]
+	if sv != nil {
+		delete(s.solvers, key)
+	}
+	s.solvMu.Unlock()
+	s.mu.Lock()
+	if sv != nil {
+		s.stats.WarmSolverHits++
+	} else {
+		s.stats.WarmSolverMisses++
+	}
+	s.mu.Unlock()
+	return sv
+}
+
+// CheckinSolver parks a solver for later reuse under key. The solver
+// must be in the state the key promises: exactly the constraints the
+// keyed encoding asserts (learnt clauses and retracted guards on top
+// are fine — they are consequences, not new constraints). A solver
+// already pooled under the key is displaced (kept: the newer one,
+// which has seen more queries and is warmer).
+func (s *Session) CheckinSolver(key string, sv *smt.Solver) {
+	if sv == nil {
+		return
+	}
+	s.solvMu.Lock()
+	s.solvers[key] = sv
+	s.solvMu.Unlock()
+}
+
 // AddSolverStats folds SAT-level effort (from a solver that has
-// finished its work) into the session's merged statistics.
+// finished its work, or the Stats().Sub(checkpoint) delta of one that
+// lives on in the pool) into the session's merged statistics.
 func (s *Session) AddSolverStats(st sat.Stats) {
 	s.mu.Lock()
 	s.stats.Solves += st.Solves
 	s.stats.Conflicts += st.Conflicts
+	s.stats.Propagations += st.Propagations
+	s.stats.Decisions += st.Decisions
+	s.stats.Learnt += st.Learnt
 	s.mu.Unlock()
 }
 
-// Stats returns a snapshot of the merged statistics.
+// AddLiftQueries records the latencies of individual lift-stage SMT
+// queries (vacuity, necessity, extendability probes), batched per
+// worker to keep the lock off the hot path.
+func (s *Session) AddLiftQueries(ds []time.Duration) {
+	if len(ds) == 0 {
+		return
+	}
+	s.mu.Lock()
+	for _, d := range ds {
+		s.liftNS = append(s.liftNS, d.Nanoseconds())
+	}
+	s.mu.Unlock()
+}
+
+// Stats returns a snapshot of the merged statistics. The lift-query
+// latency percentiles are computed over every query recorded so far.
 func (s *Session) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	st.LiftQueries = len(s.liftNS)
+	if n := len(s.liftNS); n > 0 {
+		ns := append([]int64(nil), s.liftNS...)
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		st.LiftP50 = time.Duration(ns[(n-1)*50/100])
+		st.LiftP95 = time.Duration(ns[(n-1)*95/100])
+	}
+	return st
 }

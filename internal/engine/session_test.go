@@ -4,11 +4,14 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/sat"
 	"repro/internal/scenarios"
+	"repro/internal/smt"
 	"repro/internal/synth"
 )
 
@@ -134,5 +137,99 @@ func TestBudgetApply(t *testing.T) {
 	}
 	if got := (engine.Budget{MaxModels: 7}).ModelCap(); got != 7 {
 		t.Errorf("ModelCap = %d, want 7", got)
+	}
+}
+
+func TestSessionSolverPool(t *testing.T) {
+	s := newSession(t)
+
+	if sv := s.CheckoutSolver("a"); sv != nil {
+		t.Fatal("empty pool returned a solver")
+	}
+	built := smt.NewSolver()
+	s.CheckinSolver("a", built)
+	got := s.CheckoutSolver("a")
+	if got != built {
+		t.Fatalf("checkout returned %p, want the checked-in solver %p", got, built)
+	}
+	// Checkout is exclusive: the slot is empty until checkin.
+	if sv := s.CheckoutSolver("a"); sv != nil {
+		t.Fatal("second checkout of the same key returned a solver")
+	}
+	s.CheckinSolver("a", got)
+	// Keys are independent.
+	if sv := s.CheckoutSolver("b"); sv != nil {
+		t.Fatal("foreign key hit the pool")
+	}
+
+	st := s.Stats()
+	if st.WarmSolverHits != 1 {
+		t.Errorf("WarmSolverHits = %d, want 1", st.WarmSolverHits)
+	}
+	if st.WarmSolverMisses != 3 {
+		t.Errorf("WarmSolverMisses = %d, want 3", st.WarmSolverMisses)
+	}
+}
+
+func TestSessionSolverPoolConcurrent(t *testing.T) {
+	s := newSession(t)
+	// Hammer one key from many goroutines: every checkout must be
+	// exclusive (no solver handed to two goroutines at once).
+	s.CheckinSolver("k", smt.NewSolver())
+	var wg sync.WaitGroup
+	var inUse int32
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sv := s.CheckoutSolver("k")
+				if sv == nil {
+					continue
+				}
+				if !atomic.CompareAndSwapInt32(&inUse, 0, 1) {
+					t.Error("two goroutines hold the same pooled solver")
+					return
+				}
+				atomic.StoreInt32(&inUse, 0)
+				s.CheckinSolver("k", sv)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSessionLiftQueryStats(t *testing.T) {
+	s := newSession(t)
+	if st := s.Stats(); st.LiftQueries != 0 || st.LiftP50 != 0 || st.LiftP95 != 0 {
+		t.Fatalf("zero-query stats not zero: %+v", st)
+	}
+	var ds []time.Duration
+	for i := 1; i <= 100; i++ {
+		ds = append(ds, time.Duration(i)*time.Millisecond)
+	}
+	s.AddLiftQueries(ds[:50])
+	s.AddLiftQueries(ds[50:])
+	s.AddLiftQueries(nil) // no-op
+	st := s.Stats()
+	if st.LiftQueries != 100 {
+		t.Errorf("LiftQueries = %d, want 100", st.LiftQueries)
+	}
+	// Nearest-rank over 1..100ms: p50 at index 49 (50ms), p95 at 94 (95ms).
+	if st.LiftP50 != 50*time.Millisecond {
+		t.Errorf("LiftP50 = %v, want 50ms", st.LiftP50)
+	}
+	if st.LiftP95 != 95*time.Millisecond {
+		t.Errorf("LiftP95 = %v, want 95ms", st.LiftP95)
+	}
+}
+
+func TestSessionMergesFullSolverStats(t *testing.T) {
+	s := newSession(t)
+	s.AddSolverStats(sat.Stats{Solves: 2, Conflicts: 3, Propagations: 5, Decisions: 7, Learnt: 1})
+	s.AddSolverStats(sat.Stats{Solves: 1, Conflicts: 1, Propagations: 1, Decisions: 1, Learnt: 1})
+	st := s.Stats()
+	if st.Solves != 3 || st.Conflicts != 4 || st.Propagations != 6 || st.Decisions != 8 || st.Learnt != 2 {
+		t.Errorf("merged stats dropped counts: %+v", st)
 	}
 }

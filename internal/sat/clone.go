@@ -1,0 +1,113 @@
+package sat
+
+// Clone returns a warm snapshot of the solver: problem clauses, learnt
+// clauses, variable activities, saved phases, clause activities, and
+// level-0 assignments are all carried over, so the clone resumes search
+// with everything the original has learned instead of starting cold.
+// This is what makes per-worker solvers cheap — one shared encode, one
+// memcpy-style snapshot per worker.
+//
+// Clone must be called outside search (decision level 0), which is
+// always the case between Solve calls: Solve backtracks to level 0
+// before returning, and AddClause refuses to run mid-search.
+//
+// Carrying learnt clauses over is sound for any future assumption set:
+// a learnt clause is derived by resolution over reason clauses only,
+// and assumptions enter the search as decisions (nil reason), never as
+// reasons — so every learnt is a logical consequence of the problem
+// clauses alone. The one obligation on callers is the same one the
+// solver already imposes: problem clauses are only ever added, never
+// removed.
+//
+// The clone shares no mutable state with the original (clauses are
+// deep-copied, watch lists remapped), so original and clone may be
+// driven from different goroutines afterwards — each individually
+// remains non-concurrency-safe.
+//
+// The clone's cumulative work counters (Solves, Conflicts, ...) start
+// at zero so per-clone effort can be merged additively into session
+// statistics; the structural gauges (MaxVars, Clauses) carry over.
+func (s *Solver) Clone() *Solver {
+	if s.decisionLevel() != 0 {
+		panic("sat: Clone called during search")
+	}
+	c := &Solver{
+		ok:             s.ok,
+		varInc:         s.varInc,
+		claInc:         s.claInc,
+		qhead:          s.qhead,
+		ConflictBudget: s.ConflictBudget,
+	}
+
+	// Deep-copy the clause database, remembering old -> new pointers so
+	// watch lists and level-0 reasons can be remapped.
+	remap := make(map[*clause]*clause, len(s.clauses)+len(s.learnts))
+	cloneClause := func(cl *clause) *clause {
+		cc := &clause{lits: append([]Lit(nil), cl.lits...), learnt: cl.learnt, activity: cl.activity}
+		remap[cl] = cc
+		return cc
+	}
+	c.clauses = make([]*clause, len(s.clauses))
+	for i, cl := range s.clauses {
+		c.clauses[i] = cloneClause(cl)
+	}
+	c.learnts = make([]*clause, len(s.learnts))
+	for i, cl := range s.learnts {
+		c.learnts[i] = cloneClause(cl)
+	}
+	c.watches = make([][]watcher, len(s.watches))
+	for i, ws := range s.watches {
+		if len(ws) == 0 {
+			continue
+		}
+		cw := make([]watcher, len(ws))
+		for j, w := range ws {
+			cw[j] = watcher{c: remap[w.c], blocker: w.blocker}
+		}
+		c.watches[i] = cw
+	}
+
+	c.assigns = append([]LBool(nil), s.assigns...)
+	c.level = append([]int(nil), s.level...)
+	c.reason = make([]*clause, len(s.reason))
+	for i, r := range s.reason {
+		if r != nil {
+			c.reason[i] = remap[r]
+		}
+	}
+	c.trail = append([]Lit(nil), s.trail...)
+	c.trailLim = append([]int(nil), s.trailLim...)
+	c.activity = append([]float64(nil), s.activity...)
+	c.phase = append([]bool(nil), s.phase...)
+	c.seen = make([]bool, len(s.seen))
+	c.model = append([]LBool(nil), s.model...)
+
+	// Copy the branching heap verbatim (same activities, same layout)
+	// so original and clone branch identically until their inputs
+	// diverge.
+	c.order = newVarHeap(&c.activity)
+	c.order.heap = append([]Var(nil), s.order.heap...)
+	c.order.indices = append([]int(nil), s.order.indices...)
+
+	c.Stats = Stats{MaxVars: s.Stats.MaxVars, Clauses: s.Stats.Clauses}
+	return c
+}
+
+// Sub returns the counter-wise difference a - b: the work performed
+// between the snapshot b and the later snapshot a of the same solver's
+// Stats. The structural gauges (MaxVars, Clauses) are taken from a.
+// Use it to harvest the effort of a solver that outlives one query —
+// a warm solver checked out of a pool — without double-counting work
+// already merged by an earlier harvest.
+func (a Stats) Sub(b Stats) Stats {
+	return Stats{
+		Solves:       a.Solves - b.Solves,
+		Decisions:    a.Decisions - b.Decisions,
+		Propagations: a.Propagations - b.Propagations,
+		Conflicts:    a.Conflicts - b.Conflicts,
+		Restarts:     a.Restarts - b.Restarts,
+		Learnt:       a.Learnt - b.Learnt,
+		MaxVars:      a.MaxVars,
+		Clauses:      a.Clauses,
+	}
+}

@@ -24,6 +24,7 @@ package smt
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/logic"
 	"repro/internal/sat"
@@ -58,9 +59,21 @@ type Solver struct {
 
 	asserted []logic.Term
 
+	// guards holds the literals of the active (not yet retracted)
+	// guarded assertions, in creation order; SolveContext assumes them
+	// all, so guarded constraints are in force exactly while active.
+	guards []sat.Lit
+
 	// assumption bookkeeping for core extraction.
 	lastAssumed []logic.Term
 	lastLits    []sat.Lit
+
+	// busy guards against overlapping SolveContext calls: a Solver is
+	// not safe for concurrent use, and the per-worker-clone discipline
+	// of the lift stage makes accidental sharing an easy bug to write
+	// and a hard one to see. The CAS costs nothing per solve and turns
+	// a silent data race into a deterministic panic.
+	busy int32
 }
 
 // varEncoding is the propositional encoding of one declared variable.
@@ -244,7 +257,18 @@ func (s *Solver) Solve(assumptions ...logic.Term) (sat.Status, error) {
 // into the underlying SAT search, so a cancelled or expired context
 // aborts a running solve promptly. On cancellation the status is
 // Unknown and the error is the context's error.
+//
+// Active guarded assertions (AssertGuarded) are assumed automatically,
+// before the caller's assumptions.
+//
+// A Solver is not safe for concurrent use: overlapping SolveContext
+// calls panic deterministically rather than racing (Clone one solver
+// per worker instead).
 func (s *Solver) SolveContext(ctx context.Context, assumptions ...logic.Term) (sat.Status, error) {
+	if !atomic.CompareAndSwapInt32(&s.busy, 0, 1) {
+		panic("smt: overlapping SolveContext calls on one Solver; a Solver is not concurrency-safe — Clone one per worker")
+	}
+	defer atomic.StoreInt32(&s.busy, 0)
 	s.lastAssumed = assumptions
 	s.lastLits = s.lastLits[:0]
 	for _, a := range assumptions {
@@ -257,7 +281,13 @@ func (s *Solver) SolveContext(ctx context.Context, assumptions ...logic.Term) (s
 		}
 		s.lastLits = append(s.lastLits, l)
 	}
-	return s.sat.SolveContext(ctx, s.lastLits...)
+	if len(s.guards) == 0 {
+		return s.sat.SolveContext(ctx, s.lastLits...)
+	}
+	all := make([]sat.Lit, 0, len(s.guards)+len(s.lastLits))
+	all = append(all, s.guards...)
+	all = append(all, s.lastLits...)
+	return s.sat.SolveContext(ctx, all...)
 }
 
 // Core returns assumption terms responsible for the last Unsat result,
