@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -22,15 +23,31 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all",
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with the process glue factored out. Exit codes follow
+// the shared cmd convention: 0 success, 1 operational failure,
+// 2 usage error (bad flags, unknown -table or -format value).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("netbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	table := fs.String("table", "all",
 		"experiment to run: seed, simplify, linearity, pervar, figures, interpretation, ablation, rules, complement, lift, scale, all")
-	quick := flag.Bool("quick", false, "trim the scaling sweep")
-	format := flag.String("format", "text", "output format: text or json")
-	timeout := flag.Duration("timeout", 0, "abort the run after this duration (e.g. 30s, 5m; 0 = no limit)")
-	benchJSON := flag.String("benchjson", "", "write machine-readable pipeline measurements (scenario, wall time, SAT conflicts, cache hits) to this file and exit")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
-	flag.Parse()
+	quick := fs.Bool("quick", false, "trim the scaling sweep")
+	format := fs.String("format", "text", "output format: text or json")
+	timeout := fs.Duration("timeout", 0, "abort the run after this duration (e.g. 30s, 5m; 0 = no limit)")
+	benchJSON := fs.String("benchjson", "", "write machine-readable pipeline measurements (scenario, wall time, SAT conflicts, cache hits) to this file and exit")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(stderr, "netbench: unknown format %q (want text or json)\n", *format)
+		return 2
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -42,13 +59,13 @@ func main() {
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "netbench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "netbench:", err)
+			return 1
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "netbench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "netbench:", err)
+			return 1
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -56,84 +73,85 @@ func main() {
 		defer func() {
 			f, err := os.Create(*memProfile)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "netbench:", err)
+				fmt.Fprintln(stderr, "netbench:", err)
 				return
 			}
 			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "netbench:", err)
+				fmt.Fprintln(stderr, "netbench:", err)
 			}
 		}()
 	}
 
 	if *benchJSON != "" {
 		if err := bench.WritePerfJSON(ctx, *benchJSON); err != nil {
-			fmt.Fprintln(os.Stderr, "netbench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "netbench:", err)
+			return 1
 		}
-		fmt.Printf("wrote %s\n", *benchJSON)
-		return
+		fmt.Fprintf(stdout, "wrote %s\n", *benchJSON)
+		return 0
 	}
 
-	emit := func(tables []*bench.Table) {
+	emit := func(tables []*bench.Table) int {
 		if *format == "json" {
 			payload := make([]map[string]any, len(tables))
 			for i, t := range tables {
 				payload[i] = t.JSON()
 			}
-			enc := json.NewEncoder(os.Stdout)
+			enc := json.NewEncoder(stdout)
 			enc.SetIndent("", "  ")
 			if err := enc.Encode(payload); err != nil {
-				fmt.Fprintln(os.Stderr, "netbench:", err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, "netbench:", err)
+				return 1
 			}
-			return
+			return 0
 		}
 		for _, t := range tables {
-			fmt.Println(t.Render())
+			fmt.Fprintln(stdout, t.Render())
 		}
+		return 0
 	}
-	run := func(t *bench.Table, err error) {
+	one := func(t *bench.Table, err error) int {
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "netbench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "netbench:", err)
+			return 1
 		}
-		emit([]*bench.Table{t})
+		return emit([]*bench.Table{t})
 	}
 
 	switch *table {
 	case "seed":
-		run(bench.SeedTable(ctx))
+		return one(bench.SeedTable(ctx))
 	case "simplify":
-		run(bench.SimplifyTable(ctx))
+		return one(bench.SimplifyTable(ctx))
 	case "linearity":
-		run(bench.LinearityTable(ctx))
+		return one(bench.LinearityTable(ctx))
 	case "pervar":
-		run(bench.PerVarTable(ctx))
+		return one(bench.PerVarTable(ctx))
 	case "figures":
-		run(bench.FigureTable(ctx))
+		return one(bench.FigureTable(ctx))
 	case "interpretation":
-		run(bench.InterpretationTable(ctx))
+		return one(bench.InterpretationTable(ctx))
 	case "ablation":
-		run(bench.AblationTable(ctx))
+		return one(bench.AblationTable(ctx))
 	case "rules":
-		run(bench.RuleFireTable(ctx))
+		return one(bench.RuleFireTable(ctx))
 	case "complement":
-		run(bench.ComplementTable(ctx))
+		return one(bench.ComplementTable(ctx))
 	case "lift":
-		run(bench.LiftTable(ctx))
+		return one(bench.LiftTable(ctx))
 	case "scale":
-		run(bench.ScaleTable(ctx, *quick))
+		return one(bench.ScaleTable(ctx, *quick))
 	case "all":
 		tables, err := bench.All(ctx, *quick)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "netbench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "netbench:", err)
+			return 1
 		}
-		emit(tables)
+		return emit(tables)
 	default:
-		fmt.Fprintf(os.Stderr, "netbench: unknown table %q\n", *table)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "netbench: unknown table %q\n", *table)
+		return 2
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -24,18 +25,39 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "scenario1", "paper scenario: scenario1, scenario2, scenario3")
-	router := flag.String("router", "R1", "router to explain")
-	reqName := flag.String("req", "", "explain one requirement block only (e.g. Req1)")
-	varSpec := flag.String("var", "", "explain a single field: MAP/SEQ/action | MAP/SEQ/match/I | MAP/SEQ/set/I")
-	noLift := flag.Bool("nolift", false, "skip subspecification lifting (print residual constraints only)")
-	validate := flag.Bool("validate", false, "validate the deployed configuration against the lifted subspecification")
-	all := flag.Bool("all", false, "print the explanation report for every configured router")
-	complement := flag.Bool("complement", false, "explain what the REST of the network must do, holding -router fixed")
-	interp2 := flag.Bool("interp2", false, "synthesize and explain under interpretation 2 (unlisted preference paths as last resorts)")
-	rules := flag.Bool("rules", false, "list the 15 simplification rules and exit")
-	timeout := flag.Duration("timeout", 0, "abort synthesis and explanation after this duration (e.g. 30s; 0 = no limit)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with the process glue factored out. Exit codes follow
+// the shared cmd convention: 0 success, 1 operational failure,
+// 2 usage error (bad flags, malformed -var, unknown scenario or
+// requirement block).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("netexplain", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scenario := fs.String("scenario", "scenario1", "paper scenario: scenario1, scenario2, scenario3")
+	router := fs.String("router", "R1", "router to explain")
+	reqName := fs.String("req", "", "explain one requirement block only (e.g. Req1)")
+	varSpec := fs.String("var", "", "explain a single field: MAP/SEQ/action | MAP/SEQ/match/I | MAP/SEQ/set/I")
+	noLift := fs.Bool("nolift", false, "skip subspecification lifting (print residual constraints only)")
+	validate := fs.Bool("validate", false, "validate the deployed configuration against the lifted subspecification")
+	all := fs.Bool("all", false, "print the explanation report for every configured router")
+	complement := fs.Bool("complement", false, "explain what the REST of the network must do, holding -router fixed")
+	interp2 := fs.Bool("interp2", false, "synthesize and explain under interpretation 2 (unlisted preference paths as last resorts)")
+	rules := fs.Bool("rules", false, "list the 15 simplification rules and exit")
+	timeout := fs.Duration("timeout", 0, "abort synthesis and explanation after this duration (e.g. 30s; 0 = no limit)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "netexplain:", err)
+		return 1
+	}
+	usage := func(err error) int {
+		fmt.Fprintln(stderr, "netexplain:", err)
+		return 2
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -46,26 +68,26 @@ func main() {
 
 	if *rules {
 		for _, r := range rewrite.AllRules {
-			fmt.Printf("%-20s %s\n", r, rewrite.Describe(r))
+			fmt.Fprintf(stdout, "%-20s %s\n", r, rewrite.Describe(r))
 		}
-		return
+		return 0
 	}
 
 	sc, err := scenarios.ByName(*scenario)
 	if err != nil {
-		fail(err)
+		return usage(err)
 	}
 	sopts := synth.DefaultOptions()
 	sopts.AllowUnspecified = *interp2
 	res, err := synth.SynthesizeContext(ctx, sc.Net, sc.Sketch, sc.Requirements(), sopts)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	reqs := sc.Requirements()
 	if *reqName != "" {
 		b := sc.Spec.Block(*reqName)
 		if b == nil {
-			fail(fmt.Errorf("no requirement block %q", *reqName))
+			return usage(fmt.Errorf("no requirement block %q", *reqName))
 		}
 		reqs = b.Reqs
 	}
@@ -75,77 +97,78 @@ func main() {
 	opts.Lift = !*noLift
 	explainer, err := core.NewExplainer(sc.Net, reqs, res.Deployment, opts)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 
 	if *all {
 		report, err := explainer.ReportContext(ctx)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
-		fmt.Print(report)
-		return
+		fmt.Fprint(stdout, report)
+		return 0
 	}
 	if *complement {
 		comp, err := explainer.ExplainComplementContext(ctx, *router)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
-		fmt.Printf("holding %s fixed, the rest of the network must guarantee:\n", *router)
-		fmt.Printf("(seed %d atoms -> %d after %d passes)\n\n", comp.SeedSize, comp.SimplifiedSize, comp.Passes)
+		fmt.Fprintf(stdout, "holding %s fixed, the rest of the network must guarantee:\n", *router)
+		fmt.Fprintf(stdout, "(seed %d atoms -> %d after %d passes)\n\n", comp.SeedSize, comp.SimplifiedSize, comp.Passes)
 		for _, r := range comp.Routers() {
-			fmt.Printf("--- %s ---\n", r)
+			fmt.Fprintf(stdout, "--- %s ---\n", r)
 			for _, c := range comp.Assumptions[r] {
-				fmt.Printf("  %s\n", c)
+				fmt.Fprintf(stdout, "  %s\n", c)
 			}
 		}
-		return
+		return 0
 	}
 
 	var ex *core.Explanation
 	if *varSpec != "" {
 		tgt, err := parseTarget(*varSpec)
 		if err != nil {
-			fail(err)
+			return usage(err)
 		}
 		ex, err = explainer.ExplainContext(ctx, *router, []core.Target{tgt})
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 	} else {
 		ex, err = explainer.ExplainAllContext(ctx, *router)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 	}
 
-	fmt.Printf("router %s: %d symbolic variables\n", ex.Router, len(ex.HoleVars))
+	fmt.Fprintf(stdout, "router %s: %d symbolic variables\n", ex.Router, len(ex.HoleVars))
 	names := make([]string, 0, len(ex.Replaced))
 	for name := range ex.Replaced {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		fmt.Printf("  %s (was %s)\n", name, ex.Replaced[name])
+		fmt.Fprintf(stdout, "  %s (was %s)\n", name, ex.Replaced[name])
 	}
-	fmt.Printf("\nseed specification: %d constraints, %d atoms\n", ex.SeedConstraints, ex.SeedSize)
-	fmt.Printf("simplified (%d passes): %d atoms, reduction %.0fx\n", ex.Passes, ex.SimplifiedSize, ex.Reduction())
-	fmt.Printf("\nresidual constraints on %s's variables:\n%s\n", ex.Router, indent(ex.ResidualText()))
+	fmt.Fprintf(stdout, "\nseed specification: %d constraints, %d atoms\n", ex.SeedConstraints, ex.SeedSize)
+	fmt.Fprintf(stdout, "simplified (%d passes): %d atoms, reduction %.0fx\n", ex.Passes, ex.SimplifiedSize, ex.Reduction())
+	fmt.Fprintf(stdout, "\nresidual constraints on %s's variables:\n%s\n", ex.Router, indent(ex.ResidualText()))
 	if ex.Subspec != nil {
-		fmt.Printf("\nsubspecification:\n%s", spec.PrintBlock(ex.Subspec))
+		fmt.Fprintf(stdout, "\nsubspecification:\n%s", spec.PrintBlock(ex.Subspec))
 		if ex.SubspecComplete {
-			fmt.Println("(verified complete: necessary and sufficient)")
+			fmt.Fprintln(stdout, "(verified complete: necessary and sufficient)")
 		} else {
-			fmt.Println("(necessary; sufficiency not fully verified)")
+			fmt.Fprintln(stdout, "(necessary; sufficiency not fully verified)")
 		}
 		if *validate && !ex.Subspec.IsEmpty() {
 			checks, err := explainer.CheckSubspecContext(ctx, *router, ex.Subspec)
 			if err != nil {
-				fail(err)
+				return fail(err)
 			}
-			fmt.Printf("\nvalidating the deployed configuration against the subspecification:\n%s", core.FormatChecks(checks))
+			fmt.Fprintf(stdout, "\nvalidating the deployed configuration against the subspecification:\n%s", core.FormatChecks(checks))
 		}
 	}
+	return 0
 }
 
 // parseTarget parses MAP/SEQ/action, MAP/SEQ/match/I, MAP/SEQ/set/I.
@@ -184,9 +207,4 @@ func parseTarget(s string) (core.Target, error) {
 
 func indent(s string) string {
 	return "  " + strings.ReplaceAll(s, "\n", "\n  ")
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "netexplain:", err)
-	os.Exit(1)
 }

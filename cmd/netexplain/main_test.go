@@ -1,6 +1,7 @@
 package main
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -30,5 +31,42 @@ func TestParseTarget(t *testing.T) {
 		if _, err := parseTarget(s); err == nil {
 			t.Errorf("parseTarget(%q) should fail", s)
 		}
+	}
+}
+
+// TestRunExitCodes pins the shared cmd convention: usage errors —
+// unknown scenario, malformed -var, unknown requirement block — exit 2
+// with the complaint on stderr.
+func TestRunExitCodes(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-scenario", "nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown scenario: exit %d, want 2 (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "netexplain:") {
+		t.Fatalf("error not prefixed on stderr: %q", errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-scenario", "scenario1", "-var", "not-a-target"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad -var: exit %d, want 2 (stderr: %s)", code, errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}
+
+// TestRunRules pins the one flag that must not touch the pipeline:
+// -rules prints the rule catalog and exits 0.
+func TestRunRules(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-rules"}, &out, &errOut); code != 0 {
+		t.Fatalf("-rules: exit %d (stderr: %s)", code, errOut.String())
+	}
+	if out.Len() == 0 {
+		t.Fatal("-rules printed nothing")
 	}
 }

@@ -17,60 +17,79 @@ import (
 )
 
 func main() {
-	specFile := flag.String("spec", "", "specification file ('-' or empty reads stdin)")
-	topoFile := flag.String("topology", "", "optional topology file to lint node references against")
-	scenario := flag.String("scenario", "", "print a paper scenario's specification instead")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is main with the process glue factored out. Exit codes follow
+// the shared cmd convention: 0 success, 1 operational failure
+// (unreadable or unparsable input, lint warnings), 2 usage error
+// (bad flags, unknown scenario).
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("netspec", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	specFile := fs.String("spec", "", "specification file ('-' or empty reads stdin)")
+	topoFile := fs.String("topology", "", "optional topology file to lint node references against")
+	scenario := fs.String("scenario", "", "print a paper scenario's specification instead")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "netspec:", err)
+		return 1
+	}
 
 	if *scenario != "" {
 		sc, err := scenarios.ByName(*scenario)
 		if err != nil {
-			fail(err)
+			fmt.Fprintln(stderr, "netspec:", err)
+			return 2
 		}
-		fmt.Print(spec.Print(sc.Spec))
-		return
+		fmt.Fprint(stdout, spec.Print(sc.Spec))
+		return 0
 	}
 
 	var src []byte
 	var err error
 	if *specFile == "" || *specFile == "-" {
-		src, err = io.ReadAll(os.Stdin)
+		src, err = io.ReadAll(stdin)
 	} else {
 		src, err = os.ReadFile(*specFile)
 	}
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	s, err := spec.Parse(string(src))
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 
 	warnings := 0
 	if *topoFile != "" {
 		topoSrc, err := os.ReadFile(*topoFile)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		net, err := topology.Parse(string(topoSrc))
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
-		warnings = lint(s, net)
+		warnings = lint(s, net, stderr)
 	}
 
-	fmt.Print(spec.Print(s))
+	fmt.Fprint(stdout, spec.Print(s))
 	if warnings > 0 {
-		fmt.Fprintf(os.Stderr, "netspec: %d warning(s)\n", warnings)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "netspec: %d warning(s)\n", warnings)
+		return 1
 	}
+	return 0
 }
 
 // lint reports references the topology cannot satisfy.
-func lint(s *spec.Spec, net *topology.Network) int {
+func lint(s *spec.Spec, net *topology.Network, stderr io.Writer) int {
 	warnings := 0
 	warn := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "warning: "+format+"\n", args...)
+		fmt.Fprintf(stderr, "warning: "+format+"\n", args...)
 		warnings++
 	}
 	for _, node := range s.Nodes() {
@@ -108,9 +127,4 @@ func checkEndpoints(paths []spec.Path, warn func(string, ...any), net *topology.
 			}
 		}
 	}
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "netspec:", err)
-	os.Exit(2)
 }

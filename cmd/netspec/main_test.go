@@ -1,6 +1,8 @@
 package main
 
 import (
+	"io"
+	"strings"
 	"testing"
 
 	"repro/internal/spec"
@@ -16,7 +18,7 @@ Req3 { +(P1->R1->R3->C) }`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := lint(s, net); got != 0 {
+	if got := lint(s, net, io.Discard); got != 0 {
 		t.Fatalf("clean spec produced %d warnings", got)
 	}
 }
@@ -32,10 +34,54 @@ Bad {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := lint(s, net)
+	got := lint(s, net, io.Discard)
 	// P9 unknown; R3-P1 link nonexistent; preference/allow destinations
 	// P1 (ok, has prefix) and R1 (no prefix).
 	if got < 3 {
 		t.Fatalf("lint found only %d problems", got)
+	}
+}
+
+// TestRunExitCodes pins the shared cmd convention: unknown scenario is
+// a usage error (2); unreadable input, parse errors, and lint warnings
+// are operational failures (1).
+func TestRunExitCodes(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-scenario", "nope"}, strings.NewReader(""), &out, &errOut); code != 2 {
+		t.Fatalf("unknown scenario: exit %d, want 2 (stderr: %s)", code, errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-spec", "/no/such/file"}, strings.NewReader(""), &out, &errOut); code != 1 {
+		t.Fatalf("missing spec file: exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "netspec:") {
+		t.Fatalf("error not prefixed on stderr: %q", errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run(nil, strings.NewReader("Req { this is not a spec"), &out, &errOut); code != 1 {
+		t.Fatalf("parse error: exit %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-no-such-flag"}, strings.NewReader(""), &out, &errOut); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}
+
+// TestRunFormatsStdin pins the success path: a valid spec from stdin is
+// reprinted to stdout with exit 0.
+func TestRunFormatsStdin(t *testing.T) {
+	var out, errOut strings.Builder
+	in := strings.NewReader("Req1 { !(P1->...->P2) }")
+	if code := run(nil, in, &out, &errOut); code != 0 {
+		t.Fatalf("format: exit %d (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "Req1") {
+		t.Fatalf("formatted output missing block: %q", out.String())
 	}
 }

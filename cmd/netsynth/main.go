@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/config"
@@ -18,16 +19,31 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "", "paper scenario: scenario1, scenario2, scenario3")
-	workload := flag.String("workload", "", "generated workload: grid:WxH, rand:N:SEED, fattree:K (no-transit intent)")
-	pref := flag.Bool("pref", false, "add the D1 path-preference intent to a generated workload")
-	interp2 := flag.Bool("interp2", false, "treat unlisted preference paths as last resorts (interpretation 2)")
-	quiet := flag.Bool("q", false, "print only the verification verdict")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with the process glue factored out. Exit codes follow
+// the shared cmd convention: 0 success, 1 operational failure
+// (synthesis or verification failure, violations), 2 usage error
+// (bad flags, unknown scenario or workload).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("netsynth", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scenario := fs.String("scenario", "", "paper scenario: scenario1, scenario2, scenario3")
+	workload := fs.String("workload", "", "generated workload: grid:WxH, rand:N:SEED, fattree:K (no-transit intent)")
+	pref := fs.Bool("pref", false, "add the D1 path-preference intent to a generated workload")
+	interp2 := fs.Bool("interp2", false, "treat unlisted preference paths as last resorts (interpretation 2)")
+	quiet := fs.Bool("q", false, "print only the verification verdict")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	prob, err := loadProblem(*scenario, *workload, *pref)
 	if err != nil {
-		fail(err)
+		// A problem that cannot be loaded is a bad -scenario/-workload
+		// combination: the user asked for something that does not exist.
+		fmt.Fprintln(stderr, "netsynth:", err)
+		return 2
 	}
 	opts := synth.DefaultOptions()
 	opts.AllowUnspecified = *interp2
@@ -37,31 +53,28 @@ func main() {
 	}
 	res, err := synth.Synthesize(prob.net, prob.sketch, prob.spec.Requirements(), opts)
 	if err != nil {
-		fail(err)
+		fmt.Fprintln(stderr, "netsynth:", err)
+		return 1
 	}
 	if !*quiet {
-		fmt.Println("// specification")
-		fmt.Print(spec.Print(prob.spec))
-		fmt.Println()
-		fmt.Print(config.PrintDeployment(res.Deployment))
-		fmt.Printf("\n// encoding: %d constraints, %d atoms, %d holes\n",
+		fmt.Fprintln(stdout, "// specification")
+		fmt.Fprint(stdout, spec.Print(prob.spec))
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, config.PrintDeployment(res.Deployment))
+		fmt.Fprintf(stdout, "\n// encoding: %d constraints, %d atoms, %d holes\n",
 			res.Encoding.Stats.Constraints, res.Encoding.Stats.ConstraintSize, res.Encoding.Stats.HoleVars)
 	}
 	vs, err := verify.Check(prob.net, res.Deployment, prob.spec.Requirements())
 	if err != nil {
-		fail(err)
+		fmt.Fprintln(stderr, "netsynth:", err)
+		return 1
 	}
 	if len(vs) == 0 {
-		fmt.Println("// verification: all requirements hold")
-		return
+		fmt.Fprintln(stdout, "// verification: all requirements hold")
+		return 0
 	}
 	for _, v := range vs {
-		fmt.Printf("// VIOLATION: %s\n", v)
+		fmt.Fprintf(stdout, "// VIOLATION: %s\n", v)
 	}
-	os.Exit(1)
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "netsynth:", err)
-	os.Exit(1)
+	return 1
 }

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunExitCodes pins the shared cmd convention: missing or
+// contradictory problem selection and unknown scenarios/workloads are
+// usage errors (2) with the complaint on stderr.
+func TestRunExitCodes(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("no problem selected: exit %d, want 2 (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "netsynth:") {
+		t.Fatalf("error not prefixed on stderr: %q", errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-scenario", "s1", "-workload", "grid:2x2"}, &out, &errOut); code != 2 {
+		t.Fatalf("both -scenario and -workload: exit %d, want 2", code)
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-workload", "grid:bad"}, &out, &errOut); code != 2 {
+		t.Fatalf("malformed workload: exit %d, want 2 (stderr: %s)", code, errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunExitCodes pins the shared cmd convention: usage errors exit 2
+// with the complaint on stderr, operational output goes to stdout.
+func TestRunExitCodes(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-scenario", "nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown scenario: exit %d, want 2 (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "netverify:") {
+		t.Fatalf("error not prefixed on stderr: %q", errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("usage error wrote to stdout: %q", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}
+
+// TestRunProofMode exercises the -proof end-to-end path: the report is
+// generated with every Unsat verdict proof-checked, the proof trailer
+// is printed, and the verdict line still appears.
+func TestRunProofMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full synthesis + verified report")
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-scenario", "scenario1", "-proof"}, &out, &errOut); code != 0 {
+		t.Fatalf("proof mode failed: exit %d\nstderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "# proofs:") {
+		t.Fatalf("missing proof trailer in output:\n%s", got)
+	}
+	if !strings.Contains(got, "all requirements hold") {
+		t.Fatalf("missing verdict line in output:\n%s", got)
+	}
+}

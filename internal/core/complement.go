@@ -108,6 +108,13 @@ func (e *Explainer) ExplainComplementContext(ctx context.Context, router string)
 	if err != nil {
 		return nil, err
 	}
+	if st == sat.Unsat {
+		// An inconsistent assume side is itself an Unsat verdict worth
+		// trusting only with a checked proof.
+		if err := e.verifyUnsat(seedSolver); err != nil {
+			return nil, err
+		}
+	}
 	out.Satisfiable = st == sat.Sat
 	return out, nil
 }

@@ -38,6 +38,13 @@ type Options struct {
 	// wall-clock deadline, a per-solve conflict cap, and the model
 	// cap of the sufficiency check. The zero value means unlimited.
 	Budget engine.Budget
+	// VerifyProofs makes every solver record a DRAT-style proof trace
+	// and re-validates each Unsat verdict with the independent checker
+	// (internal/drat) before the pipeline relies on it. A verdict whose
+	// proof fails aborts the query with an error instead of silently
+	// standing. Explanations produced with verification on are stamped
+	// Verified; the checker's effort lands in the session statistics.
+	VerifyProofs bool
 }
 
 // DefaultOptions returns the settings used by the experiments.
@@ -87,6 +94,13 @@ type Explanation struct {
 	RuleStats     map[rewrite.RuleName]int
 	Passes        int
 	SimplifyTrace []int
+
+	// Verified reports that proof verification was on for this
+	// explanation and every Unsat verdict it rests on carried a proof
+	// the independent checker accepted. (A failing proof aborts the
+	// explanation with an error, so a returned explanation under
+	// Options.VerifyProofs is always Verified.)
+	Verified bool
 }
 
 // Explainer explains devices of one synthesized deployment.
@@ -113,6 +127,7 @@ func NewExplainer(net *topology.Network, reqs []spec.Requirement, dep config.Dep
 	}
 	sess := engine.NewSession(net, reqs, dep, opts.Synth)
 	sess.Budget = opts.Budget
+	sess.VerifyProofs = opts.VerifyProofs
 	return &Explainer{Net: net, Reqs: reqs, Deployment: dep, Opts: opts, Session: sess}, nil
 }
 
@@ -288,6 +303,9 @@ func (e *Explainer) explain(ctx context.Context, router string, targets []Target
 		ex.Subspec = block
 		ex.SubspecComplete = complete
 	}
+	// Every Unsat verdict this explanation rests on was re-validated by
+	// the independent checker (failures abort above with an error).
+	ex.Verified = e.Opts.VerifyProofs
 	return ex, nil
 }
 

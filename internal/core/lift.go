@@ -120,12 +120,23 @@ func (e *Explainer) lift(ctx context.Context, router, key string, enc *synth.Enc
 				return err
 			}
 			if st != sat.Sat {
+				if st == sat.Unsat {
+					// The drop verdict rests on an Unsat: check it.
+					if err := e.verifyUnsat(dom); err != nil {
+						return err
+					}
+				}
 				return nil // tautological over the hole space: says nothing
 			}
 			// Necessary: seed forces it.
 			st, err = timedSolve(ctx, seed, lats, logic.Not(cands[i].term))
 			if err != nil {
 				return err
+			}
+			if st == sat.Unsat {
+				if err := e.verifyUnsat(seed); err != nil {
+					return err
+				}
 			}
 			verdicts[i] = st == sat.Unsat
 			return nil
@@ -235,6 +246,12 @@ func (e *Explainer) checkUnconstrained(ctx context.Context, holeVars []*logic.Va
 			if err != nil {
 				return err
 			}
+			if st == sat.Unsat {
+				// "This value never extends" is an Unsat claim: check it.
+				if err := e.verifyUnsat(solvers[0]); err != nil {
+					return err
+				}
+			}
 			verdicts[i] = st == sat.Sat
 			return nil
 		})
@@ -315,6 +332,12 @@ func (e *Explainer) checkSufficiency(ctx context.Context, holeVars []*logic.Var,
 			return false
 		}
 		if st != sat.Sat {
+			if st == sat.Unsat {
+				if err := e.verifyUnsat(seedSolver); err != nil {
+					checkErr = err
+					return false
+				}
+			}
 			sufficient = false // subspec admits a behavior the seed rejects
 			return false
 		}
@@ -329,8 +352,15 @@ func (e *Explainer) checkSufficiency(ctx context.Context, holeVars []*logic.Var,
 	if !sufficient {
 		return false, nil
 	}
-	// Exhausted means every admitted behavior extends to a seed model;
-	// otherwise the budget ran out and sufficiency is unknown.
+	// Exhausted means the enumeration's final solve came back Unsat —
+	// no admitted behavior is left — so completeness itself rests on an
+	// Unsat verdict; check its proof before reporting it.
+	if exhausted {
+		if err := e.verifyUnsat(domSolver); err != nil {
+			return false, err
+		}
+	}
+	// Otherwise the budget ran out and sufficiency is unknown.
 	return exhausted, nil
 }
 

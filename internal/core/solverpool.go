@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -26,9 +27,15 @@ import (
 // pooled solver that lives on.
 
 // newSolver builds an SMT solver with the explainer's conflict budget
-// applied and the session's shared term table adopted.
+// applied, the session's shared term table adopted, and — under
+// VerifyProofs — a proof trace attached (logging must start before the
+// first clause, so this is the only place it can be turned on).
 func (e *Explainer) newSolver() *smt.Solver {
-	s := smt.NewSolver()
+	var opts []smt.Option
+	if e.Opts.VerifyProofs {
+		opts = append(opts, smt.WithProof())
+	}
+	s := smt.NewSolver(opts...)
 	if e.Session != nil {
 		s.UseInterner(e.Session.Interner())
 	}
@@ -36,6 +43,26 @@ func (e *Explainer) newSolver() *smt.Solver {
 		s.SetConflictBudget(e.Opts.Budget.MaxConflicts)
 	}
 	return s
+}
+
+// verifyUnsat re-validates the solver's most recent Unsat verdict with
+// the independent DRAT checker when proof verification is on, folding
+// the checker's effort into the session statistics. Call it at every
+// site that is about to rely on an Unsat answer; a proof the checker
+// rejects surfaces as an error, so no unverified verdict reaches a
+// report.
+func (e *Explainer) verifyUnsat(s *smt.Solver) error {
+	if !e.Opts.VerifyProofs {
+		return nil
+	}
+	rep, err := s.VerifyLastUnsat()
+	if err != nil {
+		return fmt.Errorf("core: unsat verdict failed proof check: %w", err)
+	}
+	if e.Session != nil {
+		e.Session.AddProofStats(rep)
+	}
+	return nil
 }
 
 // checkoutSolver returns a solver for key — warm from the session pool

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/scenarios"
+	"repro/internal/smt"
+)
+
+// TestPooledSolverStatsAcrossCancel drives the full pooled-solver
+// lifecycle — checkout cold, solve, checkin, checkout warm, cancelled
+// solve, checkin — and pins the session's harvested counters: every
+// solve is counted exactly once (the warm checkout harvests a delta,
+// not the solver's lifetime totals) and a cancelled query neither
+// loses its attempt nor wraps any counter.
+func TestPooledSolverStatsAcrossCancel(t *testing.T) {
+	sc := scenarios.All()[0]
+	dep := synthScenario(t, sc)
+	e := newExplainer(t, sc, dep, nil)
+	before := e.Stats()
+
+	build := func(*smt.Solver) error { return nil }
+	sv, release, err := e.checkoutSolver("pool-test", build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := sv.SolveContext(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	release()
+
+	mid := e.Stats()
+	if got := mid.Solves - before.Solves; got != 3 {
+		t.Fatalf("after cold checkout: harvested %d solves, want 3", got)
+	}
+
+	sv2, release2, err := e.checkoutSolver("pool-test", build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv2 != sv {
+		t.Fatalf("second checkout did not reuse the pooled solver")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sv2.SolveContext(ctx); err == nil {
+		t.Fatalf("cancelled solve did not report an error")
+	}
+	release2()
+
+	after := e.Stats()
+	delta := after.Solves - mid.Solves
+	if delta > 1 {
+		t.Fatalf("warm checkout re-harvested old work: delta %d solves, want at most 1", delta)
+	}
+	// The big failure mode this test exists for: a wrapped unsigned
+	// subtraction would push the totals into the billions.
+	if after.Solves-before.Solves > 100 {
+		t.Fatalf("solve counter wrapped: %d", after.Solves-before.Solves)
+	}
+	if after.WarmSolverHits-before.WarmSolverHits != 1 || after.WarmSolverMisses-before.WarmSolverMisses != 1 {
+		t.Fatalf("pool accounting off: hits %d misses %d",
+			after.WarmSolverHits-before.WarmSolverHits, after.WarmSolverMisses-before.WarmSolverMisses)
+	}
+}

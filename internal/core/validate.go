@@ -152,6 +152,11 @@ func (e *Explainer) CheckSubspecNecessaryContext(ctx context.Context, router str
 		if err != nil {
 			return nil, err
 		}
+		if st == sat.Unsat {
+			if err := e.verifyUnsat(seedSolver); err != nil {
+				return nil, err
+			}
+		}
 		out = append(out, NecessityCheck{Req: req, Necessary: st == sat.Unsat})
 	}
 	return out, nil

@@ -1,0 +1,144 @@
+package drat
+
+// Proof and core shrinking.
+//
+// Two post-verification passes run over a checked trace:
+//
+//   - ShrinkClause minimizes a verified clause (in practice: the final
+//     negated-assumption-core lemma) by deletion: drop one literal at a
+//     time and keep the drop whenever the remaining clause still checks
+//     out by RUP. The solver's cone-based analyzeFinal gives sound but
+//     not necessarily minimal cores; this pass closes the gap with the
+//     checker itself as the oracle, so a shrunk core is verified by
+//     construction.
+//
+//   - Trim discards lemmas the final verdict never relied on. The
+//     forward check records, for every lemma, the clause ids its RUP
+//     conflict used; walking that dependency graph backward from the
+//     final lemma marks the needed cone, and everything unmarked is
+//     dropped. The kept/total ratio is the shrink-ratio statistic the
+//     engine reports.
+
+// ShrinkClause returns a subset of lits that still passes the RUP check
+// against the checker's current database, found by deletion: each
+// literal is removed in turn and left out whenever the remainder still
+// checks. The input clause must itself be RUP (e.g. a lemma this
+// checker already accepted); the first argument of the returned pair is
+// the shrunk clause, the second reports whether any literal was
+// dropped.
+//
+// The checker's database may include the clause being shrunk (a checked
+// lemma is added to the database). That is sound, not circular: every
+// database clause is a consequence of the inputs, so anything RUP
+// against the database is a consequence of the inputs too.
+func (c *Checker) ShrinkClause(lits []int) ([]int, bool) {
+	cur := append([]int(nil), lits...)
+	shrunk := false
+	for i := 0; i < len(cur); {
+		cand := make([]int, 0, len(cur)-1)
+		cand = append(cand, cur[:i]...)
+		cand = append(cand, cur[i+1:]...)
+		if err := c.CheckClause(cand); err == nil {
+			cur = cand
+			shrunk = true
+			continue // same index now names the next literal
+		}
+		i++
+	}
+	return cur, shrunk
+}
+
+// TrimResult reports the outcome of a Trim pass.
+type TrimResult struct {
+	// Ops is the trimmed trace: all inputs, the needed lemmas, no
+	// deletions (dropping deletions only enlarges the checker's
+	// database, which can never break a RUP check).
+	Ops []Op
+	// KeptLemmas and TotalLemmas give the shrink ratio.
+	KeptLemmas, TotalLemmas int
+}
+
+// Trim re-checks the trace while recording each lemma's dependency
+// cone, then walks the graph backward from the final lemma and drops
+// every lemma the verdict never relied on. The trimmed trace is
+// re-verified before being returned; if that re-check fails — which
+// would indicate a bookkeeping bug, not an invalid proof — the original
+// trace is returned untrimmed, so Trim can only ever return a trace the
+// checker accepts.
+//
+// Trim fails if the trace itself does not check.
+func Trim(ops []Op) (TrimResult, error) {
+	c := NewChecker()
+	// Clause ids are assigned in op order over the non-delete ops;
+	// remember each id's op index so marked ids map back to ops.
+	idToOp := make([]int, 0, len(ops))
+	lastLearn := -1
+	total := 0
+	for i, op := range ops {
+		if err := c.Apply(op); err != nil {
+			return TrimResult{}, err
+		}
+		if op.Kind != Delete {
+			idToOp = append(idToOp, i)
+		}
+		if op.Kind == Learn {
+			lastLearn = i
+			total++
+		}
+	}
+	if lastLearn < 0 {
+		// Nothing to trim: a trace with no lemmas proves nothing.
+		return TrimResult{Ops: ops, KeptLemmas: 0, TotalLemmas: 0}, nil
+	}
+
+	// Backward mark from the final lemma plus whatever clause ids
+	// latched a root conflict (lemmas checked after that point verify
+	// trivially and record no dependencies).
+	needed := make(map[int]bool) // clause id -> needed
+	var stack []int
+	push := func(id int) {
+		if !needed[id] {
+			needed[id] = true
+			stack = append(stack, id)
+		}
+	}
+	// The final lemma's id is the count of non-delete ops before it.
+	finalID := -1
+	for id, opIdx := range idToOp {
+		if opIdx == lastLearn {
+			finalID = id
+		}
+	}
+	push(finalID)
+	for _, id := range c.rootCone {
+		push(id)
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, dep := range c.deps[id] {
+			push(dep)
+		}
+	}
+
+	kept := 0
+	trimmed := make([]Op, 0, len(ops))
+	for id, opIdx := range idToOp {
+		op := ops[opIdx]
+		switch op.Kind {
+		case Input:
+			trimmed = append(trimmed, op)
+		case Learn:
+			if needed[id] || opIdx == lastLearn {
+				trimmed = append(trimmed, op)
+				kept++
+			}
+		}
+	}
+
+	if _, err := Check(trimmed); err != nil {
+		// Conservative fallback: never emit a trace that fails.
+		return TrimResult{Ops: ops, KeptLemmas: total, TotalLemmas: total}, nil
+	}
+	return TrimResult{Ops: trimmed, KeptLemmas: kept, TotalLemmas: total}, nil
+}

@@ -100,4 +100,16 @@ type Stats struct {
 	LiftQueries int
 	LiftP50     time.Duration
 	LiftP95     time.Duration
+	// ProofChecks counts Unsat verdicts re-validated by the independent
+	// DRAT checker; ProofOps and ProofLemmas total the trace operations
+	// and solver-derived lemmas it consumed; ProofTime is the wall-clock
+	// time it spent. CoreLits and ShrunkCoreLits total assumption-core
+	// clause sizes before and after deletion-based minimization — their
+	// ratio is the core shrink factor.
+	ProofChecks    int
+	ProofOps       int
+	ProofLemmas    int
+	ProofTime      time.Duration
+	CoreLits       int
+	ShrunkCoreLits int
 }

@@ -40,6 +40,12 @@ type Session struct {
 	// is shared across goroutines.
 	Budget Budget
 
+	// VerifyProofs directs solvers built for this session to record
+	// DRAT-style proof traces and the pipeline to re-validate every
+	// Unsat verdict with the independent checker (internal/drat). Like
+	// Budget, set it before the session is shared.
+	VerifyProofs bool
+
 	baseMu   sync.Mutex
 	base     *synth.Base
 	baseDead bool // base build failed for a non-context reason; stop retrying
@@ -264,6 +270,19 @@ func (s *Session) AddSolverStats(st sat.Stats) {
 	s.stats.Propagations += st.Propagations
 	s.stats.Decisions += st.Decisions
 	s.stats.Learnt += st.Learnt
+	s.mu.Unlock()
+}
+
+// AddProofStats folds one proof verification into the session's merged
+// statistics.
+func (s *Session) AddProofStats(rep smt.ProofReport) {
+	s.mu.Lock()
+	s.stats.ProofChecks++
+	s.stats.ProofOps += rep.Ops
+	s.stats.ProofLemmas += rep.Lemmas
+	s.stats.ProofTime += rep.Duration
+	s.stats.CoreLits += rep.CoreLits
+	s.stats.ShrunkCoreLits += rep.ShrunkCoreLits
 	s.mu.Unlock()
 }
 

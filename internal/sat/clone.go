@@ -37,6 +37,15 @@ func (s *Solver) Clone() *Solver {
 		claInc:         s.claInc,
 		qhead:          s.qhead,
 		ConflictBudget: s.ConflictBudget,
+		emptyLogged:    s.emptyLogged,
+	}
+	// A clone inherits the original's learnt clauses, so its proof
+	// trace must replay their derivations: fork the writer when it
+	// supports forking, otherwise the clone runs without logging (a
+	// trace that silently missed the inherited lemmas would be worse
+	// than none — the checker would reject every proof built on them).
+	if pc, ok := s.proof.(ProofCloner); ok {
+		c.proof = pc.CloneProof()
 	}
 
 	// Deep-copy the clause database, remembering old -> new pointers so
@@ -99,15 +108,32 @@ func (s *Solver) Clone() *Solver {
 // Use it to harvest the effort of a solver that outlives one query —
 // a warm solver checked out of a pool — without double-counting work
 // already merged by an earlier harvest.
+//
+// The subtraction saturates at zero: if a counter in a is behind its
+// checkpoint in b — the solver behind a checkpoint was replaced by a
+// fresh clone (whose counters start at zero) after a failed or
+// cancelled solve, or the snapshots were taken from different solvers
+// — the unsigned difference would wrap to an astronomically large
+// value and be merged into session statistics as garbage. Saturating
+// under-reports that pathological harvest instead of corrupting every
+// downstream counter.
 func (a Stats) Sub(b Stats) Stats {
 	return Stats{
-		Solves:       a.Solves - b.Solves,
-		Decisions:    a.Decisions - b.Decisions,
-		Propagations: a.Propagations - b.Propagations,
-		Conflicts:    a.Conflicts - b.Conflicts,
-		Restarts:     a.Restarts - b.Restarts,
-		Learnt:       a.Learnt - b.Learnt,
+		Solves:       satSub(a.Solves, b.Solves),
+		Decisions:    satSub(a.Decisions, b.Decisions),
+		Propagations: satSub(a.Propagations, b.Propagations),
+		Conflicts:    satSub(a.Conflicts, b.Conflicts),
+		Restarts:     satSub(a.Restarts, b.Restarts),
+		Learnt:       satSub(a.Learnt, b.Learnt),
 		MaxVars:      a.MaxVars,
 		Clauses:      a.Clauses,
 	}
+}
+
+// satSub is a - b saturating at zero instead of wrapping.
+func satSub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
 }

@@ -1,0 +1,211 @@
+package sat
+
+import (
+	"fmt"
+	"io"
+)
+
+// Proof logging.
+//
+// Every localized-explanation verdict the pipeline emits ultimately
+// rests on an Unsat answer from this solver, so the solver can record a
+// DRAT-style derivation trace that an independent checker
+// (internal/drat) re-validates by reverse unit propagation: each learnt
+// clause must be a RUP consequence of the clauses that preceded it, and
+// the final lemma — the empty clause, or the negation of the assumption
+// core — certifies the verdict itself.
+//
+// The trace records three kinds of operations, in solver order:
+//
+//   - ProofInput: a clause handed to AddClause, exactly as given
+//     (before any simplification). The inputs are the formula the
+//     verdict is about.
+//   - ProofLearn: a clause the solver derived — a 1UIP learnt clause
+//     (including learnt units, which the solver itself keeps only on
+//     the trail), the empty clause on a top-level conflict, or the
+//     negated assumption core on an Unsat-under-assumptions answer.
+//   - ProofDelete: a learnt clause dropped by reduceDB, so the checker
+//     can keep its clause database as small as the solver's.
+//
+// Logging is observation only: it never changes the search, so an
+// explanation run is byte-identical with and without a proof attached.
+
+// ProofOpKind discriminates trace operations.
+type ProofOpKind uint8
+
+const (
+	// ProofInput records a caller-added clause (pre-simplification).
+	ProofInput ProofOpKind = iota
+	// ProofLearn records a clause derived by the solver.
+	ProofLearn
+	// ProofDelete records a learnt clause deleted by reduceDB.
+	ProofDelete
+)
+
+// String names the operation kind.
+func (k ProofOpKind) String() string {
+	switch k {
+	case ProofInput:
+		return "input"
+	case ProofLearn:
+		return "learn"
+	default:
+		return "delete"
+	}
+}
+
+// ProofOp is one trace operation. Lits is owned by the trace and must
+// not be mutated.
+type ProofOp struct {
+	Kind ProofOpKind
+	Lits []Lit
+}
+
+// ProofWriter receives the solver's proof trace. Implementations must
+// copy lits if they retain them beyond the call: the solver may pass
+// scratch slices.
+type ProofWriter interface {
+	Proof(kind ProofOpKind, lits []Lit)
+}
+
+// ProofCloner is implemented by proof writers that can fork themselves
+// when the solver is cloned: the clone's trace must replay everything
+// the original recorded, because the clone inherits the original's
+// learnt clauses. Solver.Clone drops the proof writer of a writer that
+// cannot fork.
+type ProofCloner interface {
+	CloneProof() ProofWriter
+}
+
+// Trace is the standard in-memory ProofWriter: an append-only log of
+// proof operations. A Trace is not safe for concurrent use (it is
+// driven by exactly one solver, which itself is single-threaded).
+type Trace struct {
+	ops     []ProofOp
+	inputs  int
+	learns  int
+	deletes int
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// Proof implements ProofWriter, copying lits.
+func (t *Trace) Proof(kind ProofOpKind, lits []Lit) {
+	cp := make([]Lit, len(lits))
+	copy(cp, lits)
+	t.ops = append(t.ops, ProofOp{Kind: kind, Lits: cp})
+	switch kind {
+	case ProofInput:
+		t.inputs++
+	case ProofLearn:
+		t.learns++
+	default:
+		t.deletes++
+	}
+}
+
+// Len reports how many operations have been recorded.
+func (t *Trace) Len() int { return len(t.ops) }
+
+// Inputs reports how many input clauses have been recorded.
+func (t *Trace) Inputs() int { return t.inputs }
+
+// Learns reports how many derived clauses have been recorded.
+func (t *Trace) Learns() int { return t.learns }
+
+// Deletes reports how many deletions have been recorded.
+func (t *Trace) Deletes() int { return t.deletes }
+
+// Op returns the i-th recorded operation. The returned Lits slice is
+// owned by the trace.
+func (t *Trace) Op(i int) ProofOp { return t.ops[i] }
+
+// Snapshot returns a copy of the operation log. The Lits slices are
+// shared (they are immutable once recorded).
+func (t *Trace) Snapshot() []ProofOp {
+	return append([]ProofOp(nil), t.ops...)
+}
+
+// Clone forks the trace: the copy replays every recorded operation and
+// then diverges independently.
+func (t *Trace) Clone() *Trace {
+	return &Trace{
+		// Copy with exact length so appends on either side never alias.
+		ops:     append(make([]ProofOp, 0, len(t.ops)), t.ops...),
+		inputs:  t.inputs,
+		learns:  t.learns,
+		deletes: t.deletes,
+	}
+}
+
+// CloneProof implements ProofCloner.
+func (t *Trace) CloneProof() ProofWriter { return t.Clone() }
+
+// WriteDRAT renders the trace in a DRAT-style textual form: inputs as
+// "i ..." lines (an extension carrying the original CNF alongside the
+// proof), derived clauses as plain clause lines, deletions as "d ..."
+// lines, all zero-terminated with 1-based DIMACS literals.
+func (t *Trace) WriteDRAT(w io.Writer) error {
+	for _, op := range t.ops {
+		prefix := ""
+		switch op.Kind {
+		case ProofInput:
+			prefix = "i "
+		case ProofDelete:
+			prefix = "d "
+		}
+		if _, err := io.WriteString(w, prefix); err != nil {
+			return err
+		}
+		for _, l := range op.Lits {
+			v := int(l.Var()) + 1
+			if !l.IsPos() {
+				v = -v
+			}
+			if _, err := fmt.Fprintf(w, "%d ", v); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "0\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetProof attaches a proof writer to the solver. It must be called on
+// a pristine solver — before any clause is added — because the trace
+// must contain every input clause for the checker to reproduce the
+// solver's derivations; attaching mid-life would leave the checker
+// blind to the clauses already in the database.
+func (s *Solver) SetProof(w ProofWriter) error {
+	if len(s.clauses) > 0 || len(s.learnts) > 0 || len(s.trail) > 0 || !s.ok {
+		return fmt.Errorf("sat: SetProof on a solver that already holds clauses")
+	}
+	s.proof = w
+	return nil
+}
+
+// Proof returns the attached proof writer (nil when logging is off).
+func (s *Solver) Proof() ProofWriter { return s.proof }
+
+// logProof forwards one operation to the attached writer.
+func (s *Solver) logProof(kind ProofOpKind, lits []Lit) {
+	if s.proof != nil {
+		s.proof.Proof(kind, lits)
+	}
+}
+
+// logEmptyClause records the final empty-clause lemma exactly once:
+// several paths can discover top-level unsatisfiability (AddClause
+// simplification, top-level propagation, a level-0 conflict in search)
+// and re-deriving the same verdict must not duplicate the terminal
+// step.
+func (s *Solver) logEmptyClause() {
+	if s.proof == nil || s.emptyLogged {
+		return
+	}
+	s.emptyLogged = true
+	s.proof.Proof(ProofLearn, nil)
+}

@@ -61,6 +61,12 @@ type Solver struct {
 	core        []Lit   // filled when Solve(assumptions) returns Unsat
 	model       []LBool // snapshot of the last Sat assignment
 
+	// proof receives the derivation trace when proof logging is on
+	// (see SetProof); emptyLogged latches the terminal empty-clause
+	// lemma so it is recorded exactly once.
+	proof       ProofWriter
+	emptyLogged bool
+
 	// ConflictBudget bounds the number of conflicts a Solve call may
 	// spend before returning Unknown. Zero or negative means no bound.
 	ConflictBudget int64
@@ -147,6 +153,11 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	if s.decisionLevel() != 0 {
 		panic("sat: AddClause called during search")
 	}
+	// Log the clause exactly as given: the proof's input set is what
+	// the caller asserted, and every simplification below (dropping
+	// false literals, collapsing to a unit) is a derivation the checker
+	// reproduces by unit propagation on its own.
+	s.logProof(ProofInput, lits)
 	// Sort-free simplification over a small scratch copy.
 	out := make([]Lit, 0, len(lits))
 	for _, l := range lits {
@@ -180,10 +191,14 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	switch len(out) {
 	case 0:
 		s.ok = false
+		s.logEmptyClause()
 		return false
 	case 1:
 		s.uncheckedEnqueue(out[0], nil)
 		s.ok = s.propagate() == nil
+		if !s.ok {
+			s.logEmptyClause()
+		}
 		return s.ok
 	}
 	c := &clause{lits: out}
@@ -400,7 +415,25 @@ func (s *Solver) analyzeFinal(p Lit) []Lit {
 		s.seen[v] = false
 	}
 	s.seen[p.Var()] = false
-	return out
+	// Literal-level dedup: a repeated literal in the final clause would
+	// surface the same assumption twice in the reported core. The cone
+	// walk visits each trail entry once, so repeats should be
+	// impossible by construction — this guards the invariant rather
+	// than trusting it, since the core is what callers act on.
+	dedup := out[:0]
+	for _, l := range out {
+		found := false
+		for _, m := range dedup {
+			if m == l {
+				found = true
+				break
+			}
+		}
+		if !found {
+			dedup = append(dedup, l)
+		}
+	}
+	return dedup
 }
 
 func (s *Solver) bumpVar(v Var) {
@@ -499,6 +532,7 @@ func (s *Solver) reduceDB() {
 	for i, c := range learnts {
 		if removed < len(learnts)/2 && !locked[c] && len(c.lits) > 2 {
 			s.detach(c)
+			s.logProof(ProofDelete, c.lits)
 			removed++
 			continue
 		}
@@ -538,11 +572,14 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 // nil error.
 func (s *Solver) SolveContext(ctx context.Context, assumptions ...Lit) (Status, error) {
 	s.Stats.Solves++
+	// Clear the previous core before the early return below: Unsat on a
+	// dead solver is unconditional, and a stale core from an earlier
+	// assumption query would misattribute it.
+	s.core = nil
 	if !s.ok {
 		return Unsat, nil
 	}
 	s.assumptions = assumptions
-	s.core = nil
 	defer s.cancelUntil(0)
 
 	maxLearnts := float64(len(s.clauses))/3 + 100
@@ -600,9 +637,14 @@ func (s *Solver) search(ctx context.Context, budget int64, maxLearnts *float64) 
 			conflicts++
 			if s.decisionLevel() == 0 {
 				s.ok = false
+				s.logEmptyClause()
 				return Unsat
 			}
 			learnt, btLevel := s.analyze(conflict)
+			// Every learnt clause — unit or not — is a lemma: the
+			// checker needs units too, because the solver keeps them
+			// only as trail assignments, never as clauses.
+			s.logProof(ProofLearn, learnt)
 			s.cancelUntil(btLevel)
 			if len(learnt) == 1 {
 				s.uncheckedEnqueue(learnt[0], nil)
@@ -640,11 +682,15 @@ func (s *Solver) search(ctx context.Context, budget int64, maxLearnts *float64) 
 				s.trailLim = append(s.trailLim, len(s.trail))
 				continue
 			case LFalse:
-				core := s.analyzeFinal(p.Neg())
-				s.core = make([]Lit, 0, len(core))
+				clause := s.analyzeFinal(p.Neg())
+				// The negated-assumption clause certifies the verdict:
+				// it is a RUP consequence of the clause database, and
+				// its literals' negations are the unsat core.
+				s.logProof(ProofLearn, clause)
+				s.core = make([]Lit, 0, len(clause))
 				// analyzeFinal returns negations of failed assumption
 				// literals; report the assumptions themselves.
-				for _, l := range core {
+				for _, l := range clause {
 					s.core = append(s.core, l.Neg())
 				}
 				return Unsat

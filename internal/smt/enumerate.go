@@ -61,8 +61,15 @@ func (s *Solver) enumerate(ctx context.Context, vars []*logic.Var, max int, pref
 		if err != nil {
 			return count, false, err
 		}
-		if st != sat.Sat {
+		if st == sat.Unsat {
 			return count, true, nil
+		}
+		if st != sat.Sat {
+			// Unknown: a conflict budget ran out mid-walk. That is not
+			// exhaustion — claiming it was would let a truncated walk
+			// masquerade as a complete one (and, under proof
+			// verification, there would be no Unsat verdict to check).
+			return count, false, nil
 		}
 		full, err := s.Model()
 		if err != nil {

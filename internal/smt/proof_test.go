@@ -1,0 +1,181 @@
+package smt
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/sat"
+)
+
+func TestVerifyUnsatWithoutAssumptions(t *testing.T) {
+	s := NewSolver(WithProof())
+	x := logic.NewBoolVar("x")
+	y := logic.NewBoolVar("y")
+	mustAssert(t, s, logic.Or(x, y))
+	mustAssert(t, s, logic.Or(x, logic.Not(y)))
+	mustAssert(t, s, logic.Or(logic.Not(x), y))
+	mustAssert(t, s, logic.Or(logic.Not(x), logic.Not(y)))
+	mustSolve(t, s, sat.Unsat)
+	rep, err := s.VerifyLastUnsat()
+	if err != nil {
+		t.Fatalf("VerifyLastUnsat: %v", err)
+	}
+	if rep.Ops == 0 || rep.TraceLen == 0 {
+		t.Fatalf("empty proof report: %+v", rep)
+	}
+	if rep.CoreLits != 0 || rep.ShrunkCoreLits != 0 {
+		t.Fatalf("assumption-core stats on an unconditional Unsat: %+v", rep)
+	}
+}
+
+func TestVerifyErrors(t *testing.T) {
+	s := NewSolver()
+	x := logic.NewBoolVar("x")
+	mustAssert(t, s, x)
+	mustSolve(t, s, sat.Sat)
+	if _, err := s.VerifyLastUnsat(); err == nil {
+		t.Fatalf("VerifyLastUnsat succeeded with proof logging off")
+	}
+
+	p := NewSolver(WithProof())
+	mustAssert(t, p, x)
+	mustSolve(t, p, sat.Sat)
+	if _, err := p.VerifyLastUnsat(); err == nil {
+		t.Fatalf("VerifyLastUnsat succeeded after a Sat verdict")
+	}
+}
+
+func TestCheckedCoreShrinks(t *testing.T) {
+	// a→x, b→x, b→¬x: {a,b} fails, but {b} alone already fails. The
+	// solver's cone analysis reports both; the checked core must not.
+	s := NewSolver(WithProof())
+	a := logic.NewBoolVar("a")
+	b := logic.NewBoolVar("b")
+	x := logic.NewBoolVar("x")
+	mustAssert(t, s, logic.Implies(a, x))
+	mustAssert(t, s, logic.Implies(b, x))
+	mustAssert(t, s, logic.Implies(b, logic.Not(x)))
+	mustSolve(t, s, sat.Unsat, a, b)
+
+	plain := s.Core()
+	checked, rep, err := s.CheckedCore()
+	if err != nil {
+		t.Fatalf("CheckedCore: %v", err)
+	}
+	if len(checked) > len(plain) {
+		t.Fatalf("checked core %v larger than plain core %v", checked, plain)
+	}
+	if len(checked) != 1 || checked[0] != logic.Term(b) {
+		t.Fatalf("checked core = %v, want [b]", checked)
+	}
+	if rep.ShrunkCoreLits > rep.CoreLits {
+		t.Fatalf("shrink grew the core clause: %+v", rep)
+	}
+
+	// The shrunk core must still be unsatisfiable — re-solve with it.
+	mustSolve(t, s, sat.Unsat, checked...)
+	if _, err := s.VerifyLastUnsat(); err != nil {
+		t.Fatalf("re-verify with shrunk core: %v", err)
+	}
+}
+
+func TestCoreDeduplicatesRepeatedAssumptions(t *testing.T) {
+	s := NewSolver(WithProof())
+	a := logic.NewBoolVar("a")
+	mustAssert(t, s, logic.Not(a))
+	mustSolve(t, s, sat.Unsat, a, a, a)
+	core := s.Core()
+	if len(core) != 1 {
+		t.Fatalf("core = %v, want exactly one entry for a repeated assumption", core)
+	}
+	checked, _, err := s.CheckedCore()
+	if err != nil {
+		t.Fatalf("CheckedCore: %v", err)
+	}
+	if len(checked) != 1 {
+		t.Fatalf("checked core = %v, want one entry", checked)
+	}
+}
+
+func TestVerifyAcrossGuardedRetraction(t *testing.T) {
+	// One warm solver, several verdicts: the incremental checker must
+	// follow the trace across guarded assertion, Unsat, retraction, and
+	// a second Unsat — paying for each trace operation once.
+	s := NewSolver(WithProof())
+	a := logic.NewBoolVar("a")
+	b := logic.NewBoolVar("b")
+	mustAssert(t, s, logic.Or(a, b))
+
+	g, err := s.AssertGuarded(logic.Not(a))
+	if err != nil {
+		t.Fatalf("AssertGuarded: %v", err)
+	}
+	mustSolve(t, s, sat.Unsat, a)
+	rep1, err := s.VerifyLastUnsat()
+	if err != nil {
+		t.Fatalf("verify under guard: %v", err)
+	}
+
+	s.Retract(g)
+	mustSolve(t, s, sat.Sat, a)
+
+	mustSolve(t, s, sat.Unsat, logic.Not(a), logic.Not(b))
+	rep2, err := s.VerifyLastUnsat()
+	if err != nil {
+		t.Fatalf("verify after retraction: %v", err)
+	}
+	if rep2.TraceLen <= rep1.TraceLen {
+		t.Fatalf("trace did not grow across verdicts: %d then %d", rep1.TraceLen, rep2.TraceLen)
+	}
+	if rep2.Ops >= rep2.TraceLen {
+		t.Fatalf("second verification re-checked the whole trace (%d ops of %d)", rep2.Ops, rep2.TraceLen)
+	}
+}
+
+func TestVerifyOnClone(t *testing.T) {
+	s := NewSolver(WithProof())
+	a := logic.NewBoolVar("a")
+	b := logic.NewBoolVar("b")
+	mustAssert(t, s, logic.Implies(a, b))
+	mustSolve(t, s, sat.Unsat, a, logic.Not(b))
+
+	c := s.Clone()
+	if !c.ProofEnabled() {
+		t.Fatalf("clone lost proof logging")
+	}
+	mustAssert(t, c, logic.Not(b))
+	mustSolve(t, c, sat.Unsat, a)
+	if _, err := c.VerifyLastUnsat(); err != nil {
+		t.Fatalf("verify on clone: %v", err)
+	}
+
+	// The original is unaffected and still verifies its own verdict.
+	if _, err := s.VerifyLastUnsat(); err != nil {
+		t.Fatalf("verify on original after clone: %v", err)
+	}
+}
+
+func TestEnumerationBlockingClausesStayChecked(t *testing.T) {
+	// Retractable model enumeration adds guarded blocking clauses; a
+	// subsequent Unsat verdict's proof must still check.
+	s := NewSolver(WithProof())
+	n := logic.NewIntVar("n", 0, 3)
+	if err := s.Declare(n); err != nil {
+		t.Fatalf("Declare: %v", err)
+	}
+	mustAssert(t, s, logic.Le(n, logic.NewInt(1)))
+	count, exhausted, err := s.EnumerateModelsRetractableContext(
+		context.Background(), []*logic.Var{n}, 10,
+		func(m logic.Assignment) bool { return true })
+	if err != nil {
+		t.Fatalf("EnumerateModelsRetractableContext: %v", err)
+	}
+	if count != 2 || !exhausted {
+		t.Fatalf("enumerated %d models (exhausted=%v), want 2 models exhaustively", count, exhausted)
+	}
+	mustSolve(t, s, sat.Unsat, logic.Ge(n, logic.NewInt(2)))
+	if _, err := s.VerifyLastUnsat(); err != nil {
+		t.Fatalf("verify after enumeration: %v", err)
+	}
+}

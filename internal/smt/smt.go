@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/drat"
 	"repro/internal/logic"
 	"repro/internal/sat"
 )
@@ -68,6 +69,18 @@ type Solver struct {
 	lastAssumed []logic.Term
 	lastLits    []sat.Lit
 
+	// lastStatus remembers the outcome of the most recent solve so the
+	// proof layer can refuse to "verify" a verdict that never happened.
+	lastStatus sat.Status
+
+	// chk incrementally re-validates the solver's proof trace (see
+	// proof.go): chkCursor is the index of the first trace operation it
+	// has not consumed yet. Lazily (re)built, and deliberately not
+	// carried by Clone — a clone re-replays its forked trace from the
+	// start on first verification.
+	chk       *drat.Checker
+	chkCursor int
+
 	// busy guards against overlapping SolveContext calls: a Solver is
 	// not safe for concurrent use, and the per-worker-clone discipline
 	// of the lift stage makes accidental sharing an easy bug to write
@@ -95,8 +108,27 @@ type valueList struct {
 	lits []sat.Lit
 }
 
+// Option configures a Solver at construction time.
+type Option func(*Solver)
+
+// WithProof attaches a DRAT-style proof trace to the underlying SAT
+// solver. Every clause the encoder emits and every lemma the solver
+// derives is recorded, so Unsat verdicts can be independently
+// re-validated (VerifyLastUnsat) and cores minimized against the
+// checker (CheckedCore). Logging must be requested at construction:
+// the trace has to contain the very first clause, or the checker could
+// not reproduce any derivation.
+func WithProof() Option {
+	return func(s *Solver) {
+		if err := s.sat.SetProof(sat.NewTrace()); err != nil {
+			// The solver is pristine here by construction.
+			panic(err)
+		}
+	}
+}
+
 // NewSolver creates an empty solver.
-func NewSolver() *Solver {
+func NewSolver(opts ...Option) *Solver {
 	s := &Solver{
 		sat:      sat.NewSolver(),
 		in:       logic.Default(),
@@ -104,6 +136,9 @@ func NewSolver() *Solver {
 		enc:      make(map[string]*varEncoding),
 		boolMemo: make(map[logic.Term]sat.Lit),
 		valMemo:  make(map[logic.Term]*valueList),
+	}
+	for _, o := range opts {
+		o(s)
 	}
 	vt := s.sat.NewVar()
 	s.litTrue = sat.PosLit(vt)
@@ -281,27 +316,38 @@ func (s *Solver) SolveContext(ctx context.Context, assumptions ...logic.Term) (s
 		}
 		s.lastLits = append(s.lastLits, l)
 	}
+	var st sat.Status
+	var err error
 	if len(s.guards) == 0 {
-		return s.sat.SolveContext(ctx, s.lastLits...)
+		st, err = s.sat.SolveContext(ctx, s.lastLits...)
+	} else {
+		all := make([]sat.Lit, 0, len(s.guards)+len(s.lastLits))
+		all = append(all, s.guards...)
+		all = append(all, s.lastLits...)
+		st, err = s.sat.SolveContext(ctx, all...)
 	}
-	all := make([]sat.Lit, 0, len(s.guards)+len(s.lastLits))
-	all = append(all, s.guards...)
-	all = append(all, s.lastLits...)
-	return s.sat.SolveContext(ctx, all...)
+	s.lastStatus = st
+	return st, err
 }
 
 // Core returns assumption terms responsible for the last Unsat result,
 // mapped back from the SAT-level core. The result is a subset of the
-// assumptions passed to the failing Solve call.
+// assumptions passed to the failing Solve call, without duplicates:
+// the same term may be passed as an assumption more than once (or two
+// distinct assumption terms may encode to one literal), and a core
+// should name each culprit once.
 func (s *Solver) Core() []logic.Term {
 	core := s.sat.Core()
+	inCore := make(map[sat.Lit]bool, len(core))
+	for _, c := range core {
+		inCore[c] = true
+	}
+	seen := make(map[logic.Term]bool, len(core))
 	var out []logic.Term
 	for i, l := range s.lastLits {
-		for _, c := range core {
-			if c == l {
-				out = append(out, s.lastAssumed[i])
-				break
-			}
+		if inCore[l] && !seen[s.lastAssumed[i]] {
+			seen[s.lastAssumed[i]] = true
+			out = append(out, s.lastAssumed[i])
 		}
 	}
 	return out
