@@ -28,6 +28,20 @@ type PerfEntry struct {
 	SATConflicts    uint64 `json:"sat_conflicts"`
 	SATSolves       uint64 `json:"sat_solves"`
 	SATPropagations uint64 `json:"sat_propagations"`
+	// SATBinPropagations is the share of propagations served by the
+	// solver's binary implication lists; SATRestarts and
+	// SATMinimizedLits total restarts and learnt-clause literals
+	// removed by minimization; SATAvgLBD is the mean glue of learnt
+	// clauses (0 when nothing was learnt).
+	SATBinPropagations uint64  `json:"sat_bin_propagations"`
+	SATRestarts        uint64  `json:"sat_restarts"`
+	SATMinimizedLits   uint64  `json:"sat_minimized_lits"`
+	SATAvgLBD          float64 `json:"sat_avg_lbd"`
+	// SATTierCore/Mid/Local are the peak tiered learnt-database sizes
+	// observed across the report's solvers.
+	SATTierCore  int `json:"sat_tier_core"`
+	SATTierMid   int `json:"sat_tier_mid"`
+	SATTierLocal int `json:"sat_tier_local"`
 	// LiftQueries counts individual lift-stage SMT queries; LiftP50MS
 	// and LiftP95MS are their latency percentiles in milliseconds.
 	LiftQueries int     `json:"lift_queries"`
@@ -78,13 +92,24 @@ func Perf(ctx context.Context) (*PerfReport, error) {
 		wallMS := float64(time.Since(start).Microseconds()) / 1000
 
 		st := ex.Stats()
+		avgLBD := 0.0
+		if st.Learnt > 0 {
+			avgLBD = float64(st.LBDSum) / float64(st.Learnt)
+		}
 		rep.Entries = append(rep.Entries, PerfEntry{
-			Scenario:         sc.Name,
-			WallMS:           wallMS,
-			SynthMS:          synthMS,
-			SATConflicts:     st.Conflicts,
-			SATSolves:        st.Solves,
-			SATPropagations:  st.Propagations,
+			Scenario:           sc.Name,
+			WallMS:             wallMS,
+			SynthMS:            synthMS,
+			SATConflicts:       st.Conflicts,
+			SATSolves:          st.Solves,
+			SATPropagations:    st.Propagations,
+			SATBinPropagations: st.BinPropagations,
+			SATRestarts:        st.Restarts,
+			SATMinimizedLits:   st.MinimizedLits,
+			SATAvgLBD:          avgLBD,
+			SATTierCore:        st.CoreLearnts,
+			SATTierMid:         st.MidLearnts,
+			SATTierLocal:       st.LocalLearnts,
 			LiftQueries:      st.LiftQueries,
 			LiftP50MS:        float64(st.LiftP50.Microseconds()) / 1000,
 			LiftP95MS:        float64(st.LiftP95.Microseconds()) / 1000,

@@ -90,3 +90,41 @@ func TestExplanationVerifiedFlag(t *testing.T) {
 		t.Fatalf("verification changed the subspec: %v vs %v", got, want)
 	}
 }
+
+// TestReportWithProofsIdenticalAcrossWorkerCounts combines the two
+// contracts above: with proof verification on, the report stays
+// byte-identical to the committed golden at every lift worker count.
+// Parallel lift hands warm solver clones to workers, and a clone forks
+// the proof trace — this pins that the forked traces all check and
+// that neither scheduling nor verification perturbs the output.
+func TestReportWithProofsIdenticalAcrossWorkerCounts(t *testing.T) {
+	for _, sc := range scenarios.All() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			dep := synthScenario(t, sc)
+			want, err := os.ReadFile(filepath.Join("testdata", "report_"+sc.Name+".golden"))
+			if err != nil {
+				t.Fatalf("missing golden: %v", err)
+			}
+			for _, workers := range []int{1, 2, 8} {
+				opts := DefaultOptions()
+				opts.VerifyProofs = true
+				opts.LiftWorkers = workers
+				e, err := NewExplainer(sc.Net, sc.Requirements(), dep, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := e.Report()
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if got != string(want) {
+					t.Errorf("workers=%d: verified report differs from golden", workers)
+				}
+				if e.Stats().ProofChecks == 0 {
+					t.Fatalf("workers=%d: no proofs were checked", workers)
+				}
+			}
+		})
+	}
+}

@@ -87,6 +87,22 @@ type Stats struct {
 	Propagations uint64
 	Decisions    uint64
 	Learnt       uint64
+	// BinPropagations is the subset of Propagations served by the
+	// solver's dedicated binary implication lists; Restarts and
+	// MinimizedLits total search restarts and the literals deleted
+	// from learnt clauses by minimization; LBDSum totals learnt-clause
+	// glue (LBDSum/Learnt is the mean LBD).
+	BinPropagations uint64
+	Restarts        uint64
+	BlockedRestarts uint64
+	MinimizedLits   uint64
+	LBDSum          uint64
+	// CoreLearnts, MidLearnts, and LocalLearnts are the peak sizes of
+	// the tiered learnt-clause database observed across every solver
+	// harvested into the session.
+	CoreLearnts  int
+	MidLearnts   int
+	LocalLearnts int
 	// WarmSolverHits and WarmSolverMisses count solver checkouts
 	// answered from the session's warm pool versus built cold.
 	WarmSolverHits   int

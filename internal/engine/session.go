@@ -270,6 +270,20 @@ func (s *Session) AddSolverStats(st sat.Stats) {
 	s.stats.Propagations += st.Propagations
 	s.stats.Decisions += st.Decisions
 	s.stats.Learnt += st.Learnt
+	s.stats.BinPropagations += st.BinPropagations
+	s.stats.Restarts += st.Restarts
+	s.stats.BlockedRestarts += st.BlockedRestarts
+	s.stats.MinimizedLits += st.MinimizedLits
+	s.stats.LBDSum += st.LBDSum
+	if st.CoreLearnts > s.stats.CoreLearnts {
+		s.stats.CoreLearnts = st.CoreLearnts
+	}
+	if st.MidLearnts > s.stats.MidLearnts {
+		s.stats.MidLearnts = st.MidLearnts
+	}
+	if st.LocalLearnts > s.stats.LocalLearnts {
+		s.stats.LocalLearnts = st.LocalLearnts
+	}
 	s.mu.Unlock()
 }
 

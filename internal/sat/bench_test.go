@@ -1,0 +1,149 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The microbenchmarks below are the SAT-level half of the satcore
+// performance story (BENCH_satcore.json): each one isolates a hot path
+// the Glucose-class upgrade targets — binary-clause propagation,
+// learnt-database reduction, and raw search on hard instances. They
+// are fully deterministic (fixed seeds, no wall-clock dependence) so
+// before/after runs compare the same work.
+
+// addRandom3SAT asserts a fixed random 3-SAT instance over nVars fresh
+// variables.
+func addRandom3SAT(s *Solver, nVars, nClauses int, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	vars := newVars(s, nVars)
+	for i := 0; i < nClauses; i++ {
+		a := Var(r.Intn(nVars))
+		b := Var(r.Intn(nVars))
+		c := Var(r.Intn(nVars))
+		s.AddClause(MkLit(vars[a], r.Intn(2) == 0), MkLit(vars[b], r.Intn(2) == 0), MkLit(vars[c], r.Intn(2) == 0))
+	}
+}
+
+// BenchmarkSolvePigeonhole measures raw CDCL search on PHP(8,7):
+// unsatisfiable, conflict-analysis heavy, zero binary clauses beyond
+// the at-most-one pairs.
+func BenchmarkSolvePigeonhole(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewSolver()
+		pigeonhole(s, 8, 7)
+		if s.Solve() != Unsat {
+			b.Fatal("PHP(8,7) must be unsat")
+		}
+	}
+}
+
+// BenchmarkSolveRandom3SATHard measures search on a hard random 3-SAT
+// instance near the phase transition (ratio ~4.3). The instance is
+// large enough to trigger repeated learnt-database reductions, so
+// clause-management cost (sorting, tier selection) shows up here too.
+func BenchmarkSolveRandom3SATHard(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewSolver()
+		addRandom3SAT(s, 130, 559, 7)
+		if s.Solve() == Unknown {
+			b.Fatal("unexpected Unknown without a budget")
+		}
+	}
+}
+
+// BenchmarkSolveRandom3SATSat measures search on a satisfiable random
+// instance below the transition (ratio 4.0), where restarts and phase
+// saving dominate.
+func BenchmarkSolveRandom3SATSat(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewSolver()
+		addRandom3SAT(s, 200, 800, 3)
+		if s.Solve() == Unknown {
+			b.Fatal("unexpected Unknown without a budget")
+		}
+	}
+}
+
+// BenchmarkPropagateBinaryChain measures pure binary-clause
+// propagation: a long implication chain x0 -> x1 -> ... -> xn driven
+// back and forth by alternating assumption solves. Every propagation
+// is a two-literal clause, so this is the direct before/after probe
+// for the dedicated binary implication lists.
+func BenchmarkPropagateBinaryChain(b *testing.B) {
+	const n = 4000
+	s := NewSolver()
+	vars := newVars(s, n)
+	for i := 0; i+1 < n; i++ {
+		s.AddClause(NegLit(vars[i]), PosLit(vars[i+1]))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Solve(PosLit(vars[0])) != Sat {
+			b.Fatal("chain head assumption must be sat")
+		}
+		if s.Solve(NegLit(vars[n-1])) != Sat {
+			b.Fatal("chain tail assumption must be sat")
+		}
+	}
+}
+
+// BenchmarkPropagateExactlyOneGrid mimics the SMT layer's dominant
+// clause shape: chains of exactly-one value groups (pairwise at-most-
+// one is all binary clauses) linked by binary equalities, solved under
+// alternating assumptions. This is what bit-blasted finite-domain
+// encodings look like to the SAT core.
+func BenchmarkPropagateExactlyOneGrid(b *testing.B) {
+	const groups, width = 400, 6
+	s := NewSolver()
+	grid := make([][]Lit, groups)
+	for g := range grid {
+		vs := newVars(s, width)
+		lits := make([]Lit, width)
+		for i, v := range vs {
+			lits[i] = PosLit(v)
+		}
+		grid[g] = lits
+		s.AddClause(lits...) // at least one
+		for i := 0; i < width; i++ {
+			for j := i + 1; j < width; j++ {
+				s.AddClause(lits[i].Neg(), lits[j].Neg())
+			}
+		}
+	}
+	// Link consecutive groups: picking value i in group g forces value
+	// i in group g+1 (all binary clauses).
+	for g := 0; g+1 < groups; g++ {
+		for i := 0; i < width; i++ {
+			s.AddClause(grid[g][i].Neg(), grid[g+1][i])
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Solve(grid[0][i%width]) != Sat {
+			b.Fatal("grid assumption must be sat")
+		}
+	}
+}
+
+// BenchmarkAssumptionCores measures Unsat-under-assumptions queries —
+// the shape of every lift-stage necessity probe: a shared formula, a
+// stream of failing assumption sets, core extraction each time.
+func BenchmarkAssumptionCores(b *testing.B) {
+	s := NewSolver()
+	vars := newVars(s, 64)
+	// xi -> xi+1 chain plus a clause forbidding the far end under x0.
+	for i := 0; i+1 < len(vars); i++ {
+		s.AddClause(NegLit(vars[i]), PosLit(vars[i+1]))
+	}
+	s.AddClause(NegLit(vars[0]), NegLit(vars[len(vars)-1]))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Solve(PosLit(vars[0]), PosLit(vars[1])) != Unsat {
+			b.Fatal("assumptions must fail")
+		}
+		if len(s.Core()) == 0 {
+			b.Fatal("missing core")
+		}
+	}
+}

@@ -52,7 +52,7 @@ func (s *Solver) Clone() *Solver {
 	// watch lists and level-0 reasons can be remapped.
 	remap := make(map[*clause]*clause, len(s.clauses)+len(s.learnts))
 	cloneClause := func(cl *clause) *clause {
-		cc := &clause{lits: append([]Lit(nil), cl.lits...), learnt: cl.learnt, activity: cl.activity}
+		cc := &clause{lits: append([]Lit(nil), cl.lits...), learnt: cl.learnt, activity: cl.activity, lbd: cl.lbd, protect: cl.protect}
 		remap[cl] = cc
 		return cc
 	}
@@ -75,6 +75,17 @@ func (s *Solver) Clone() *Solver {
 		}
 		c.watches[i] = cw
 	}
+	c.bins = make([][]binWatch, len(s.bins))
+	for i, bs := range s.bins {
+		if len(bs) == 0 {
+			continue
+		}
+		cb := make([]binWatch, len(bs))
+		for j, b := range bs {
+			cb[j] = binWatch{other: b.other, c: remap[b.c]}
+		}
+		c.bins[i] = cb
+	}
 
 	c.assigns = append([]LBool(nil), s.assigns...)
 	c.level = append([]int(nil), s.level...)
@@ -88,8 +99,17 @@ func (s *Solver) Clone() *Solver {
 	c.trailLim = append([]int(nil), s.trailLim...)
 	c.activity = append([]float64(nil), s.activity...)
 	c.phase = append([]bool(nil), s.phase...)
+	c.targetPhase = append([]LBool(nil), s.targetPhase...)
 	c.seen = make([]bool, len(s.seen))
+	c.litMark = make([]uint64, len(s.litMark))
 	c.model = append([]LBool(nil), s.model...)
+
+	// Restart state carries over: the clone continues the original's
+	// view of "normal" glue rather than re-warming from scratch.
+	c.lbdEmaFast = s.lbdEmaFast
+	c.lbdEmaSlow = s.lbdEmaSlow
+	c.trailEma = s.trailEma
+	c.emaConfl = s.emaConfl
 
 	// Copy the branching heap verbatim (same activities, same layout)
 	// so original and clone branch identically until their inputs
@@ -118,16 +138,29 @@ func (s *Solver) Clone() *Solver {
 // under-reports that pathological harvest instead of corrupting every
 // downstream counter.
 func (a Stats) Sub(b Stats) Stats {
-	return Stats{
-		Solves:       satSub(a.Solves, b.Solves),
-		Decisions:    satSub(a.Decisions, b.Decisions),
-		Propagations: satSub(a.Propagations, b.Propagations),
-		Conflicts:    satSub(a.Conflicts, b.Conflicts),
-		Restarts:     satSub(a.Restarts, b.Restarts),
-		Learnt:       satSub(a.Learnt, b.Learnt),
-		MaxVars:      a.MaxVars,
-		Clauses:      a.Clauses,
+	out := Stats{
+		Solves:          satSub(a.Solves, b.Solves),
+		Decisions:       satSub(a.Decisions, b.Decisions),
+		Propagations:    satSub(a.Propagations, b.Propagations),
+		BinPropagations: satSub(a.BinPropagations, b.BinPropagations),
+		Conflicts:       satSub(a.Conflicts, b.Conflicts),
+		Restarts:        satSub(a.Restarts, b.Restarts),
+		BlockedRestarts: satSub(a.BlockedRestarts, b.BlockedRestarts),
+		Learnt:          satSub(a.Learnt, b.Learnt),
+		MinimizedLits:   satSub(a.MinimizedLits, b.MinimizedLits),
+		LBDSum:          satSub(a.LBDSum, b.LBDSum),
+		Reductions:      satSub(a.Reductions, b.Reductions),
+		RemovedClauses:  satSub(a.RemovedClauses, b.RemovedClauses),
+		MaxVars:         a.MaxVars,
+		Clauses:         a.Clauses,
+		CoreLearnts:     a.CoreLearnts,
+		MidLearnts:      a.MidLearnts,
+		LocalLearnts:    a.LocalLearnts,
 	}
+	for i := range out.LBDHist {
+		out.LBDHist[i] = satSub(a.LBDHist[i], b.LBDHist[i])
+	}
+	return out
 }
 
 // satSub is a - b saturating at zero instead of wrapping.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Stats counts solver work, exposed for the benchmark harness.
@@ -11,18 +12,61 @@ type Stats struct {
 	Solves       uint64 // Solve / SolveContext calls
 	Decisions    uint64
 	Propagations uint64
-	Conflicts    uint64
-	Restarts     uint64
-	Learnt       uint64
-	MaxVars      int
-	Clauses      int
+	// BinPropagations is the subset of Propagations driven by the
+	// dedicated binary implication lists (two-literal clauses).
+	BinPropagations uint64
+	Conflicts       uint64
+	Restarts        uint64
+	// BlockedRestarts counts adaptive restarts postponed because the
+	// trail was still growing (the solver looked close to a model).
+	BlockedRestarts uint64
+	Learnt          uint64
+	// MinimizedLits totals the literals removed from learnt clauses by
+	// deep (recursive) minimization and binary-resolution shrinking.
+	MinimizedLits uint64
+	// LBDSum totals the LBD (glue) of every stored learnt clause, so
+	// LBDSum/Learnt is the mean glue. LBDHist buckets stored learnt
+	// clauses by LBD: index i counts clauses of LBD i+1, with the last
+	// bucket collecting everything at or above len(LBDHist).
+	LBDSum  uint64
+	LBDHist [8]uint64
+	// Reductions counts reduceDB sweeps; RemovedClauses the learnt
+	// clauses they deleted.
+	Reductions     uint64
+	RemovedClauses uint64
+	MaxVars        int
+	Clauses        int
+	// CoreLearnts, MidLearnts, and LocalLearnts gauge the tiered
+	// learnt-clause database (glue<=2 / glue<=6 / rest) as of the last
+	// reduction or solve.
+	CoreLearnts  int
+	MidLearnts   int
+	LocalLearnts int
 }
 
 type clause struct {
 	lits     []Lit
 	learnt   bool
 	activity float64
+	// lbd is the literal block distance (glue) of a learnt clause: the
+	// number of distinct decision levels among its literals when it was
+	// derived, tightened whenever conflict analysis revisits the clause
+	// at a lower value. Zero for problem clauses.
+	lbd int32
+	// protect grants a mid-tier learnt clause (lbd <= midLBD) one round
+	// of grace in reduceDB; it is set whenever the clause participates
+	// in conflict analysis and cleared by the reduction that honors it.
+	protect bool
 }
+
+// Clause-management tiers, following Glucose: glue clauses
+// (lbd <= coreLBD) are kept forever, mid-tier clauses (lbd <= midLBD)
+// survive reductions while they keep participating in conflicts, and
+// everything else competes on activity.
+const (
+	coreLBD = 2
+	midLBD  = 6
+)
 
 // watcher pairs a watching clause with a "blocker" literal: if the
 // blocker is already true the clause is satisfied and need not be
@@ -32,13 +76,49 @@ type watcher struct {
 	blocker Lit
 }
 
+// binWatch is one entry of a binary implication list: the binary
+// clause's other literal plus the clause itself, which conflict
+// analysis and the locked-clause check still need as a reason pointer.
+// Two-literal clauses propagate from these compact per-literal arrays
+// instead of the generic watcher machinery — no blocker test, no
+// watch-list surgery, no search for a replacement watch.
+type binWatch struct {
+	other Lit
+	c     *clause
+}
+
+// Adaptive restart policy parameters (see restartNow): exponential
+// moving averages of learnt-clause LBD over a short and a long window,
+// compared Glucose-style, with restarts blocked while the trail is
+// far above its long-run average and a Luby schedule as fallback cap.
+const (
+	lbdEmaFastAlpha = 1.0 / 32
+	lbdEmaSlowAlpha = 1.0 / 4096
+	trailEmaAlpha   = 1.0 / 4096
+	// restartMargin is Glucose's K (0.8) expressed as fast/slow:
+	// restart once fast > slow/K.
+	restartMargin = 1.25
+	// blockMargin is Glucose's R: a conflict trail this far above the
+	// long-run average blocks the pending restart.
+	blockMargin = 1.4
+	// restartMinConflicts is the EMA warm-up: no adaptive restart
+	// before this many conflicts in the current search phase.
+	restartMinConflicts = 32
+	// lubyRestartBase scales the Luby fallback schedule that bounds
+	// how long any single search phase may run even when the adaptive
+	// policy never fires. It is deliberately long: the adaptive signal
+	// is in charge, and the fallback only caps pathological phases.
+	lubyRestartBase = 1024
+)
+
 // Solver is a CDCL SAT solver. The zero value is not usable; create
 // solvers with NewSolver. A Solver is not safe for concurrent use.
 type Solver struct {
 	ok      bool // false once the clause set is known unsat at level 0
 	clauses []*clause
 	learnts []*clause
-	watches [][]watcher // indexed by Lit
+	watches [][]watcher  // indexed by Lit; clauses of three or more literals
+	bins    [][]binWatch // indexed by Lit; two-literal clauses
 
 	assigns  []LBool   // current assignment, by Var
 	level    []int     // decision level of each assigned var
@@ -52,8 +132,39 @@ type Solver struct {
 	order    *varHeap
 	phase    []bool // saved polarity per variable
 
+	// targetPhase remembers the polarity each variable had on the
+	// deepest trail seen (a near-model), and takes precedence over the
+	// plain saved phase when branching; bestTrail is that depth,
+	// re-armed per solve.
+	targetPhase []LBool
+	bestTrail   int
+
 	seen     []bool
 	analyzeT []Lit // scratch for conflict analysis
+
+	// minimization scratch: the literals whose seen flags must be
+	// cleared after analyze (learnt literals plus everything marked by
+	// litRedundant), and the DFS stack of litRedundant.
+	toClear  []Lit
+	minStack []Lit
+
+	// litMark/litStamp is a per-literal epoch marker (binShrink);
+	// levelMark/levelStamp the per-level one (computeLBD). Stamps make
+	// clearing free.
+	litMark    []uint64
+	litStamp   uint64
+	levelMark  []uint64
+	levelStamp uint64
+
+	// Adaptive restart state: EMAs of learnt LBD (short/long window)
+	// and of the conflict-time trail size, plus the count of conflicts
+	// folded in (for EMA warm-up) and the per-solve restart index that
+	// drives the Luby fallback schedule.
+	lbdEmaFast float64
+	lbdEmaSlow float64
+	trailEma   float64
+	emaConfl   uint64
+	restartIdx uint64
 
 	claInc float64
 
@@ -89,8 +200,11 @@ func (s *Solver) NewVar() Var {
 	s.reason = append(s.reason, nil)
 	s.activity = append(s.activity, 0)
 	s.phase = append(s.phase, false)
+	s.targetPhase = append(s.targetPhase, LUndef)
 	s.seen = append(s.seen, false)
 	s.watches = append(s.watches, nil, nil)
+	s.bins = append(s.bins, nil, nil)
+	s.litMark = append(s.litMark, 0, 0)
 	s.order.insert(v)
 	if int(v)+1 > s.Stats.MaxVars {
 		s.Stats.MaxVars = int(v) + 1
@@ -208,10 +322,17 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	return true
 }
 
+// attach indexes the clause for propagation: two-literal clauses go to
+// the binary implication lists, longer ones to the two-watched-literal
+// scheme. Watch lists are indexed by the *negation* of the watched
+// literal so that when a literal becomes false we visit the clauses
+// watching it.
 func (s *Solver) attach(c *clause) {
-	// Watch the first two literals; watch lists are indexed by the
-	// *negation* of the watched literal so that when a literal becomes
-	// false we visit the clauses watching it.
+	if len(c.lits) == 2 {
+		s.bins[c.lits[0].Neg()] = append(s.bins[c.lits[0].Neg()], binWatch{other: c.lits[1], c: c})
+		s.bins[c.lits[1].Neg()] = append(s.bins[c.lits[1].Neg()], binWatch{other: c.lits[0], c: c})
+		return
+	}
 	s.watches[c.lits[0].Neg()] = append(s.watches[c.lits[0].Neg()], watcher{c: c, blocker: c.lits[1]})
 	s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], watcher{c: c, blocker: c.lits[0]})
 }
@@ -224,14 +345,35 @@ func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
 	s.trail = append(s.trail, l)
 }
 
-// propagate performs unit propagation over the two-watched-literal
-// scheme. It returns the conflicting clause, or nil if propagation
-// completed without conflict.
+// propagate performs unit propagation: binary implication lists first
+// (an array scan with one truth-value test per entry), then the
+// two-watched-literal scheme for longer clauses. It returns the
+// conflicting clause, or nil if propagation completed without conflict.
 func (s *Solver) propagate() *clause {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead] // p is now true; visit clauses watching !p
 		s.qhead++
 		s.Stats.Propagations++
+
+		// Binary clauses containing !p: each either implies its other
+		// literal or conflicts — nothing to relocate, no blockers.
+		for _, bw := range s.bins[p] {
+			switch s.value(bw.other) {
+			case LTrue:
+			case LFalse:
+				s.qhead = len(s.trail)
+				return bw.c
+			default:
+				// Keep the implied literal in slot 0: conflict analysis
+				// and the locked-clause check rely on reason clauses
+				// leading with the literal they imply.
+				if bw.c.lits[0] != bw.other {
+					bw.c.lits[0], bw.c.lits[1] = bw.c.lits[1], bw.c.lits[0]
+				}
+				s.Stats.BinPropagations++
+				s.uncheckedEnqueue(bw.other, bw.c)
+			}
+		}
 
 		ws := s.watches[p]
 		kept := ws[:0]
@@ -290,8 +432,14 @@ func (s *Solver) propagate() *clause {
 }
 
 // analyze performs first-UIP conflict analysis, returning the learnt
-// clause (with the asserting literal first) and the backjump level.
-func (s *Solver) analyze(conflict *clause) ([]Lit, int) {
+// clause (with the asserting literal first), the backjump level, and
+// the clause's LBD. The clause is minimized before it is returned:
+// deep (recursive) minimization drops every literal implied by the
+// rest of the clause through reason chains, and binary-resolution
+// shrinking resolves away literals contradicted by a binary clause of
+// the asserting literal. Both transformations keep the clause a RUP
+// consequence of the database, so proof traces verify unchanged.
+func (s *Solver) analyze(conflict *clause) ([]Lit, int, int32) {
 	learnt := []Lit{0} // slot 0 reserved for the asserting literal
 	pathC := 0
 	var p Lit = -1
@@ -305,6 +453,15 @@ func (s *Solver) analyze(conflict *clause) ([]Lit, int) {
 		}
 		if c.learnt {
 			s.bumpClause(c)
+			// Glucose: tighten the stored glue when the clause shows up
+			// in analysis at a lower LBD, and shield it from the next
+			// reduction — it is earning its keep.
+			if c.lbd > coreLBD {
+				if nl := s.computeLBD(c.lits); nl < c.lbd {
+					c.lbd = nl
+				}
+			}
+			c.protect = true
 		}
 		for _, q := range c.lits[start:] {
 			v := q.Var()
@@ -335,18 +492,34 @@ func (s *Solver) analyze(conflict *clause) ([]Lit, int) {
 		c = s.reason[v]
 	}
 
-	// Conflict-clause minimization (local): drop literals implied by
-	// the rest of the clause through their reason clauses. The seen
-	// flags of removed literals must still be cleared afterwards, so
-	// remember the full pre-minimization list.
-	toClear := append([]Lit(nil), learnt...)
+	// The seen flags of every learnt literal — and everything
+	// litRedundant marks below — must be cleared before returning.
+	s.toClear = append(s.toClear[:0], learnt...)
+
+	// Deep minimization: drop any literal implied by the remaining
+	// marked literals through its reason chain, recursively. The
+	// abstraction is MiniSat's level-set filter — a cheap necessary
+	// condition that prunes most futile recursions.
+	abstract := uint32(0)
+	for _, q := range learnt[1:] {
+		abstract |= 1 << uint(s.level[q.Var()]&31)
+	}
 	out := learnt[:1]
 	for _, q := range learnt[1:] {
-		if !s.redundant(q) {
+		if s.reason[q.Var()] == nil || !s.litRedundant(q, abstract) {
 			out = append(out, q)
 		}
 	}
+	s.Stats.MinimizedLits += uint64(len(learnt) - len(out))
 	learnt = out
+
+	// Binary-resolution shrinking on small, low-glue clauses.
+	if len(learnt) <= 30 {
+		if lbd := s.computeLBD(learnt); lbd <= midLBD {
+			learnt = s.binShrink(learnt)
+		}
+	}
+	lbd := s.computeLBD(learnt)
 
 	// Compute backjump level: the highest level among the non-asserting
 	// literals, and move a literal of that level into slot 1 so it gets
@@ -363,28 +536,108 @@ func (s *Solver) analyze(conflict *clause) ([]Lit, int) {
 		btLevel = s.level[learnt[1].Var()]
 	}
 
-	for _, q := range toClear {
+	for _, q := range s.toClear {
 		s.seen[q.Var()] = false
 	}
-	return learnt, btLevel
+	return learnt, btLevel, lbd
 }
 
-// redundant reports whether literal q of a learnt clause is implied by
-// the remaining marked literals (a cheap version of clause
-// minimization: q is redundant if every literal of its reason is
-// already marked or at level 0).
-func (s *Solver) redundant(q Lit) bool {
-	r := s.reason[q.Var()]
-	if r == nil {
-		return false
-	}
-	for _, l := range r.lits[1:] {
-		v := l.Var()
-		if s.level[v] != 0 && !s.seen[v] {
-			return false
+// litRedundant reports whether literal q of the learnt clause is
+// implied by the clause's remaining marked literals through reason
+// chains (MiniSat's recursive minimization, with an explicit stack).
+// Along the way it marks the intermediate literals it proved
+// redundant, so overlapping chains are checked once; the marks are
+// registered in s.toClear for the caller to clear. On failure every
+// mark made by this call is rolled back.
+func (s *Solver) litRedundant(q Lit, abstract uint32) bool {
+	top := len(s.toClear)
+	s.minStack = append(s.minStack[:0], q)
+	for len(s.minStack) > 0 {
+		p := s.minStack[len(s.minStack)-1]
+		s.minStack = s.minStack[:len(s.minStack)-1]
+		c := s.reason[p.Var()]
+		for _, l := range c.lits[1:] {
+			v := l.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			if s.reason[v] == nil || 1<<uint(s.level[v]&31)&abstract == 0 {
+				// A decision, or a level no clause literal shares:
+				// cannot be absorbed. Undo this call's marks.
+				for len(s.toClear) > top {
+					s.seen[s.toClear[len(s.toClear)-1].Var()] = false
+					s.toClear = s.toClear[:len(s.toClear)-1]
+				}
+				return false
+			}
+			s.seen[v] = true
+			s.minStack = append(s.minStack, l)
+			s.toClear = append(s.toClear, l)
 		}
 	}
 	return true
+}
+
+// binShrink applies binary self-subsumption to the learnt clause: for
+// every binary clause (l0 ∨ m) of the asserting literal l0, a literal
+// !m in the learnt clause is resolved away — the binary forces m under
+// the clause's negation, so the shrunk clause is still RUP. This is
+// Glucose's "minimization with binary resolution", and it is exactly
+// where dedicated binary lists pay twice: the candidate binaries are
+// one dense array scan.
+func (s *Solver) binShrink(learnt []Lit) []Lit {
+	if len(learnt) < 2 {
+		return learnt
+	}
+	bw := s.bins[learnt[0].Neg()] // binaries containing learnt[0]
+	if len(bw) == 0 {
+		return learnt
+	}
+	s.litStamp++
+	for _, q := range learnt[1:] {
+		s.litMark[q] = s.litStamp
+	}
+	removed := 0
+	for _, w := range bw {
+		neg := w.other.Neg()
+		if s.litMark[neg] == s.litStamp {
+			s.litMark[neg] = 0
+			removed++
+		}
+	}
+	if removed == 0 {
+		return learnt
+	}
+	out := learnt[:1]
+	for _, q := range learnt[1:] {
+		if s.litMark[q] == s.litStamp {
+			out = append(out, q)
+		}
+	}
+	s.Stats.MinimizedLits += uint64(removed)
+	return out
+}
+
+// computeLBD counts the distinct decision levels among the literals —
+// the literal block distance (glue) of Glucose. Level-0 literals are
+// ignored (they are permanently satisfied facts).
+func (s *Solver) computeLBD(lits []Lit) int32 {
+	s.levelStamp++
+	n := int32(0)
+	for _, l := range lits {
+		lv := s.level[l.Var()]
+		if lv <= 0 {
+			continue
+		}
+		for len(s.levelMark) <= lv {
+			s.levelMark = append(s.levelMark, 0)
+		}
+		if s.levelMark[lv] != s.levelStamp {
+			s.levelMark[lv] = s.levelStamp
+			n++
+		}
+	}
+	return n
 }
 
 // analyzeFinal computes the subset of assumptions responsible for
@@ -484,6 +737,16 @@ func (s *Solver) pickBranchLit() Lit {
 	for !s.order.empty() {
 		v := s.order.removeMax()
 		if s.assigns[v] == LUndef {
+			// Target phase saving: prefer the polarity the variable had
+			// on the deepest trail seen — the closest the search has
+			// been to a model — over the last-backtracked polarity.
+			// Target phase saving: prefer the polarity the variable had
+			// on the deepest trail seen during *this* solve — the
+			// closest the current search has been to a model — over the
+			// last-backtracked polarity.
+			if tp := s.targetPhase[v]; tp != LUndef {
+				return MkLit(v, tp == LTrue)
+			}
 			return MkLit(v, s.phase[v])
 		}
 	}
@@ -507,42 +770,134 @@ func luby(base float64, i uint64) float64 {
 	return base * math.Pow(2, float64(seq))
 }
 
-// reduceDB deletes the less active half of the learnt clauses to keep
-// the database small. Clauses that are reasons for current assignments
-// or binary are kept.
+// noteConflict folds one conflict's LBD and trail size into the
+// restart EMAs. Warm-up uses an effective alpha of 1/n so the averages
+// start as plain means instead of crawling up from zero.
+func (s *Solver) noteConflict(lbd int32) {
+	s.emaConfl++
+	ema := func(e *float64, sample, alpha float64) {
+		if inv := 1.0 / float64(s.emaConfl); inv > alpha {
+			alpha = inv
+		}
+		*e += alpha * (sample - *e)
+	}
+	ema(&s.lbdEmaFast, float64(lbd), lbdEmaFastAlpha)
+	ema(&s.lbdEmaSlow, float64(lbd), lbdEmaSlowAlpha)
+	ema(&s.trailEma, float64(len(s.trail)), trailEmaAlpha)
+}
+
+// restartNow decides whether the current search phase should end. The
+// primary signal is Glucose's: recent learnt clauses gluing much worse
+// than the long-run average means the search has drifted somewhere
+// unproductive. A restart that fires while the trail towers over its
+// long-run average is blocked instead — the solver appears to be
+// closing in on a model. The Luby schedule is a fallback cap so a
+// phase cannot run unboundedly when the adaptive signal stays quiet.
+func (s *Solver) restartNow(conflicts int64) bool {
+	if conflicts <= 0 {
+		return false
+	}
+	if conflicts >= int64(luby(lubyRestartBase, s.restartIdx)) {
+		return true
+	}
+	if conflicts < restartMinConflicts {
+		return false
+	}
+	if s.lbdEmaFast <= restartMargin*s.lbdEmaSlow {
+		return false
+	}
+	if float64(len(s.trail)) > blockMargin*s.trailEma {
+		s.Stats.BlockedRestarts++
+		// Postpone: forget the recent glue spike so the condition must
+		// re-establish itself before firing again.
+		s.lbdEmaFast = s.lbdEmaSlow
+		return false
+	}
+	return true
+}
+
+// locked reports whether the clause is the reason of a current
+// assignment and therefore must not be deleted. Reason clauses lead
+// with the literal they imply, so this is two loads and two compares —
+// no per-reduction map.
+func (s *Solver) locked(c *clause) bool {
+	return s.value(c.lits[0]) == LTrue && s.reason[c.lits[0].Var()] == c
+}
+
+// reduceDB trims the learnt-clause database, Glucose-style: clauses
+// are ranked worst-first by (glue descending, activity ascending) and
+// the worst half is deleted — except glue clauses (lbd <= coreLBD,
+// kept forever), binary clauses (kept: they cost nothing to keep and
+// propagate from the dense lists), locked clauses (reasons of current
+// assignments), and mid-tier clauses (lbd <= midLBD) that took part in
+// a conflict since the last reduction, which spend their protection
+// instead of their life.
 func (s *Solver) reduceDB() {
 	if len(s.learnts) < 2 {
 		return
 	}
-	// Partial selection: simple sort by activity ascending.
+	s.Stats.Reductions++
 	learnts := s.learnts
-	for i := 1; i < len(learnts); i++ {
-		for j := i; j > 0 && learnts[j].activity < learnts[j-1].activity; j-- {
-			learnts[j], learnts[j-1] = learnts[j-1], learnts[j]
+	sort.Slice(learnts, func(i, j int) bool {
+		a, b := learnts[i], learnts[j]
+		if a.lbd != b.lbd {
+			return a.lbd > b.lbd
 		}
-	}
-	locked := make(map[*clause]bool)
-	for _, r := range s.reason {
-		if r != nil {
-			locked[r] = true
-		}
-	}
-	keep := learnts[:0:0]
+		return a.activity < b.activity
+	})
+	target := len(learnts) / 2
 	removed := 0
-	for i, c := range learnts {
-		if removed < len(learnts)/2 && !locked[c] && len(c.lits) > 2 {
+	keep := learnts[:0:0]
+	for _, c := range learnts {
+		switch {
+		case removed >= target, len(c.lits) == 2, c.lbd <= coreLBD, s.locked(c):
+			keep = append(keep, c)
+		case c.lbd <= midLBD && c.protect:
+			c.protect = false
+			keep = append(keep, c)
+		default:
 			s.detach(c)
 			s.logProof(ProofDelete, c.lits)
 			removed++
-			continue
 		}
-		_ = i
-		keep = append(keep, c)
 	}
 	s.learnts = keep
+	s.Stats.RemovedClauses += uint64(removed)
+	s.updateTierGauges()
 }
 
+// updateTierGauges snapshots the tiered learnt-database sizes.
+func (s *Solver) updateTierGauges() {
+	var core, mid, local int
+	for _, c := range s.learnts {
+		switch {
+		case c.lbd <= coreLBD:
+			core++
+		case c.lbd <= midLBD:
+			mid++
+		default:
+			local++
+		}
+	}
+	s.Stats.CoreLearnts, s.Stats.MidLearnts, s.Stats.LocalLearnts = core, mid, local
+}
+
+// detach removes the clause from its propagation index (the binary
+// lists or the watch lists).
 func (s *Solver) detach(c *clause) {
+	if len(c.lits) == 2 {
+		for _, wl := range []Lit{c.lits[0].Neg(), c.lits[1].Neg()} {
+			bw := s.bins[wl]
+			for i := range bw {
+				if bw[i].c == c {
+					bw[i] = bw[len(bw)-1]
+					s.bins[wl] = bw[:len(bw)-1]
+					break
+				}
+			}
+		}
+		return
+	}
 	for _, wl := range []Lit{c.lits[0].Neg(), c.lits[1].Neg()} {
 		ws := s.watches[wl]
 		for i, w := range ws {
@@ -581,18 +936,44 @@ func (s *Solver) SolveContext(ctx context.Context, assumptions ...Lit) (Status, 
 	}
 	s.assumptions = assumptions
 	defer s.cancelUntil(0)
+	defer s.updateTierGauges()
+
+	// Re-arm the target-phase tracker. Targets do not survive across
+	// solves: under incremental use (model enumeration with blocking
+	// clauses, shifting assumption sets) a stale target steers the
+	// search straight back into the region the caller just forbade,
+	// and measurably inflates conflicts. Plain phase saving carries
+	// the long-lived polarity memory instead.
+	s.bestTrail = 0
+	s.restartIdx = 0
+	for i := range s.targetPhase {
+		s.targetPhase[i] = LUndef
+	}
 
 	maxLearnts := float64(len(s.clauses))/3 + 100
 	conflictsAtStart := s.Stats.Conflicts
-	var restart uint64
 	for {
 		if err := ctx.Err(); err != nil {
 			return Unknown, err
 		}
-		budget := int64(luby(100, restart))
-		st := s.search(ctx, budget, &maxLearnts)
+		remaining := int64(-1)
+		if s.ConflictBudget > 0 {
+			remaining = s.ConflictBudget - int64(s.Stats.Conflicts-conflictsAtStart)
+			if remaining <= 0 {
+				return Unknown, nil
+			}
+		}
+		st := s.search(ctx, remaining, &maxLearnts)
 		if st == Sat {
-			s.model = make([]LBool, len(s.assigns))
+			// Reuse the model buffer across solves: enumeration-style
+			// callers (model counting, lift probes) solve thousands of
+			// times per second, and a fresh n-slot allocation per Sat
+			// verdict is pure GC pressure. Model() hands out copies, so
+			// no caller holds a reference into this buffer.
+			if cap(s.model) < len(s.assigns) {
+				s.model = make([]LBool, len(s.assigns))
+			}
+			s.model = s.model[:len(s.assigns)]
 			copy(s.model, s.assigns)
 			return Sat, nil
 		}
@@ -602,7 +983,7 @@ func (s *Solver) SolveContext(ctx context.Context, assumptions ...Lit) (Status, 
 		if err := ctx.Err(); err != nil {
 			return Unknown, err
 		}
-		restart++
+		s.restartIdx++
 		s.Stats.Restarts++
 		if s.ConflictBudget > 0 && int64(s.Stats.Conflicts-conflictsAtStart) >= s.ConflictBudget {
 			return Unknown, nil
@@ -620,10 +1001,11 @@ func (s *Solver) Core() []Lit { return s.core }
 // latency well below a restart interval.
 const ctxCheckInterval = 64
 
-// search runs CDCL until a result, a conflict budget exhaustion
-// (restart), a cancelled context (both surface as Unknown; the caller
-// re-checks the context), or unsat.
-func (s *Solver) search(ctx context.Context, budget int64, maxLearnts *float64) Status {
+// search runs CDCL until a result, a restart (decided adaptively, or
+// forced by the conflict budget via remaining >= 0), a cancelled
+// context (both surface as Unknown; the caller re-checks the context
+// and the budget), or unsat.
+func (s *Solver) search(ctx context.Context, remaining int64, maxLearnts *float64) Status {
 	var conflicts, iter int64
 	for {
 		if iter%ctxCheckInterval == 0 && ctx.Err() != nil {
@@ -640,18 +1022,36 @@ func (s *Solver) search(ctx context.Context, budget int64, maxLearnts *float64) 
 				s.logEmptyClause()
 				return Unsat
 			}
-			learnt, btLevel := s.analyze(conflict)
+			// Target phase saving: a conflict trail is a local maximum
+			// of the search's progress; remember the deepest one as the
+			// branching target.
+			if len(s.trail) > s.bestTrail {
+				s.bestTrail = len(s.trail)
+				for _, l := range s.trail {
+					s.targetPhase[l.Var()] = boolToLBool(l.IsPos())
+				}
+			}
+			learnt, btLevel, lbd := s.analyze(conflict)
 			// Every learnt clause — unit or not — is a lemma: the
 			// checker needs units too, because the solver keeps them
 			// only as trail assignments, never as clauses.
 			s.logProof(ProofLearn, learnt)
+			s.noteConflict(lbd)
 			s.cancelUntil(btLevel)
 			if len(learnt) == 1 {
 				s.uncheckedEnqueue(learnt[0], nil)
 			} else {
-				c := &clause{lits: learnt, learnt: true}
+				c := &clause{lits: learnt, learnt: true, lbd: lbd, protect: true}
 				s.learnts = append(s.learnts, c)
 				s.Stats.Learnt++
+				s.Stats.LBDSum += uint64(lbd)
+				bucket := int(lbd) - 1
+				if bucket < 0 {
+					bucket = 0
+				} else if bucket >= len(s.Stats.LBDHist) {
+					bucket = len(s.Stats.LBDHist) - 1
+				}
+				s.Stats.LBDHist[bucket]++
 				s.attach(c)
 				s.bumpClause(c)
 				s.uncheckedEnqueue(learnt[0], c)
@@ -661,8 +1061,13 @@ func (s *Solver) search(ctx context.Context, budget int64, maxLearnts *float64) 
 			continue
 		}
 
-		// No conflict.
-		if conflicts >= budget {
+		// No conflict. A restart is due when the budget slice is spent
+		// or the adaptive policy fires.
+		if remaining >= 0 && conflicts >= remaining {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		if s.restartNow(conflicts) {
 			s.cancelUntil(0)
 			return Unknown
 		}
