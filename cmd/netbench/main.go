@@ -33,7 +33,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("netbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	table := fs.String("table", "all",
-		"experiment to run: seed, simplify, linearity, pervar, figures, interpretation, ablation, rules, complement, lift, sat, scale, all")
+		"experiment to run: seed, simplify, linearity, pervar, figures, interpretation, ablation, rules, complement, rewrite, lift, sat, scale, all")
 	quick := fs.Bool("quick", false, "trim the scaling sweep")
 	format := fs.String("format", "text", "output format: text or json")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration (e.g. 30s, 5m; 0 = no limit)")
@@ -141,6 +141,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return one(bench.ComplementTable(ctx))
 	case "lift":
 		return one(bench.LiftTable(ctx))
+	case "rewrite":
+		return one(bench.RewriteTable(ctx))
 	case "sat":
 		return one(bench.SatTable(ctx))
 	case "scale":

@@ -448,7 +448,7 @@ func All(ctx context.Context, quick bool) ([]*Table, error) {
 	builders := []func(context.Context) (*Table, error){
 		SeedTable, SimplifyTable, LinearityTable, PerVarTable,
 		FigureTable, InterpretationTable, AblationTable, RuleFireTable,
-		ComplementTable, LiftTable,
+		ComplementTable, RewriteTable, LiftTable,
 		func(ctx context.Context) (*Table, error) { return ScaleTable(ctx, quick) },
 	}
 	var out []*Table

@@ -58,6 +58,11 @@ type PerfEntry struct {
 	// ReusedCandidates counts candidate paths copied from the session's
 	// base encoding instead of re-derived.
 	ReusedCandidates int `json:"reused_candidates"`
+	// NormCacheHits/Misses count subterm lookups in the session's shared
+	// normal-form cache; NormCacheEntries is its final size.
+	NormCacheHits    uint64 `json:"norm_cache_hits"`
+	NormCacheMisses  uint64 `json:"norm_cache_misses"`
+	NormCacheEntries int    `json:"norm_cache_entries"`
 	// InternedTerms is the size of the shared hash-cons table after the
 	// run (cumulative across entries: the table is process-wide).
 	InternedTerms int `json:"interned_terms"`
@@ -110,15 +115,18 @@ func Perf(ctx context.Context) (*PerfReport, error) {
 			SATTierCore:        st.CoreLearnts,
 			SATTierMid:         st.MidLearnts,
 			SATTierLocal:       st.LocalLearnts,
-			LiftQueries:      st.LiftQueries,
-			LiftP50MS:        float64(st.LiftP50.Microseconds()) / 1000,
-			LiftP95MS:        float64(st.LiftP95.Microseconds()) / 1000,
-			WarmSolverHits:   st.WarmSolverHits,
-			WarmSolverMisses: st.WarmSolverMisses,
-			CacheHits:        st.CacheHits,
-			Encodes:          st.Encodes,
-			ReusedCandidates: st.ReusedCandidates,
-			InternedTerms:    logic.Default().Size(),
+			LiftQueries:        st.LiftQueries,
+			LiftP50MS:          float64(st.LiftP50.Microseconds()) / 1000,
+			LiftP95MS:          float64(st.LiftP95.Microseconds()) / 1000,
+			WarmSolverHits:     st.WarmSolverHits,
+			WarmSolverMisses:   st.WarmSolverMisses,
+			CacheHits:          st.CacheHits,
+			Encodes:            st.Encodes,
+			ReusedCandidates:   st.ReusedCandidates,
+			NormCacheHits:      st.NormCacheHits,
+			NormCacheMisses:    st.NormCacheMisses,
+			NormCacheEntries:   st.NormCacheEntries,
+			InternedTerms:      logic.Default().Size(),
 		})
 	}
 	return rep, nil

@@ -169,8 +169,8 @@ func (e *Explainer) addSolverStats(st sat.Stats) {
 	}
 }
 
-// simplify runs the rewrite fixpoint on a seed term, through the
-// session's simplification cache when one is installed.
+// simplify normalizes a seed term, through the session's
+// simplification cache when one is installed.
 func (e *Explainer) simplify(seed logic.Term) *engine.SimplifyOutcome {
 	if e.Session != nil {
 		return e.Session.Simplify(seed)
@@ -182,6 +182,17 @@ func (e *Explainer) simplify(seed logic.Term) *engine.SimplifyOutcome {
 		Trace:      append([]int(nil), simp.Trace...),
 		Stats:      simp.Stats,
 	}
+}
+
+// normalizer builds a simplifier for auxiliary rewriting (lift
+// candidates, complement seeds), backed by the session's shared
+// normal-form cache when a session is installed. The returned
+// simplifier is single-goroutine state; build one per worker.
+func (e *Explainer) normalizer() *rewrite.Simplifier {
+	if e.Session != nil {
+		return rewrite.NewShared(e.Session.NormCache())
+	}
+	return rewrite.New()
 }
 
 // ExplainAll explains every symbolizable field of the router at once:

@@ -9,7 +9,6 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/logic"
-	"repro/internal/rewrite"
 	"repro/internal/sat"
 	"repro/internal/smt"
 	"repro/internal/spec"
@@ -401,7 +400,7 @@ func isPathSuffix(short, long spec.Path) bool {
 // router.
 func (e *Explainer) liftCandidates(router string, enc *synth.Encoding, holeNames map[string]bool) ([]liftCandidate, error) {
 	infos := enc.PathInfos()
-	simp := rewrite.New()
+	simp := e.normalizer()
 	var out []liftCandidate
 	seen := map[string]bool{}
 

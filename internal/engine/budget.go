@@ -108,8 +108,17 @@ type Stats struct {
 	WarmSolverHits   int
 	WarmSolverMisses int
 	// SimplifyHits counts seed simplifications answered from the
-	// session's cache instead of re-running the rewrite fixpoint.
+	// session's per-seed outcome cache without touching the normalizer.
 	SimplifyHits int
+	// NormCacheHits and NormCacheMisses count subterm lookups in the
+	// session's shared normal-form cache (the rewrite engine's
+	// memoization table); NormCacheEntries is the number of distinct
+	// subterm normal forms it holds. A high hit rate means repeat
+	// queries and sibling routers are reusing one another's
+	// normalization work.
+	NormCacheHits    uint64
+	NormCacheMisses  uint64
+	NormCacheEntries int
 	// LiftQueries counts individual lift-stage SMT queries; LiftP50 and
 	// LiftP95 are their latency percentiles (nearest-rank over every
 	// recorded query).

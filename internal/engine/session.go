@@ -61,12 +61,21 @@ type Session struct {
 	solvMu  sync.Mutex
 	solvers map[string]*smt.Solver
 
-	// simpMu guards the simplification cache, keyed by the canonical
+	// simpMu guards the per-seed outcome cache, keyed by the canonical
 	// (interned) seed term. Simplification is a pure function of the
-	// term, so repeat queries over a cached encoding skip the whole
-	// rewrite fixpoint.
+	// term, so repeat queries over a cached encoding skip normalization
+	// entirely.
 	simpMu sync.Mutex
 	simps  map[logic.Term]*SimplifyOutcome
+
+	// nf is the session-lifetime normal-form cache shared by every
+	// simplification run through this session: distinct seeds that
+	// share subterms (sibling routers of one deployment share most of
+	// their encodings) reuse one another's normalization work at
+	// subterm granularity. The cache is safe for concurrent readers
+	// and writers, so parallel report workers simplify through it
+	// directly.
+	nf *rewrite.Cache
 }
 
 // SimplifyOutcome is one seed's cached simplification: the simplified
@@ -99,6 +108,7 @@ func NewSession(net *topology.Network, reqs []spec.Requirement, dep config.Deplo
 		entries: make(map[string]*entry),
 		solvers: make(map[string]*smt.Solver),
 		simps:   make(map[logic.Term]*SimplifyOutcome),
+		nf:      rewrite.NewCache(),
 	}
 }
 
@@ -107,6 +117,14 @@ func NewSession(net *topology.Network, reqs []spec.Requirement, dep config.Deplo
 // their memo tables key on the same canonical pointers the encodings
 // hold.
 func (s *Session) Interner() *logic.Interner { return s.in }
+
+// NormCache returns the session's shared normal-form cache. Callers
+// that simplify terms outside Simplify (for example the lift stage's
+// candidate rewriting) should build their simplifier with
+// rewrite.NewShared over it, so their work lands in — and is answered
+// from — the session-lifetime table. The cache is safe for concurrent
+// use; the per-goroutine Simplifier wrapping it is not.
+func (s *Session) NormCache() *rewrite.Cache { return s.nf }
 
 // Encode returns the encoding of the (possibly partially symbolic)
 // sketch, caching by key. The key must uniquely determine the sketch
@@ -194,12 +212,16 @@ func (s *Session) ensureBase(ctx context.Context) *synth.Base {
 	return base
 }
 
-// Simplify runs the rewrite fixpoint on the seed term, caching by the
-// term's canonical pointer — with hash-consed encodings a repeat query
-// over a cached encoding presents the very same seed pointer, so the
-// whole simplification is answered by one map lookup. Concurrent
-// misses on the same term may compute it twice; the function is pure
-// and deterministic, so either result is the same.
+// Simplify normalizes the seed term through the session's shared
+// normal-form cache, caching the per-seed outcome by the term's
+// canonical pointer — with hash-consed encodings a repeat query over a
+// cached encoding presents the very same seed pointer, so the whole
+// simplification is answered by one map lookup. A miss still reuses
+// every subterm normal form earlier seeds left in the shared cache.
+// Concurrent misses on the same term may compute it twice; the
+// function is pure and deterministic (outcome diagnostics are
+// reconstructed from the cache's dependency graph, not from the order
+// work happened to be done in), so either result is the same.
 func (s *Session) Simplify(seed logic.Term) *SimplifyOutcome {
 	seed = s.in.Intern(seed)
 	s.simpMu.Lock()
@@ -211,7 +233,7 @@ func (s *Session) Simplify(seed logic.Term) *SimplifyOutcome {
 		return out
 	}
 	s.simpMu.Unlock()
-	simp := rewrite.New()
+	simp := rewrite.NewShared(s.nf)
 	out := &SimplifyOutcome{
 		Simplified: simp.Simplify(seed),
 		Passes:     simp.Passes,
@@ -320,6 +342,9 @@ func (s *Session) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.stats
+	st.NormCacheHits = s.nf.Hits()
+	st.NormCacheMisses = s.nf.Misses()
+	st.NormCacheEntries = s.nf.Len()
 	st.LiftQueries = len(s.liftNS)
 	if n := len(s.liftNS); n > 0 {
 		ns := append([]int64(nil), s.liftNS...)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/logic"
 	"repro/internal/sat"
 	"repro/internal/scenarios"
 	"repro/internal/smt"
@@ -232,4 +233,77 @@ func TestSessionMergesFullSolverStats(t *testing.T) {
 	if st.Solves != 3 || st.Conflicts != 4 || st.Propagations != 6 || st.Decisions != 8 || st.Learnt != 2 {
 		t.Errorf("merged stats dropped counts: %+v", st)
 	}
+}
+
+func TestSessionSharedNormCache(t *testing.T) {
+	s := newSession(t)
+	x := logic.NewIntVar("x", 0, 7)
+	y := logic.NewIntVar("y", 0, 7)
+	shared := logic.And(logic.Eq(x, logic.NewInt(3)), logic.Lt(y, logic.NewInt(5)))
+	seedA := logic.And(shared, logic.NewBoolVar("p"))
+	seedB := logic.And(shared, logic.NewBoolVar("q"))
+
+	outA := s.Simplify(seedA)
+	st := s.Stats()
+	if st.NormCacheEntries == 0 {
+		t.Fatal("first Simplify populated no normal-form cache entries")
+	}
+	missesAfterA := st.NormCacheMisses
+
+	outB := s.Simplify(seedB)
+	st = s.Stats()
+	if st.NormCacheHits == 0 {
+		t.Fatalf("second seed sharing subterms recorded no cache hits: %+v", st)
+	}
+	if outA == outB {
+		t.Fatal("distinct seeds returned the same outcome")
+	}
+
+	// A repeat of seedA is answered by the per-seed outcome cache
+	// without touching the normalizer at all.
+	out2 := s.Simplify(seedA)
+	if out2 != outA {
+		t.Fatal("repeat seed did not reuse the cached outcome")
+	}
+	st = s.Stats()
+	if st.SimplifyHits != 1 {
+		t.Fatalf("SimplifyHits = %d, want 1", st.SimplifyHits)
+	}
+	if st.NormCacheMisses < missesAfterA {
+		t.Fatal("NormCacheMisses went backwards")
+	}
+}
+
+func TestSessionSimplifyConcurrent(t *testing.T) {
+	s := newSession(t)
+	x := logic.NewIntVar("x", 0, 15)
+	seeds := make([]logic.Term, 16)
+	for i := range seeds {
+		seeds[i] = logic.And(
+			logic.Eq(x, logic.NewInt(int64(i%4))),
+			logic.Lt(x, logic.NewInt(int64(4+i%8))),
+			logic.NewBoolVar("p"),
+		)
+	}
+	want := make([]*engine.SimplifyOutcome, len(seeds))
+	for i, seed := range seeds {
+		want[i] = s.Simplify(seed)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := range seeds {
+				i := (k*5 + g*3) % len(seeds)
+				got := s.Simplify(seeds[i])
+				if got.Simplified != want[i].Simplified {
+					t.Errorf("goroutine %d seed %d: %s != %s",
+						g, i, got.Simplified, want[i].Simplified)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }

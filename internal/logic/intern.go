@@ -157,14 +157,21 @@ func (in *Interner) canon(t Term, h uint64) Term {
 	}
 	switch n := t.(type) {
 	case *Var:
-		n.hash, n.in = h, in
+		n.hash, n.vsig, n.in = h, varBit(n.Name), in
 	case *IntLit:
 		n.hash, n.in = h, in
 	case *EnumLit:
 		n.hash, n.in = h, in
 	case *Apply:
 		n.Args = append([]Term(nil), n.Args...)
-		n.hash, n.in = h, in
+		// The arguments are canonical, so their variable signatures
+		// are available in O(1); the node's signature is their union.
+		var vsig uint64
+		for _, a := range n.Args {
+			sig, _ := varSigFast(a)
+			vsig |= sig
+		}
+		n.hash, n.vsig, n.in = h, vsig, in
 	}
 	sh.m[h] = append(sh.m[h], t)
 	return t

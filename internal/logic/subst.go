@@ -17,6 +17,42 @@ func Substitute(t Term, sub map[string]Term) Term {
 	if len(sub) == 0 {
 		return t
 	}
+	return substitute(t, sub, SubMask(sub))
+}
+
+// SubMask returns the variable-signature mask of a substitution: the
+// union of the name bits of its keys. Callers applying one substitution
+// to many terms (equality propagation over a wide conjunction) compute
+// it once and pass it to SubstituteMasked instead of paying a hash per
+// key per call through Substitute.
+func SubMask(sub map[string]Term) uint64 {
+	var mask uint64
+	for name := range sub {
+		mask |= varBit(name)
+	}
+	return mask
+}
+
+// SubstituteMasked is Substitute with a precomputed SubMask. A mask
+// with extra bits set is sound (it only weakens pruning), so one mask
+// may serve a substitution whose entries the caller temporarily
+// removes.
+func SubstituteMasked(t Term, sub map[string]Term, mask uint64) Term {
+	if len(sub) == 0 {
+		return t
+	}
+	return substitute(t, sub, mask)
+}
+
+// substitute is Substitute's recursion, pruned by variable signatures:
+// a subterm whose signature shares no bit with the substituted names
+// provably contains none of them and is returned unchanged without a
+// walk. This keeps equality propagation over wide conjunctions linear
+// in the touched cone rather than the whole term.
+func substitute(t Term, sub map[string]Term, mask uint64) Term {
+	if sig, ok := varSigFast(t); ok && sig&mask == 0 {
+		return t
+	}
 	switch n := t.(type) {
 	case *Var:
 		r, ok := sub[n.Name]
@@ -33,7 +69,7 @@ func Substitute(t Term, sub map[string]Term) Term {
 		changed := false
 		args := make([]Term, len(n.Args))
 		for i, a := range n.Args {
-			args[i] = Substitute(a, sub)
+			args[i] = substitute(a, sub, mask)
 			if args[i] != a {
 				changed = true
 			}

@@ -89,6 +89,7 @@ type Var struct {
 	Lo, Hi int64
 
 	hash uint64
+	vsig uint64
 	in   *Interner
 }
 
@@ -150,6 +151,7 @@ type Apply struct {
 	Args []Term
 
 	hash uint64
+	vsig uint64
 	in   *Interner
 }
 

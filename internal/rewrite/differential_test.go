@@ -1,0 +1,667 @@
+package rewrite
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// This file pins the memoized one-shot normalizer against a reference
+// implementation of the original pass-until-fixpoint driver (kept here,
+// test-only, as the executable specification of the fifteen rules).
+// Both implementations must agree on the MEANING of every term —
+// checked by evaluating under assignments — though they may disagree
+// on the exact syntactic normal form reached.
+
+// refSimplifier is the original fixpoint simplifier: a full bottom-up
+// rewrite of the whole term per pass, plus a conjunction-level
+// equality-propagation pass, repeated until the term stops changing.
+type refSimplifier struct {
+	maxPasses int
+}
+
+func newRef() *refSimplifier { return &refSimplifier{maxPasses: 64} }
+
+func (s *refSimplifier) simplify(t logic.Term) logic.Term {
+	cur := t
+	for pass := 0; pass < s.maxPasses; pass++ {
+		memo := make(map[logic.Term]logic.Term)
+		next := s.mapMemo(cur, memo)
+		next = s.propagateEqualities(next)
+		if logic.Equal(next, cur) {
+			return next
+		}
+		cur = next
+	}
+	return cur
+}
+
+func (s *refSimplifier) mapMemo(t logic.Term, memo map[logic.Term]logic.Term) logic.Term {
+	t = logic.Intern(t)
+	if r, ok := memo[t]; ok {
+		return r
+	}
+	out := t
+	if n, ok := t.(*logic.Apply); ok {
+		changed := false
+		args := make([]logic.Term, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = s.mapMemo(a, memo)
+			if args[i] != a {
+				changed = true
+			}
+		}
+		if changed {
+			out = logic.Intern(&logic.Apply{Op: n.Op, Args: args})
+		}
+	}
+	out = s.node(out)
+	memo[t] = out
+	return out
+}
+
+func (s *refSimplifier) node(t logic.Term) logic.Term {
+	a, ok := t.(*logic.Apply)
+	if !ok {
+		return t
+	}
+	switch a.Op {
+	case logic.OpNot:
+		return s.refNot(a)
+	case logic.OpAnd:
+		return s.refNary(a, logic.OpAnd)
+	case logic.OpOr:
+		return s.refNary(a, logic.OpOr)
+	case logic.OpImplies:
+		l, r := a.Args[0], a.Args[1]
+		switch {
+		case logic.IsFalse(l), logic.IsTrue(r):
+			return logic.True
+		case logic.IsTrue(l):
+			return r
+		case logic.IsFalse(r):
+			return s.node(logic.Not(l))
+		case logic.Equal(l, r):
+			return logic.True
+		}
+	case logic.OpIff:
+		l, r := a.Args[0], a.Args[1]
+		switch {
+		case logic.Equal(l, r):
+			return logic.True
+		case logic.IsTrue(l):
+			return r
+		case logic.IsTrue(r):
+			return l
+		case logic.IsFalse(l):
+			return s.node(logic.Not(r))
+		case logic.IsFalse(r):
+			return s.node(logic.Not(l))
+		case refIsComplement(l, r):
+			return logic.False
+		}
+	case logic.OpIte:
+		c, thn, els := a.Args[0], a.Args[1], a.Args[2]
+		switch {
+		case logic.IsTrue(c):
+			return thn
+		case logic.IsFalse(c):
+			return els
+		case logic.Equal(thn, els):
+			return thn
+		case thn.Sort().IsBool() && logic.IsTrue(thn) && logic.IsFalse(els):
+			return c
+		case thn.Sort().IsBool() && logic.IsFalse(thn) && logic.IsTrue(els):
+			return s.node(logic.Not(c))
+		}
+	case logic.OpEq, logic.OpNe:
+		return s.refEq(a)
+	case logic.OpLt, logic.OpLe, logic.OpGt, logic.OpGe:
+		return s.refCmp(a)
+	case logic.OpAdd, logic.OpSub:
+		return refArith(a)
+	}
+	return t
+}
+
+func (s *refSimplifier) refNot(a *logic.Apply) logic.Term {
+	arg := a.Args[0]
+	if logic.IsTrue(arg) {
+		return logic.False
+	}
+	if logic.IsFalse(arg) {
+		return logic.True
+	}
+	inner, ok := arg.(*logic.Apply)
+	if !ok {
+		return a
+	}
+	switch inner.Op {
+	case logic.OpNot:
+		return inner.Args[0]
+	case logic.OpEq:
+		return logic.Ne(inner.Args[0], inner.Args[1])
+	case logic.OpNe:
+		return logic.Eq(inner.Args[0], inner.Args[1])
+	case logic.OpLt:
+		return logic.Ge(inner.Args[0], inner.Args[1])
+	case logic.OpLe:
+		return logic.Gt(inner.Args[0], inner.Args[1])
+	case logic.OpGt:
+		return logic.Le(inner.Args[0], inner.Args[1])
+	case logic.OpGe:
+		return logic.Lt(inner.Args[0], inner.Args[1])
+	}
+	return a
+}
+
+func (s *refSimplifier) refNary(a *logic.Apply, op logic.Op) logic.Term {
+	identity, annihilator := logic.Term(logic.True), logic.Term(logic.False)
+	inner := logic.OpOr
+	if op == logic.OpOr {
+		identity, annihilator = logic.False, logic.True
+		inner = logic.OpAnd
+	}
+	args := make([]logic.Term, 0, len(a.Args))
+	changed := false
+	for _, arg := range a.Args {
+		if logic.Equal(arg, identity) {
+			changed = true
+			continue
+		}
+		if logic.Equal(arg, annihilator) {
+			return annihilator
+		}
+		if nested, ok := arg.(*logic.Apply); ok && nested.Op == op {
+			changed = true
+			args = append(args, nested.Args...)
+			continue
+		}
+		args = append(args, arg)
+	}
+	if deduped := logic.DedupTerms(args); len(deduped) != len(args) {
+		changed = true
+		args = deduped
+	}
+	if refHasComplementPair(args) {
+		return annihilator
+	}
+	if filtered, fired := refAbsorb(args, inner); fired {
+		changed = true
+		args = filtered
+	}
+	if !changed {
+		return a
+	}
+	if op == logic.OpAnd {
+		return logic.And(args...)
+	}
+	return logic.Or(args...)
+}
+
+func refHasComplementPair(args []logic.Term) bool {
+	for i, x := range args {
+		for _, y := range args[i+1:] {
+			if refIsComplement(x, y) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func refIsComplement(x, y logic.Term) bool {
+	if nx, ok := x.(*logic.Apply); ok && nx.Op == logic.OpNot && logic.Equal(nx.Args[0], y) {
+		return true
+	}
+	if ny, ok := y.(*logic.Apply); ok && ny.Op == logic.OpNot && logic.Equal(ny.Args[0], x) {
+		return true
+	}
+	return false
+}
+
+func refAbsorb(args []logic.Term, inner logic.Op) ([]logic.Term, bool) {
+	fired := false
+	out := make([]logic.Term, 0, len(args))
+	for i, cand := range args {
+		app, ok := cand.(*logic.Apply)
+		absorbed := false
+		if ok && app.Op == inner {
+			for j, other := range args {
+				if i == j {
+					continue
+				}
+				for _, operand := range app.Args {
+					if logic.Equal(operand, other) {
+						absorbed = true
+						break
+					}
+				}
+				if absorbed {
+					break
+				}
+			}
+		}
+		if absorbed {
+			fired = true
+			continue
+		}
+		out = append(out, cand)
+	}
+	return out, fired
+}
+
+func (s *refSimplifier) refEq(a *logic.Apply) logic.Term {
+	l, r := a.Args[0], a.Args[1]
+	ne := a.Op == logic.OpNe
+	if logic.Equal(l, r) {
+		return logic.NewBool(!ne)
+	}
+	if logic.IsLit(l) && logic.IsLit(r) {
+		eq := literalsEqual(l, r)
+		if ne {
+			eq = !eq
+		}
+		return logic.NewBool(eq)
+	}
+	if l.Sort().IsBool() {
+		if logic.IsTrue(l) || logic.IsTrue(r) || logic.IsFalse(l) || logic.IsFalse(r) {
+			other, konst := l, r
+			if logic.IsLit(l) {
+				other, konst = r, l
+			}
+			truth := logic.IsTrue(konst)
+			if ne {
+				truth = !truth
+			}
+			if truth {
+				return other
+			}
+			return s.node(logic.Not(other))
+		}
+	}
+	if decided, val := domainDecidesEq(l, r); decided {
+		if ne {
+			val = !val
+		}
+		return logic.NewBool(val)
+	}
+	if ne {
+		if folded := enumComplement(l, r); folded != nil {
+			return folded
+		}
+		if folded := enumComplement(r, l); folded != nil {
+			return folded
+		}
+	}
+	return a
+}
+
+func (s *refSimplifier) refCmp(a *logic.Apply) logic.Term {
+	l, r := a.Args[0], a.Args[1]
+	ll, lok := l.(*logic.IntLit)
+	rl, rok := r.(*logic.IntLit)
+	if lok && rok {
+		var v bool
+		switch a.Op {
+		case logic.OpLt:
+			v = ll.Val < rl.Val
+		case logic.OpLe:
+			v = ll.Val <= rl.Val
+		case logic.OpGt:
+			v = ll.Val > rl.Val
+		default:
+			v = ll.Val >= rl.Val
+		}
+		return logic.NewBool(v)
+	}
+	if logic.Equal(l, r) {
+		return logic.NewBool(a.Op == logic.OpLe || a.Op == logic.OpGe)
+	}
+	if lo1, hi1, ok1 := intRange(l); ok1 {
+		if lo2, hi2, ok2 := intRange(r); ok2 {
+			switch a.Op {
+			case logic.OpLt:
+				if hi1 < lo2 {
+					return logic.True
+				}
+				if lo1 >= hi2 {
+					return logic.False
+				}
+			case logic.OpLe:
+				if hi1 <= lo2 {
+					return logic.True
+				}
+				if lo1 > hi2 {
+					return logic.False
+				}
+			case logic.OpGt:
+				if lo1 > hi2 {
+					return logic.True
+				}
+				if hi1 <= lo2 {
+					return logic.False
+				}
+			case logic.OpGe:
+				if lo1 >= hi2 {
+					return logic.True
+				}
+				if hi1 < lo2 {
+					return logic.False
+				}
+			}
+		}
+	}
+	return a
+}
+
+func refArith(a *logic.Apply) logic.Term {
+	for _, arg := range a.Args {
+		if _, ok := arg.(*logic.IntLit); !ok {
+			return a
+		}
+	}
+	if a.Op == logic.OpSub {
+		return logic.NewInt(a.Args[0].(*logic.IntLit).Val - a.Args[1].(*logic.IntLit).Val)
+	}
+	var sum int64
+	for _, arg := range a.Args {
+		sum += arg.(*logic.IntLit).Val
+	}
+	return logic.NewInt(sum)
+}
+
+func (s *refSimplifier) propagateEqualities(t logic.Term) logic.Term {
+	memo := make(map[logic.Term]logic.Term)
+	return logic.Map(t, func(u logic.Term) logic.Term {
+		a, ok := u.(*logic.Apply)
+		if !ok || a.Op != logic.OpAnd {
+			return u
+		}
+		bindings := map[string]logic.Term{}
+		for _, c := range a.Args {
+			if name, val, ok := unitBinding(c); ok {
+				if _, dup := bindings[name]; !dup {
+					bindings[name] = val
+				}
+			}
+		}
+		if len(bindings) == 0 {
+			return u
+		}
+		changed := false
+		args := make([]logic.Term, len(a.Args))
+		for i, c := range a.Args {
+			if name, _, ok := unitBinding(c); ok {
+				sub := map[string]logic.Term{}
+				for k, v := range bindings {
+					if k != name {
+						sub[k] = v
+					}
+				}
+				args[i] = logic.Substitute(c, sub)
+			} else {
+				args[i] = logic.Substitute(c, bindings)
+			}
+			if args[i] != c {
+				changed = true
+			}
+		}
+		if !changed {
+			return u
+		}
+		out := make([]logic.Term, len(args))
+		for i, c := range args {
+			out[i] = s.mapMemo(c, memo)
+		}
+		res := logic.And(out...)
+		if ap, ok := res.(*logic.Apply); ok {
+			return s.node(ap)
+		}
+		return res
+	})
+}
+
+// equivalentUnderAllAssignments checks that a and b agree on every
+// assignment over the shared test variable universe.
+func equivalentUnderAllAssignments(t *testing.T, in, a, b logic.Term) bool {
+	t.Helper()
+	return forEachAssignment(func(env logic.Assignment) bool {
+		va, errA := logic.EvalBool(a, env)
+		vb, errB := logic.EvalBool(b, env)
+		if errA != nil || errB != nil {
+			t.Logf("eval error on %s: %v %v", in, errA, errB)
+			return false
+		}
+		if va != vb {
+			t.Logf("divergence on %v:\n  in:        %s\n  normalizer: %s = %v\n  fixpoint:   %s = %v",
+				env, in, a, va, b, vb)
+			return false
+		}
+		return true
+	})
+}
+
+// TestDifferentialRandom drives both implementations over a large
+// deterministic sample of random terms and requires agreement under
+// every assignment, plus that the normalizer reaches a form no larger
+// than the fixpoint's.
+func TestDifferentialRandom(t *testing.T) {
+	ref := newRef()
+	for seed := int64(0); seed < 500; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		in := randTerm(r, 4)
+		got := Simplify(in)
+		want := ref.simplify(in)
+		if !equivalentUnderAllAssignments(t, in, got, want) {
+			t.Fatalf("seed %d: normalizer diverges from fixpoint reference", seed)
+		}
+		if logic.Size(got) > logic.Size(want) {
+			t.Fatalf("seed %d: normalizer form (%d nodes) larger than fixpoint form (%d nodes):\n  in:   %s\n  norm: %s\n  ref:  %s",
+				seed, logic.Size(got), logic.Size(want), in, got, want)
+		}
+	}
+}
+
+// TestDifferentialRegressionCorpus runs the shapes the regression tests
+// pin — the cases the explanation pipeline is known to depend on —
+// through both implementations.
+func TestDifferentialRegressionCorpus(t *testing.T) {
+	x := logic.NewIntVar("i", 0, 3)
+	y := logic.NewIntVar("j", 0, 3)
+	b := logic.NewBoolVar("p")
+	q := logic.NewBoolVar("q")
+	e := logic.NewEnumVar("act", actSort)
+	deny := logic.NewEnum(actSort, "deny")
+	permit := logic.NewEnum(actSort, "permit")
+	corpus := []logic.Term{
+		logic.And(logic.Eq(x, logic.NewInt(3)), logic.Lt(x, logic.NewInt(2))),
+		logic.And(logic.Eq(x, logic.NewInt(2)), logic.Eq(y, x)),
+		logic.And(b, logic.Implies(b, logic.Lt(y, logic.NewInt(2)))),
+		logic.And(logic.Not(b), logic.Or(b, logic.Eq(x, logic.NewInt(1)))),
+		logic.Not(logic.Eq(e, permit)),
+		logic.Or(logic.Eq(e, permit), logic.Eq(e, deny)),
+		logic.And(b, logic.Or(b, q), logic.Or(b, logic.Not(q))),
+		logic.Or(logic.And(b, q), b, logic.Not(q)),
+		logic.And(logic.Eq(e, deny), logic.Implies(logic.Eq(e, deny), logic.Eq(x, logic.NewInt(0)))),
+		logic.And(logic.Eq(x, logic.NewInt(3)), logic.Ite(logic.Eq(x, logic.NewInt(3)), b, q)),
+		logic.Implies(logic.False, b),
+		logic.Or(b, logic.Not(b)),
+		logic.Iff(b, logic.Not(b)),
+		logic.And(b, logic.Not(b), q),
+	}
+	ref := newRef()
+	for i, in := range corpus {
+		got := Simplify(in)
+		want := ref.simplify(in)
+		if !equivalentUnderAllAssignments(t, in, got, want) {
+			t.Fatalf("corpus case %d: normalizer diverges from fixpoint reference", i)
+		}
+	}
+}
+
+// FuzzSimplifyDifferential is the fuzzing entry point for the same
+// property, letting CI push past the fixed random sample.
+func FuzzSimplifyDifferential(f *testing.F) {
+	for seed := int64(0); seed < 32; seed++ {
+		f.Add(seed)
+	}
+	ref := newRef()
+	f.Fuzz(func(t *testing.T, seed int64) {
+		r := rand.New(rand.NewSource(seed))
+		in := randTerm(r, 4)
+		got := New().Simplify(in)
+		want := ref.simplify(in)
+		if !equivalentUnderAllAssignments(t, in, got, want) {
+			t.Fatalf("normalizer diverges from fixpoint reference on %s", in)
+		}
+	})
+}
+
+// TestSharedCacheConcurrent hammers one shared normal-form cache from
+// many goroutines over overlapping random terms and checks every
+// result against a cold single-threaded simplifier. Run under -race
+// (CI does) this also proves the cache safe for the parallel report
+// workers.
+func TestSharedCacheConcurrent(t *testing.T) {
+	const goroutines = 8
+	const perG = 60
+	cache := NewCache()
+
+	// Pre-compute expected normal forms cold.
+	terms := make([]logic.Term, perG)
+	want := make([]logic.Term, perG)
+	for i := range terms {
+		r := rand.New(rand.NewSource(int64(i)))
+		terms[i] = randTerm(r, 5)
+		want[i] = Simplify(terms[i])
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := NewShared(cache)
+			// Each goroutine visits the same terms in a different order.
+			for k := 0; k < perG; k++ {
+				i := (k*7 + g*13) % perG
+				if got := s.Simplify(terms[i]); got != want[i] {
+					errs <- fmt.Errorf("goroutine %d term %d: got %s want %s", g, i, got, want[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if cache.Hits() == 0 {
+		t.Fatal("shared cache recorded no hits across goroutines")
+	}
+	if cache.Len() == 0 {
+		t.Fatal("shared cache is empty after concurrent runs")
+	}
+}
+
+// TestSharedCacheDeterministicDiagnostics checks that Passes and Stats
+// for a term do not depend on cache warmth: a simplifier that computed
+// everything itself and one answering entirely from a warm shared
+// cache must report identical diagnostics.
+func TestSharedCacheDeterministicDiagnostics(t *testing.T) {
+	cache := NewCache()
+	for seed := int64(0); seed < 50; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		in := randTerm(r, 4)
+
+		cold := NewShared(cache)
+		out1 := cold.Simplify(in)
+
+		warm := NewShared(cache)
+		out2 := warm.Simplify(in)
+
+		if out1 != out2 {
+			t.Fatalf("seed %d: warm result differs: %s vs %s", seed, out1, out2)
+		}
+		if cold.Passes != warm.Passes {
+			t.Fatalf("seed %d: Passes differ cold=%d warm=%d", seed, cold.Passes, warm.Passes)
+		}
+		for _, rule := range AllRules {
+			if cold.Stats[rule] != warm.Stats[rule] {
+				t.Fatalf("seed %d: %s fires differ cold=%d warm=%d",
+					seed, rule, cold.Stats[rule], warm.Stats[rule])
+			}
+		}
+	}
+}
+
+// TestPrivateCachePerConfig checks that flipping the ablation knobs
+// does not replay normal forms computed under a different
+// configuration.
+func TestPrivateCachePerConfig(t *testing.T) {
+	x := logic.NewIntVar("x", 0, 9)
+	in := logic.And(logic.Eq(x, logic.NewInt(3)), logic.Lt(x, logic.NewInt(5)))
+
+	s := NewShared(NewCache())
+	if got := s.Simplify(in); got.String() != "x = 3" {
+		t.Fatalf("default config: got %s", got)
+	}
+	s.DisableEqPropagation = true
+	got := s.Simplify(in)
+	if got.String() != "x = 3 & x < 5" {
+		t.Fatalf("ablated config answered from default-config cache: %s", got)
+	}
+	if s.Stats[RuleEqPropagation] != 1 {
+		t.Fatalf("expected exactly the default-config run's S14 fire, got %d", s.Stats[RuleEqPropagation])
+	}
+	// And back: the shared cache still answers the default config.
+	s.DisableEqPropagation = false
+	if got := s.Simplify(in); got.String() != "x = 3" {
+		t.Fatalf("default config after flip-back: got %s", got)
+	}
+}
+
+// BenchmarkFixpointReference measures the retired pass-until-fixpoint
+// engine on the same random-term population the differential tests
+// use, giving an in-binary old-vs-new comparison point
+// (BenchmarkNormalizerSameTerms is the new engine on identical input).
+func BenchmarkFixpointReference(b *testing.B) {
+	terms := diffBenchTerms()
+	ref := newRef()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, in := range terms {
+			ref.simplify(in)
+		}
+	}
+}
+
+// BenchmarkNormalizerSameTerms is the new engine over the exact term
+// population of BenchmarkFixpointReference (cold cache per iteration).
+func BenchmarkNormalizerSameTerms(b *testing.B) {
+	terms := diffBenchTerms()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for _, in := range terms {
+			s.Simplify(in)
+		}
+	}
+}
+
+func diffBenchTerms() []logic.Term {
+	terms := make([]logic.Term, 200)
+	for i := range terms {
+		r := rand.New(rand.NewSource(int64(i)))
+		terms[i] = randTerm(r, 6)
+	}
+	return terms
+}

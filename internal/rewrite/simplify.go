@@ -4,110 +4,199 @@ import (
 	"repro/internal/logic"
 )
 
-// Simplifier applies the fifteen rewrite rules to fixpoint. A
-// Simplifier records per-rule fire counts in Stats; it may be reused
-// across terms (counts accumulate until Reset).
+// DefaultMaxPasses bounds equality-propagation rounds per conjunction
+// (see Simplifier.MaxPasses).
+const DefaultMaxPasses = 64
+
+// Simplifier normalizes terms under the fifteen rewrite rules with a
+// single memoized bottom-up pass: every distinct canonical subterm is
+// rewritten exactly once and its normal form recorded in a persistent
+// cache, so repeat occurrences — within a term, across terms, and
+// across queries when the cache is shared — are answered by one
+// pointer-keyed lookup. This replaces the earlier pass-until-fixpoint
+// driver, which re-walked the whole term every global pass.
+//
+// A Simplifier records per-rule fire counts in Stats; it may be reused
+// across terms (counts accumulate until Reset). Because rewriting is
+// memoized per distinct subterm, fire counts are per distinct subterm
+// normalized for the input's dependency closure, not per occurrence.
 type Simplifier struct {
-	// MaxPasses bounds the number of global fixpoint passes (each pass
-	// is a full bottom-up rewrite plus a conjunction-level propagation
-	// pass). The default of 64 is far above what any seed
-	// specification in the experiments needs; the bound exists so a
-	// hypothetical non-terminating rule interaction degrades to a
-	// sound non-minimal result instead of a hang.
+	// MaxPasses bounds the number of equality-propagation rounds run
+	// at any single conjunction (each round substitutes the unit
+	// bindings into sibling conjuncts and re-normalizes what changed).
+	// The default of 64 is far above what any seed specification in
+	// the experiments needs; the bound exists so a hypothetical
+	// non-terminating rule interaction degrades to a sound non-minimal
+	// result instead of a hang.
 	MaxPasses int
-	// Stats counts how many times each rule fired.
+	// Stats counts how many times each rule fired, accumulated across
+	// Simplify calls. Counts are per distinct subterm in the input's
+	// normalization closure and are reconstructed deterministically
+	// from the cache, so they do not depend on cache warmth.
 	Stats map[RuleName]int
-	// Passes records how many fixpoint passes the last Simplify run
-	// took.
+	// Passes reports 1 + the maximum number of equality-propagation
+	// rounds any conjunction in the last input needed — the depth of
+	// iterative work the old fixpoint driver would have spread over
+	// global passes.
 	Passes int
 	// DisableEqPropagation turns off rule S14 (equality propagation),
 	// the ablation knob for the experiment that measures how much of
 	// the reduction that single rule carries.
 	DisableEqPropagation bool
-	// Trace records the term size after each fixpoint pass of the last
-	// Simplify run (index 0 is the size after the first pass).
+	// Trace records the size of the last result (a one-element trace;
+	// the single-pass normalizer has no per-pass intermediate sizes).
 	Trace []int
+
+	// sharedCache, when non-nil, is an externally owned cache (for
+	// example engine.Session's) consulted for default-configuration
+	// runs. priv is the lazily built private cache used otherwise;
+	// privCfg records the configuration its entries were computed
+	// under, so flipping MaxPasses or DisableEqPropagation between
+	// calls discards it instead of replaying stale results.
+	sharedCache *Cache
+	priv        *Cache
+	privCfg     simpConfig
+
+	// Per-run state: the cache in use, the stack of entries collecting
+	// rule fires and dependency edges (top receives both), and the set
+	// of terms currently being normalized (cycle guard for derived
+	// terms).
+	cache    *Cache
+	stack    []*nfEntry
+	inflight map[logic.Term]struct{}
 }
 
-// New creates a Simplifier with default settings.
+// simpConfig identifies the rewriting function a cache's entries were
+// computed under; caches must not be shared across configurations.
+type simpConfig struct {
+	maxPasses int
+	noEqProp  bool
+}
+
+var defaultConfig = simpConfig{maxPasses: DefaultMaxPasses}
+
+// New creates a Simplifier with default settings and a private
+// normal-form cache that persists across its Simplify calls.
 func New() *Simplifier {
-	return &Simplifier{MaxPasses: 64, Stats: make(map[RuleName]int)}
+	return &Simplifier{MaxPasses: DefaultMaxPasses, Stats: make(map[RuleName]int)}
 }
 
-// Reset clears accumulated statistics.
+// NewShared creates a Simplifier whose default-configuration normal
+// forms are answered from — and recorded into — the given shared
+// cache. The shared cache is safe for concurrent use, so any number of
+// NewShared simplifiers may run in parallel over it; each Simplifier
+// itself is single-goroutine state and must not be shared.
+func NewShared(c *Cache) *Simplifier {
+	return &Simplifier{MaxPasses: DefaultMaxPasses, Stats: make(map[RuleName]int), sharedCache: c}
+}
+
+// Reset clears accumulated statistics (the normal-form caches are
+// kept: they hold facts about terms, not about runs).
 func (s *Simplifier) Reset() {
 	s.Stats = make(map[RuleName]int)
 	s.Passes = 0
 	s.Trace = nil
 }
 
-func (s *Simplifier) fired(r RuleName) {
-	s.Stats[r]++
-}
-
-// Simplify rewrites t to a fixpoint of the fifteen rules. The result
-// is logically equivalent to t.
-func (s *Simplifier) Simplify(t logic.Term) logic.Term {
-	cur := t
-	s.Trace = s.Trace[:0]
-	for pass := 0; pass < s.MaxPasses; pass++ {
-		s.Passes = pass + 1
-		memo := make(map[logic.Term]logic.Term)
-		next := s.mapMemo(cur, memo)
-		if !s.DisableEqPropagation {
-			next = s.propagateEqualities(next)
-		}
-		s.Trace = append(s.Trace, logic.Size(next))
-		if logic.Equal(next, cur) {
-			return next
-		}
-		cur = next
-	}
-	return cur
-}
-
-// mapMemo is the memoizing counterpart of logic.Map(t, s.simplifyNode):
-// it rebuilds t bottom-up, but because terms are hash-consed, a subterm
-// shared across many occurrences is keyed by its canonical pointer and
-// simplified only once per memo table. The local rules are context-free
-// (a node's rewrite depends only on the node and its already-simplified
-// children), which is what makes sharing a memo across occurrences —
-// and across sibling conjuncts in propagateEqualities — sound. Note the
-// rule fire counters consequently count per distinct subterm, not per
-// occurrence.
-func (s *Simplifier) mapMemo(t logic.Term, memo map[logic.Term]logic.Term) logic.Term {
-	t = logic.Intern(t)
-	if r, ok := memo[t]; ok {
-		return r
-	}
-	out := t
-	if n, ok := t.(*logic.Apply); ok {
-		changed := false
-		args := make([]logic.Term, len(n.Args))
-		for i, a := range n.Args {
-			args[i] = s.mapMemo(a, memo)
-			if args[i] != a {
-				changed = true
-			}
-		}
-		if changed {
-			out = logic.Intern(&logic.Apply{Op: n.Op, Args: args})
-		}
-	}
-	out = s.simplifyNode(out)
-	memo[t] = out
-	return out
-}
-
 // Simplify is a convenience wrapper using a fresh Simplifier.
 func Simplify(t logic.Term) logic.Term { return New().Simplify(t) }
 
-// simplifyNode applies all local (single-node) rules to a node whose
-// children are already simplified, returning the replacement.
-func (s *Simplifier) simplifyNode(t logic.Term) logic.Term {
+// Simplify normalizes t under the fifteen rules. The result is
+// logically equivalent to t, rendered with the first-occurrence
+// argument order of every surviving conjunction and disjunction
+// preserved (normalization never reorders what it keeps, so reports
+// print identically whether a result was computed or recalled).
+func (s *Simplifier) Simplify(t logic.Term) logic.Term {
+	cfg := simpConfig{maxPasses: s.MaxPasses, noEqProp: s.DisableEqPropagation}
+	if s.sharedCache != nil && cfg == defaultConfig {
+		s.cache = s.sharedCache
+	} else {
+		if s.priv == nil || s.privCfg != cfg {
+			s.priv, s.privCfg = NewCache(), cfg
+		}
+		s.cache = s.priv
+	}
+	t = logic.Intern(t)
+	s.inflight = make(map[logic.Term]struct{})
+	s.stack = append(s.stack[:0], &nfEntry{}) // root collector; discarded
+	out := s.norm(t)
+	s.stack, s.inflight = s.stack[:0], nil
+
+	fires, rounds := s.cache.collectFrom(t)
+	for i, n := range fires {
+		if n > 0 {
+			s.Stats[AllRules[i]] += int(n)
+		}
+	}
+	s.Passes = int(rounds) + 1
+	s.Trace = append(s.Trace[:0], logic.Size(out))
+	return out
+}
+
+// fired counts a rule firing against the entry being computed.
+func (s *Simplifier) fired(r RuleName) {
+	s.stack[len(s.stack)-1].fires[ruleIndex[r]]++
+}
+
+// firedN counts n firings of a rule.
+func (s *Simplifier) firedN(r RuleName, n int) {
+	s.stack[len(s.stack)-1].fires[ruleIndex[r]] += uint32(n)
+}
+
+// dep records a dependency edge from the entry being computed to t, so
+// diagnostics collected for an input reach the entries of its
+// subterms and derived terms.
+func (s *Simplifier) dep(t logic.Term) {
+	top := s.stack[len(s.stack)-1]
+	if n := len(top.deps); n > 0 && top.deps[n-1] == t {
+		return
+	}
+	top.deps = append(top.deps, t)
+}
+
+// norm returns the normal form of the canonical term t, consulting and
+// filling the cache. Leaves are their own normal forms.
+func (s *Simplifier) norm(t logic.Term) logic.Term {
 	a, ok := t.(*logic.Apply)
 	if !ok {
 		return t
+	}
+	if e, ok := s.cache.get(t); ok {
+		s.dep(t)
+		return e.out
+	}
+	if _, busy := s.inflight[t]; busy {
+		// A derived term led back to a term still being normalized.
+		// Returning it unchanged is sound (it is equivalent to itself)
+		// and breaks the cycle; no entry is recorded for this path.
+		return t
+	}
+	s.inflight[t] = struct{}{}
+	e := &nfEntry{}
+	s.stack = append(s.stack, e)
+	e.out = s.rewriteNode(a)
+	s.stack = s.stack[:len(s.stack)-1]
+	delete(s.inflight, t)
+	s.cache.put(t, e)
+	s.dep(t)
+	return e.out
+}
+
+// rewriteNode normalizes the children of a, then applies the local
+// rules of a's operator. If normalizing the children changed the node,
+// the rebuilt node is itself normalized (and cached) so every rule
+// only ever sees nodes whose children are in normal form.
+func (s *Simplifier) rewriteNode(a *logic.Apply) logic.Term {
+	changed := false
+	args := make([]logic.Term, len(a.Args))
+	for i, c := range a.Args {
+		args[i] = s.norm(c)
+		if args[i] != c {
+			changed = true
+		}
+	}
+	if changed {
+		return s.norm(logic.Intern(&logic.Apply{Op: a.Op, Args: args}))
 	}
 	switch a.Op {
 	case logic.OpNot:
@@ -129,7 +218,7 @@ func (s *Simplifier) simplifyNode(t logic.Term) logic.Term {
 	case logic.OpAdd, logic.OpSub:
 		return s.foldArith(a)
 	}
-	return t
+	return a
 }
 
 func (s *Simplifier) simplifyNot(a *logic.Apply) logic.Term {
@@ -149,138 +238,137 @@ func (s *Simplifier) simplifyNot(a *logic.Apply) logic.Term {
 	}
 	switch inner.Op {
 	case logic.OpNot:
-		// S2: double negation.
+		// S2: double negation. The inner argument is already normal.
 		s.fired(RuleDoubleNeg)
 		return inner.Args[0]
 	case logic.OpEq:
-		// S15: !(a = b) -> a != b.
+		// S15: !(a = b) -> a != b; the derived comparison may simplify
+		// further (enum complement, domain folds), so it is normalized.
 		s.fired(RuleNegNormal)
-		return logic.Ne(inner.Args[0], inner.Args[1])
+		return s.norm(logic.Ne(inner.Args[0], inner.Args[1]))
 	case logic.OpNe:
 		s.fired(RuleNegNormal)
-		return logic.Eq(inner.Args[0], inner.Args[1])
+		return s.norm(logic.Eq(inner.Args[0], inner.Args[1]))
 	case logic.OpLt:
 		s.fired(RuleNegNormal)
-		return logic.Ge(inner.Args[0], inner.Args[1])
+		return s.norm(logic.Ge(inner.Args[0], inner.Args[1]))
 	case logic.OpLe:
 		s.fired(RuleNegNormal)
-		return logic.Gt(inner.Args[0], inner.Args[1])
+		return s.norm(logic.Gt(inner.Args[0], inner.Args[1]))
 	case logic.OpGt:
 		s.fired(RuleNegNormal)
-		return logic.Le(inner.Args[0], inner.Args[1])
+		return s.norm(logic.Le(inner.Args[0], inner.Args[1]))
 	case logic.OpGe:
 		s.fired(RuleNegNormal)
-		return logic.Lt(inner.Args[0], inner.Args[1])
+		return s.norm(logic.Lt(inner.Args[0], inner.Args[1]))
 	}
 	return a
 }
 
+// simplifyAnd normalizes a conjunction whose conjuncts are already
+// normal: it loops flatten/dedup (S4), complement (S6), absorption
+// (S13), and one equality-propagation round (S14) until the operand
+// list is stable. The loop replaces the old driver's global passes —
+// iteration happens only at conjunctions that actually need it, and
+// substituted conjuncts are re-normalized through the cache.
 func (s *Simplifier) simplifyAnd(a *logic.Apply) logic.Term {
-	// S4: flatten, drop true, collapse on false, dedup.
-	args := make([]logic.Term, 0, len(a.Args))
-	changed := false
-	for _, arg := range a.Args {
-		if logic.IsTrue(arg) {
-			s.fired(RuleAndIdentity)
-			changed = true
-			continue
-		}
-		if logic.IsFalse(arg) {
-			s.fired(RuleAndIdentity)
+	args := a.Args
+	anyChange := false
+	for round := 0; ; round++ {
+		// S4: flatten nested &, drop true, collapse on false, dedup.
+		flat, actions, collapsed := logic.FlatAnd(args)
+		if collapsed {
+			s.firedN(RuleAndIdentity, actions)
 			return logic.False
 		}
-		if nested, ok := arg.(*logic.Apply); ok && nested.Op == logic.OpAnd {
-			s.fired(RuleAndIdentity)
-			changed = true
-			args = append(args, nested.Args...)
-			continue
+		if actions > 0 {
+			s.firedN(RuleAndIdentity, actions)
+			anyChange = true
+			args = flat
+		} else {
+			args = flat
 		}
-		args = append(args, arg)
+		// S6: complement law, one set probe per negated conjunct.
+		set := logic.NewTermSet(args)
+		for _, x := range args {
+			if nx, ok := x.(*logic.Apply); ok && nx.Op == logic.OpNot && set.Has(nx.Args[0]) {
+				s.fired(RuleComplement)
+				return logic.False
+			}
+		}
+		// S13: absorption — drop any disjunction conjunct containing
+		// another conjunct as a disjunct.
+		if filtered, fired := absorb(args, set, logic.OpOr); fired {
+			s.fired(RuleAbsorption)
+			anyChange = true
+			args = filtered
+		}
+		// S14: one equality-propagation round; re-enter the loop only
+		// while substitution changes something (bounded by MaxPasses).
+		if s.DisableEqPropagation || round >= s.MaxPasses {
+			break
+		}
+		subArgs, changed := s.propagateOnce(args)
+		if !changed {
+			break
+		}
+		s.fired(RuleEqPropagation)
+		s.stack[len(s.stack)-1].rounds++
+		anyChange = true
+		args = make([]logic.Term, len(subArgs))
+		for i, c := range subArgs {
+			args[i] = s.norm(c)
+		}
 	}
-	if deduped := logic.DedupTerms(args); len(deduped) != len(args) {
-		s.fired(RuleAndIdentity)
-		changed = true
-		args = deduped
-	}
-	// S6: complement law.
-	if hasComplementPair(args) {
-		s.fired(RuleComplement)
-		return logic.False
-	}
-	// S13: absorption — drop any disjunction conjunct containing
-	// another conjunct as a disjunct.
-	if filtered, fired := absorb(args, logic.OpOr); fired {
-		s.fired(RuleAbsorption)
-		changed = true
-		args = filtered
-	}
-	if !changed {
+	if !anyChange {
 		return a
 	}
 	return logic.And(args...)
 }
 
+// simplifyOr is the disjunction dual of simplifyAnd (no propagation:
+// S14 is a conjunction rule).
 func (s *Simplifier) simplifyOr(a *logic.Apply) logic.Term {
-	// S5: flatten, drop false, collapse on true, dedup.
-	args := make([]logic.Term, 0, len(a.Args))
-	changed := false
-	for _, arg := range a.Args {
-		if logic.IsFalse(arg) {
-			s.fired(RuleOrIdentity)
-			changed = true
-			continue
-		}
-		if logic.IsTrue(arg) {
-			s.fired(RuleOrIdentity)
-			return logic.True
-		}
-		if nested, ok := arg.(*logic.Apply); ok && nested.Op == logic.OpOr {
-			s.fired(RuleOrIdentity)
-			changed = true
-			args = append(args, nested.Args...)
-			continue
-		}
-		args = append(args, arg)
-	}
-	if deduped := logic.DedupTerms(args); len(deduped) != len(args) {
-		s.fired(RuleOrIdentity)
-		changed = true
-		args = deduped
-	}
-	// S6: complement law.
-	if hasComplementPair(args) {
-		s.fired(RuleComplement)
+	args := a.Args
+	anyChange := false
+	// S5: flatten nested |, drop false, collapse on true, dedup.
+	flat, actions, collapsed := logic.FlatOr(args)
+	if collapsed {
+		s.firedN(RuleOrIdentity, actions)
 		return logic.True
 	}
+	if actions > 0 {
+		s.firedN(RuleOrIdentity, actions)
+		anyChange = true
+	}
+	args = flat
+	// S6: complement law.
+	set := logic.NewTermSet(args)
+	for _, x := range args {
+		if nx, ok := x.(*logic.Apply); ok && nx.Op == logic.OpNot && set.Has(nx.Args[0]) {
+			s.fired(RuleComplement)
+			return logic.True
+		}
+	}
 	// S13: absorption (dual).
-	if filtered, fired := absorb(args, logic.OpAnd); fired {
+	if filtered, fired := absorb(args, set, logic.OpAnd); fired {
 		s.fired(RuleAbsorption)
-		changed = true
+		anyChange = true
 		args = filtered
 	}
-	if !changed {
+	if !anyChange {
 		return a
 	}
 	return logic.Or(args...)
 }
 
-// hasComplementPair reports whether args contains both t and !t.
-func hasComplementPair(args []logic.Term) bool {
-	for i, x := range args {
-		for _, y := range args[i+1:] {
-			if isComplement(x, y) {
-				return true
-			}
-		}
-	}
-	return false
-}
-
+// isComplement reports whether x and y are negations of each other
+// (terms are canonical, so the inner comparison is by pointer).
 func isComplement(x, y logic.Term) bool {
-	if nx, ok := x.(*logic.Apply); ok && nx.Op == logic.OpNot && logic.Equal(nx.Args[0], y) {
+	if nx, ok := x.(*logic.Apply); ok && nx.Op == logic.OpNot && nx.Args[0] == y {
 		return true
 	}
-	if ny, ok := y.(*logic.Apply); ok && ny.Op == logic.OpNot && logic.Equal(ny.Args[0], x) {
+	if ny, ok := y.(*logic.Apply); ok && ny.Op == logic.OpNot && ny.Args[0] == x {
 		return true
 	}
 	return false
@@ -290,24 +378,20 @@ func isComplement(x, y logic.Term) bool {
 // contains another member of args among its operands:
 // for And-level (inner = Or):  a & (a | b)  ->  a
 // for Or-level  (inner = And): a | (a & b)  ->  a
-func absorb(args []logic.Term, inner logic.Op) ([]logic.Term, bool) {
+// set must be the membership set of args; each operand check is one
+// probe instead of a scan over args.
+func absorb(args []logic.Term, set logic.TermSet, inner logic.Op) ([]logic.Term, bool) {
 	fired := false
 	out := make([]logic.Term, 0, len(args))
-	for i, cand := range args {
+	for _, cand := range args {
 		app, ok := cand.(*logic.Apply)
 		absorbed := false
 		if ok && app.Op == inner {
-			for j, other := range args {
-				if i == j {
-					continue
-				}
-				for _, operand := range app.Args {
-					if logic.Equal(operand, other) {
-						absorbed = true
-						break
-					}
-				}
-				if absorbed {
+			for _, operand := range app.Args {
+				// operand can never be cand itself (a term cannot
+				// contain itself), so probing the full set is exact.
+				if set.Has(operand) {
+					absorbed = true
 					break
 				}
 			}
@@ -319,6 +403,53 @@ func absorb(args []logic.Term, inner logic.Op) ([]logic.Term, bool) {
 		out = append(out, cand)
 	}
 	return out, fired
+}
+
+// propagateOnce implements one round of rule S14 over the conjuncts:
+// when a conjunct pins a variable (x, !x, x = literal, or literal =
+// x), the binding is substituted into the sibling conjuncts. The
+// defining conjunct itself keeps its own variable, so the rewrite is
+// equivalence-preserving; re-normalization of the changed conjuncts
+// then collapses the substituted occurrences. Only the defining
+// occurrence is shielded: a second conjunct binding the same variable
+// to a different value does receive the substitution, so x = a & x = b
+// collapses through a = b to false.
+func (s *Simplifier) propagateOnce(args []logic.Term) ([]logic.Term, bool) {
+	bindings := map[string]logic.Term{}
+	definer := map[string]int{}
+	for i, c := range args {
+		if name, val, ok := unitBinding(c); ok {
+			if _, dup := bindings[name]; !dup {
+				bindings[name] = val
+				definer[name] = i
+			}
+		}
+	}
+	if len(bindings) == 0 {
+		return args, false
+	}
+	// One mask serves every conjunct: temporarily removing the defining
+	// entry only shrinks the substitution, and an over-wide mask is
+	// sound (it just prunes less).
+	mask := logic.SubMask(bindings)
+	changed := false
+	out := make([]logic.Term, len(args))
+	for i, c := range args {
+		// Do not substitute inside the defining conjunct of the
+		// binding itself; drop exactly the variable bound there.
+		if name, _, ok := unitBinding(c); ok && definer[name] == i {
+			val := bindings[name]
+			delete(bindings, name)
+			out[i] = logic.SubstituteMasked(c, bindings, mask)
+			bindings[name] = val
+		} else {
+			out[i] = logic.SubstituteMasked(c, bindings, mask)
+		}
+		if out[i] != c {
+			changed = true
+		}
+	}
+	return out, changed
 }
 
 func (s *Simplifier) simplifyImplies(a *logic.Apply) logic.Term {
@@ -333,8 +464,8 @@ func (s *Simplifier) simplifyImplies(a *logic.Apply) logic.Term {
 		return r
 	case logic.IsFalse(r):
 		s.fired(RuleImplies)
-		return s.simplifyNode(logic.Not(l).(*logic.Apply))
-	case logic.Equal(l, r):
+		return s.norm(logic.Not(l))
+	case l == r:
 		s.fired(RuleImplies)
 		return logic.True
 	}
@@ -344,7 +475,7 @@ func (s *Simplifier) simplifyImplies(a *logic.Apply) logic.Term {
 func (s *Simplifier) simplifyIff(a *logic.Apply) logic.Term {
 	l, r := a.Args[0], a.Args[1]
 	switch {
-	case logic.Equal(l, r):
+	case l == r:
 		s.fired(RuleIff)
 		return logic.True
 	case logic.IsTrue(l):
@@ -355,10 +486,10 @@ func (s *Simplifier) simplifyIff(a *logic.Apply) logic.Term {
 		return l
 	case logic.IsFalse(l):
 		s.fired(RuleIff)
-		return s.simplifyNode(logic.Not(r).(*logic.Apply))
+		return s.norm(logic.Not(r))
 	case logic.IsFalse(r):
 		s.fired(RuleIff)
-		return s.simplifyNode(logic.Not(l).(*logic.Apply))
+		return s.norm(logic.Not(l))
 	case isComplement(l, r):
 		s.fired(RuleIff)
 		return logic.False
@@ -375,7 +506,7 @@ func (s *Simplifier) simplifyIte(a *logic.Apply) logic.Term {
 	case logic.IsFalse(c):
 		s.fired(RuleIte)
 		return els
-	case logic.Equal(thn, els):
+	case thn == els:
 		s.fired(RuleIte)
 		return thn
 	case thn.Sort().IsBool() && logic.IsTrue(thn) && logic.IsFalse(els):
@@ -383,7 +514,7 @@ func (s *Simplifier) simplifyIte(a *logic.Apply) logic.Term {
 		return c
 	case thn.Sort().IsBool() && logic.IsFalse(thn) && logic.IsTrue(els):
 		s.fired(RuleIte)
-		return s.simplifyNode(logic.Not(c).(*logic.Apply))
+		return s.norm(logic.Not(c))
 	}
 	return a
 }
@@ -391,8 +522,9 @@ func (s *Simplifier) simplifyIte(a *logic.Apply) logic.Term {
 func (s *Simplifier) simplifyEq(a *logic.Apply) logic.Term {
 	l, r := a.Args[0], a.Args[1]
 	ne := a.Op == logic.OpNe
-	// S10: reflexivity on arbitrary terms.
-	if logic.Equal(l, r) {
+	// S10: reflexivity on arbitrary terms (canonical, so a pointer
+	// comparison decides structural equality).
+	if l == r {
 		s.fired(RuleEqRefl)
 		return logic.NewBool(!ne)
 	}
@@ -421,7 +553,7 @@ func (s *Simplifier) simplifyEq(a *logic.Apply) logic.Term {
 			if truth {
 				return other
 			}
-			return s.simplifyNode(logic.Not(other).(*logic.Apply))
+			return s.norm(logic.Not(other))
 		}
 	}
 	// S12: integer equality decided by domain disjointness.
@@ -532,7 +664,7 @@ func (s *Simplifier) simplifyCmp(a *logic.Apply) logic.Term {
 		return logic.NewBool(v)
 	}
 	// S10 analog: t < t is false, t <= t is true.
-	if logic.Equal(l, r) {
+	if l == r {
 		s.fired(RuleEqRefl)
 		return logic.NewBool(a.Op == logic.OpLe || a.Op == logic.OpGe)
 	}
@@ -603,70 +735,6 @@ func (s *Simplifier) foldArith(a *logic.Apply) logic.Term {
 		sum += arg.(*logic.IntLit).Val
 	}
 	return logic.NewInt(sum)
-}
-
-// propagateEqualities implements rule S14 at every conjunction in the
-// term: when a conjunct pins a variable (x, !x, x = literal, or
-// literal = x), the binding is substituted into the sibling conjuncts.
-// The defining conjunct itself is kept, so the rewrite is equivalence-
-// preserving, and inner simplification then collapses the substituted
-// occurrences.
-func (s *Simplifier) propagateEqualities(t logic.Term) logic.Term {
-	// The propagation itself is context-dependent (a binding holds only
-	// inside its conjunction) and must not be memoized, but the inner
-	// re-simplification after substitution applies only the context-free
-	// local rules, so one memo table is shared across all conjunctions.
-	memo := make(map[logic.Term]logic.Term)
-	return logic.Map(t, func(u logic.Term) logic.Term {
-		a, ok := u.(*logic.Apply)
-		if !ok || a.Op != logic.OpAnd {
-			return u
-		}
-		bindings := map[string]logic.Term{}
-		for _, c := range a.Args {
-			if name, val, ok := unitBinding(c); ok {
-				if _, dup := bindings[name]; !dup {
-					bindings[name] = val
-				}
-			}
-		}
-		if len(bindings) == 0 {
-			return u
-		}
-		changed := false
-		args := make([]logic.Term, len(a.Args))
-		for i, c := range a.Args {
-			// Do not substitute inside the defining conjunct of the
-			// binding itself; drop exactly the variable bound there.
-			if name, _, ok := unitBinding(c); ok {
-				sub := map[string]logic.Term{}
-				for k, v := range bindings {
-					if k != name {
-						sub[k] = v
-					}
-				}
-				args[i] = logic.Substitute(c, sub)
-			} else {
-				args[i] = logic.Substitute(c, bindings)
-			}
-			if args[i] != c {
-				changed = true
-			}
-		}
-		if !changed {
-			return u
-		}
-		s.fired(RuleEqPropagation)
-		out := make([]logic.Term, len(args))
-		for i, c := range args {
-			out[i] = s.mapMemo(c, memo)
-		}
-		res := logic.And(out...)
-		if ap, ok := res.(*logic.Apply); ok {
-			return s.simplifyNode(ap)
-		}
-		return res
-	})
 }
 
 // unitBinding recognizes conjuncts that pin a single variable to a
