@@ -38,6 +38,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	format := fs.String("format", "text", "output format: text or json")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration (e.g. 30s, 5m; 0 = no limit)")
 	benchJSON := fs.String("benchjson", "", "write machine-readable pipeline measurements (scenario, wall time, SAT conflicts, cache hits) to this file and exit")
+	satWorkers := fs.Int("satworkers", 1, "SAT portfolio width: diversified search workers racing per solve with clause sharing (1 = plain single search; affects -table sat and -benchjson)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
@@ -85,7 +86,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *benchJSON != "" {
-		if err := bench.WritePerfJSON(ctx, *benchJSON); err != nil {
+		if err := bench.WritePerfJSON(ctx, *benchJSON, *satWorkers); err != nil {
 			fmt.Fprintln(stderr, "netbench:", err)
 			return 1
 		}
@@ -144,7 +145,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case "rewrite":
 		return one(bench.RewriteTable(ctx))
 	case "sat":
-		return one(bench.SatTable(ctx))
+		return one(bench.SatTable(ctx, *satWorkers))
 	case "scale":
 		return one(bench.ScaleTable(ctx, *quick))
 	case "all":

@@ -42,6 +42,23 @@ type PerfEntry struct {
 	SATTierCore  int `json:"sat_tier_core"`
 	SATTierMid   int `json:"sat_tier_mid"`
 	SATTierLocal int `json:"sat_tier_local"`
+	// SATWorkers is the portfolio width the run was configured with;
+	// SATRaces counts portfolio races that reached a verdict, and the
+	// shared counters total clause-sharing traffic between workers
+	// (exported to the pool / admitted by an importer / refused). All
+	// zero at width 1. The random-3SAT microbenchmark seeds referenced
+	// by methodology notes are the named constants in
+	// internal/sat/bench_test.go (benchSeedHard3SAT, benchSeedSat3SAT).
+	SATWorkers        int    `json:"sat_workers"`
+	SATRaces          uint64 `json:"sat_races"`
+	SATSharedExported uint64 `json:"sat_shared_exported"`
+	SATSharedImported uint64 `json:"sat_shared_imported"`
+	SATSharedRejected uint64 `json:"sat_shared_rejected"`
+	// SATInprocessRounds and SATInprocessDeleted total inprocessing
+	// activity (vivification, subsumption, bounded variable
+	// elimination) across the report's solvers.
+	SATInprocessRounds  uint64 `json:"sat_inprocess_rounds"`
+	SATInprocessDeleted uint64 `json:"sat_inprocess_deleted"`
 	// LiftQueries counts individual lift-stage SMT queries; LiftP50MS
 	// and LiftP95MS are their latency percentiles in milliseconds.
 	LiftQueries int     `json:"lift_queries"`
@@ -75,8 +92,9 @@ type PerfReport struct {
 }
 
 // Perf measures the end-to-end explanation pipeline on every seed
-// scenario.
-func Perf(ctx context.Context) (*PerfReport, error) {
+// scenario. satWorkers sets the portfolio width of every solver (1 =
+// plain single search).
+func Perf(ctx context.Context, satWorkers int) (*PerfReport, error) {
 	rep := &PerfReport{Name: "explain-pipeline"}
 	for _, sc := range scenarios.All() {
 		synthStart := time.Now()
@@ -86,7 +104,9 @@ func Perf(ctx context.Context) (*PerfReport, error) {
 		}
 		synthMS := float64(time.Since(synthStart).Microseconds()) / 1000
 
-		ex, err := core.NewExplainer(sc.Net, sc.Requirements(), res.Deployment, core.DefaultOptions())
+		copts := core.DefaultOptions()
+		copts.Budget.SatWorkers = satWorkers
+		ex, err := core.NewExplainer(sc.Net, sc.Requirements(), res.Deployment, copts)
 		if err != nil {
 			return nil, err
 		}
@@ -112,9 +132,16 @@ func Perf(ctx context.Context) (*PerfReport, error) {
 			SATRestarts:        st.Restarts,
 			SATMinimizedLits:   st.MinimizedLits,
 			SATAvgLBD:          avgLBD,
-			SATTierCore:        st.CoreLearnts,
-			SATTierMid:         st.MidLearnts,
-			SATTierLocal:       st.LocalLearnts,
+			SATTierCore:         st.CoreLearnts,
+			SATTierMid:          st.MidLearnts,
+			SATTierLocal:        st.LocalLearnts,
+			SATWorkers:          ex.Opts.Budget.SatWorkerCount(),
+			SATRaces:            st.SatRaces,
+			SATSharedExported:   st.SharedExported,
+			SATSharedImported:   st.SharedImported,
+			SATSharedRejected:   st.SharedRejected,
+			SATInprocessRounds:  st.InprocessRounds,
+			SATInprocessDeleted: st.InprocessDeleted,
 			LiftQueries:        st.LiftQueries,
 			LiftP50MS:          float64(st.LiftP50.Microseconds()) / 1000,
 			LiftP95MS:          float64(st.LiftP95.Microseconds()) / 1000,
@@ -134,8 +161,8 @@ func Perf(ctx context.Context) (*PerfReport, error) {
 
 // WritePerfJSON runs Perf and writes the report to path, indented for
 // committing alongside benchmark baselines (BENCH_*.json).
-func WritePerfJSON(ctx context.Context, path string) error {
-	rep, err := Perf(ctx)
+func WritePerfJSON(ctx context.Context, path string, satWorkers int) error {
+	rep, err := Perf(ctx, satWorkers)
 	if err != nil {
 		return err
 	}

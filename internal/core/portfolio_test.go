@@ -1,0 +1,54 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/scenarios"
+)
+
+// TestReportIdenticalAcrossSatWorkerMatrix pins the determinism
+// contract of portfolio search: with proof verification on, the
+// whole-network report is byte-identical to the committed golden at
+// every SAT worker count crossed with every lift worker count. Racing
+// workers may find different models, different cores, and different
+// proofs run to run — but the report consumes verdicts, not search
+// traces, and verdicts are semantic facts of the formula. Any byte
+// drift here means witness data leaked into a report.
+func TestReportIdenticalAcrossSatWorkerMatrix(t *testing.T) {
+	for _, sc := range scenarios.All() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			dep := synthScenario(t, sc)
+			want, err := os.ReadFile(filepath.Join("testdata", "report_"+sc.Name+".golden"))
+			if err != nil {
+				t.Fatalf("missing golden (run TestReportMatchesGolden -update): %v", err)
+			}
+			for _, satWorkers := range []int{1, 2, 4} {
+				for _, liftWorkers := range []int{1, 2, 8} {
+					opts := DefaultOptions()
+					opts.VerifyProofs = true
+					opts.Budget.SatWorkers = satWorkers
+					opts.LiftWorkers = liftWorkers
+					e, err := NewExplainer(sc.Net, sc.Requirements(), dep, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := e.Report()
+					if err != nil {
+						t.Fatalf("satworkers=%d liftworkers=%d: %v", satWorkers, liftWorkers, err)
+					}
+					if got != string(want) {
+						t.Errorf("satworkers=%d liftworkers=%d: report differs from golden", satWorkers, liftWorkers)
+					}
+					if satWorkers > 1 {
+						if races := e.Stats().SatRaces; races == 0 {
+							t.Errorf("satworkers=%d: no portfolio races recorded", satWorkers)
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -297,6 +297,15 @@ func (s *Session) AddSolverStats(st sat.Stats) {
 	s.stats.BlockedRestarts += st.BlockedRestarts
 	s.stats.MinimizedLits += st.MinimizedLits
 	s.stats.LBDSum += st.LBDSum
+	s.stats.SatRaces += st.PortfolioRaces
+	for i := range st.PortfolioWins {
+		s.stats.SatWins[i] += st.PortfolioWins[i]
+	}
+	s.stats.SharedExported += st.SharedExported
+	s.stats.SharedImported += st.SharedImported
+	s.stats.SharedRejected += st.SharedRejected
+	s.stats.InprocessRounds += st.InprocessRounds
+	s.stats.InprocessDeleted += st.InprocessDeleted
 	if st.CoreLearnts > s.stats.CoreLearnts {
 		s.stats.CoreLearnts = st.CoreLearnts
 	}

@@ -38,7 +38,16 @@ func (s *Solver) Clone() *Solver {
 		qhead:          s.qhead,
 		ConflictBudget: s.ConflictBudget,
 		emptyLogged:    s.emptyLogged,
+		pol:            s.pol,
+		Inprocess:      s.Inprocess,
+		inprocConfl:    s.inprocConfl,
 	}
+	c.eliminable = append([]bool(nil), s.eliminable...)
+	c.elimed = append([]bool(nil), s.elimed...)
+	// Elimination records are immutable once pushed, so the inner
+	// clause copies may be shared; only the stack spine is copied (with
+	// exact length, so appends on either side never alias).
+	c.elimStack = append(make([]elimRecord, 0, len(s.elimStack)), s.elimStack...)
 	// A clone inherits the original's learnt clauses, so its proof
 	// trace must replay their derivations: fork the writer when it
 	// supports forking, otherwise the clone runs without logging (a
@@ -86,8 +95,20 @@ func (s *Solver) Clone() *Solver {
 		}
 		c.bins[i] = cb
 	}
+	c.terns = make([][]ternWatch, len(s.terns))
+	for i, ts := range s.terns {
+		if len(ts) == 0 {
+			continue
+		}
+		ct := make([]ternWatch, len(ts))
+		for j, t := range ts {
+			ct[j] = ternWatch{o1: t.o1, o2: t.o2, c: remap[t.c]}
+		}
+		c.terns[i] = ct
+	}
 
 	c.assigns = append([]LBool(nil), s.assigns...)
+	c.vals = append([]LBool(nil), s.vals...)
 	c.level = append([]int(nil), s.level...)
 	c.reason = make([]*clause, len(s.reason))
 	for i, r := range s.reason {
@@ -139,26 +160,41 @@ func (s *Solver) Clone() *Solver {
 // downstream counter.
 func (a Stats) Sub(b Stats) Stats {
 	out := Stats{
-		Solves:          satSub(a.Solves, b.Solves),
-		Decisions:       satSub(a.Decisions, b.Decisions),
-		Propagations:    satSub(a.Propagations, b.Propagations),
-		BinPropagations: satSub(a.BinPropagations, b.BinPropagations),
-		Conflicts:       satSub(a.Conflicts, b.Conflicts),
-		Restarts:        satSub(a.Restarts, b.Restarts),
-		BlockedRestarts: satSub(a.BlockedRestarts, b.BlockedRestarts),
-		Learnt:          satSub(a.Learnt, b.Learnt),
-		MinimizedLits:   satSub(a.MinimizedLits, b.MinimizedLits),
-		LBDSum:          satSub(a.LBDSum, b.LBDSum),
-		Reductions:      satSub(a.Reductions, b.Reductions),
-		RemovedClauses:  satSub(a.RemovedClauses, b.RemovedClauses),
-		MaxVars:         a.MaxVars,
-		Clauses:         a.Clauses,
-		CoreLearnts:     a.CoreLearnts,
-		MidLearnts:      a.MidLearnts,
-		LocalLearnts:    a.LocalLearnts,
+		Solves:              satSub(a.Solves, b.Solves),
+		Decisions:           satSub(a.Decisions, b.Decisions),
+		Propagations:        satSub(a.Propagations, b.Propagations),
+		BinPropagations:     satSub(a.BinPropagations, b.BinPropagations),
+		Conflicts:           satSub(a.Conflicts, b.Conflicts),
+		Restarts:            satSub(a.Restarts, b.Restarts),
+		BlockedRestarts:     satSub(a.BlockedRestarts, b.BlockedRestarts),
+		Learnt:              satSub(a.Learnt, b.Learnt),
+		MinimizedLits:       satSub(a.MinimizedLits, b.MinimizedLits),
+		LBDSum:              satSub(a.LBDSum, b.LBDSum),
+		Reductions:          satSub(a.Reductions, b.Reductions),
+		RemovedClauses:      satSub(a.RemovedClauses, b.RemovedClauses),
+		ModeSwitches:        satSub(a.ModeSwitches, b.ModeSwitches),
+		InprocessRounds:     satSub(a.InprocessRounds, b.InprocessRounds),
+		VivifiedClauses:     satSub(a.VivifiedClauses, b.VivifiedClauses),
+		VivifiedLits:        satSub(a.VivifiedLits, b.VivifiedLits),
+		SubsumedClauses:     satSub(a.SubsumedClauses, b.SubsumedClauses),
+		StrengthenedClauses: satSub(a.StrengthenedClauses, b.StrengthenedClauses),
+		ElimVars:            satSub(a.ElimVars, b.ElimVars),
+		InprocessDeleted:    satSub(a.InprocessDeleted, b.InprocessDeleted),
+		SharedExported:      satSub(a.SharedExported, b.SharedExported),
+		SharedImported:      satSub(a.SharedImported, b.SharedImported),
+		SharedRejected:      satSub(a.SharedRejected, b.SharedRejected),
+		PortfolioRaces:      satSub(a.PortfolioRaces, b.PortfolioRaces),
+		MaxVars:             a.MaxVars,
+		Clauses:             a.Clauses,
+		CoreLearnts:         a.CoreLearnts,
+		MidLearnts:          a.MidLearnts,
+		LocalLearnts:        a.LocalLearnts,
 	}
 	for i := range out.LBDHist {
 		out.LBDHist[i] = satSub(a.LBDHist[i], b.LBDHist[i])
+	}
+	for i := range out.PortfolioWins {
+		out.PortfolioWins[i] = satSub(a.PortfolioWins[i], b.PortfolioWins[i])
 	}
 	return out
 }

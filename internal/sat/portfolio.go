@@ -1,0 +1,455 @@
+package sat
+
+// Portfolio search: a small team of diversified solvers racing on one
+// formula, sharing their strongest lemmas.
+//
+// The design leans on two facts already established elsewhere in the
+// package. First, Clone produces a warm, fully independent snapshot, so
+// building a team costs one deep copy per extra worker and the workers
+// may run on separate goroutines. Second, a learnt clause never depends
+// on assumptions (assumptions enter the search as decisions, not
+// reasons), so any worker's learnt is a logical consequence of the
+// shared problem clauses and is sound to import into any peer — for
+// every future assumption set.
+//
+// Sharing protocol: workers export units and glue clauses (LBD <=
+// coreLBD) into one append-only pool as they learn them; each worker
+// drains the pool at its own restart boundaries (decision level 0,
+// propagation at fixpoint) and admits each candidate through a RUP
+// gate — assume the clause's negation on a throwaway decision level,
+// propagate, and require a conflict. The gate serves two masters at
+// once: it filters clauses that this worker's database cannot (yet)
+// cheaply justify, and it makes every admitted import a legal ProofLearn
+// on the importer's own trace, so each worker's proof stays
+// self-contained and the independent checker needs no notion of
+// "portfolio" at all.
+//
+// Verdict semantics: the first worker to return Sat or Unsat wins the
+// race and the others are cancelled through their contexts; the
+// winner's model, core, and proof trace become the portfolio's result.
+// Sat/Unsat verdicts are semantic — every worker that terminates
+// returns the same status — so anything downstream that consumes
+// verdicts (the lift pipeline's necessity/vacuity checks, report
+// assembly) is byte-identical at any worker count. Models and cores may
+// differ run to run in *content* (a different worker may win), which is
+// why the pipeline above deliberately consumes verdicts, not witnesses.
+
+import (
+	"context"
+	"sync"
+)
+
+// shareMaxGlue is the export threshold: only units and clauses at or
+// below this LBD enter the pool. It equals coreLBD — the tier the
+// solver itself deems worth keeping forever.
+const shareMaxGlue = coreLBD
+
+// sharedClause is one pool entry: the exporting worker's index (so the
+// exporter skips its own clauses on import), the clause, and its glue
+// at export time (adopted by importers as the initial tier).
+type sharedClause struct {
+	from int
+	lbd  int32
+	lits []Lit
+}
+
+// sharePool is the lock-light clause bus of one portfolio: an
+// append-only log under a mutex held only for the append or for the
+// snapshot of a slice header. Entries are immutable once published, so
+// readers work off their snapshots without the lock; per-worker read
+// positions live on the workers (Solver.shareCursor), not in the pool.
+type sharePool struct {
+	mu  sync.Mutex
+	log []sharedClause
+}
+
+// publish appends a copy of the clause to the pool.
+func (p *sharePool) publish(from int, lits []Lit, lbd int32) {
+	cp := append([]Lit(nil), lits...)
+	p.mu.Lock()
+	p.log = append(p.log, sharedClause{from: from, lbd: lbd, lits: cp})
+	p.mu.Unlock()
+}
+
+// since returns the entries published at or after cursor, and the new
+// cursor. The returned slice is capped so appends by other workers
+// never alias into it.
+func (p *sharePool) since(cursor int) ([]sharedClause, int) {
+	p.mu.Lock()
+	n := len(p.log)
+	out := p.log[cursor:n:n]
+	p.mu.Unlock()
+	return out, n
+}
+
+// importShared drains the pool and admits what the RUP gate accepts.
+// Called at a restart boundary: decision level 0, propagation at
+// fixpoint. It returns false when an import exposes top-level
+// unsatisfiability (the empty clause is logged, exactly like a root
+// conflict found by search).
+func (s *Solver) importShared() bool {
+	entries, next := s.share.since(s.shareCursor)
+	s.shareCursor = next
+	if len(entries) == 0 {
+		return true
+	}
+	// Reach the root fixpoint before probing: the gate attributes any
+	// conflict it sees to the candidate clause, so none may be pending.
+	if s.propagate() != nil {
+		s.ok = false
+		s.logEmptyClause()
+		return false
+	}
+	for _, e := range entries {
+		if e.from == s.shareID {
+			continue
+		}
+		if !s.importClause(e.lits, e.lbd) {
+			return false
+		}
+	}
+	return true
+}
+
+// importClause runs one pool candidate through the RUP gate and, on
+// success, installs it as a learnt clause (logged as a ProofLearn on
+// this solver's trace — the gate is exactly the checker's acceptance
+// condition, so the trace stays checkable). Rejections are counted,
+// never fatal; the return value is false only when the import proves
+// the database unsatisfiable at the top level.
+func (s *Solver) importClause(lits []Lit, lbd int32) bool {
+	// Root-reduce against this worker's top-level assignment, and
+	// refuse clauses over variables bounded elimination already
+	// resolved away here (re-introducing an occurrence would break
+	// model extension).
+	reduced := make([]Lit, 0, len(lits))
+	for _, l := range lits {
+		if int(l) >= len(s.vals) || s.elimed[l.Var()] {
+			s.Stats.SharedRejected++
+			return true
+		}
+		switch s.value(l) {
+		case LTrue:
+			// Root-satisfied: nothing to learn.
+			s.Stats.SharedRejected++
+			return true
+		case LFalse:
+			continue
+		}
+		reduced = append(reduced, l)
+	}
+	if len(reduced) == 0 {
+		// Every literal is root-false. The clause would be RUP only if
+		// the database were already in root conflict, which the caller
+		// just ruled out: reject.
+		s.Stats.SharedRejected++
+		return true
+	}
+	// RUP gate: assume the negation on a throwaway decision level and
+	// propagate. A conflict certifies the clause.
+	s.trailLim = append(s.trailLim, len(s.trail))
+	for _, l := range reduced {
+		if s.value(l) == LUndef {
+			s.uncheckedEnqueue(l.Neg(), nil)
+		}
+	}
+	conflict := s.propagate()
+	s.cancelUntil(0)
+	if conflict == nil {
+		s.Stats.SharedRejected++
+		return true
+	}
+	s.Stats.SharedImported++
+	s.logProof(ProofLearn, reduced)
+	if len(reduced) == 1 {
+		s.uncheckedEnqueue(reduced[0], nil)
+		if s.propagate() != nil {
+			s.ok = false
+			s.logEmptyClause()
+			return false
+		}
+		return true
+	}
+	if lbd <= 0 || int(lbd) > len(reduced) {
+		lbd = int32(len(reduced))
+	}
+	c := &clause{lits: reduced, learnt: true, lbd: lbd, protect: true}
+	s.learnts = append(s.learnts, c)
+	s.attach(c)
+	return true
+}
+
+// WorkerPolicy returns the search profile of portfolio worker i. The
+// profiles diversify along the axes that measurably split instance
+// families on this codebase's benchmarks: restart schedule (short Luby
+// excels on overconstrained-unsat random instances, glue-adaptive and
+// the alternating default on satisfiable and structured ones), branch
+// polarity (InvertPhase steers a worker into the complementary half of
+// the space), target-phase use, and VSIDS decay. Worker 0 always runs
+// the exact default profile, so a one-worker portfolio is the plain
+// solver, byte for byte.
+func WorkerPolicy(i int) Policy {
+	p := DefaultPolicy()
+	switch i % 4 {
+	case 0:
+		// The default alternating profile.
+	case 1:
+		// Short-phase Luby without target phases: the measured best on
+		// uniformly hard unsat instances.
+		p.Restart = RestartLuby
+		p.LubyBase = 50
+		p.NoTargetPhase = true
+	case 2:
+		// Glue-adaptive restarts, opposite default polarity.
+		p.Restart = RestartAdaptive
+		p.InvertPhase = true
+	case 3:
+		// Long Luby phases with fast-decaying (more reactive) VSIDS,
+		// opposite polarity.
+		p.Restart = RestartLuby
+		p.LubyBase = 200
+		p.VarDecay = 0.85
+		p.InvertPhase = true
+	}
+	return p
+}
+
+// Portfolio is a team of diversified solvers over one formula. Worker 0
+// is the base solver passed to NewPortfolio (policy untouched); the
+// rest are warm clones running WorkerPolicy profiles, all wired to one
+// clause pool. Like Solver, a Portfolio is not safe for concurrent use
+// — one PortfolioContext call at a time — but that single call drives
+// all workers concurrently internally.
+type Portfolio struct {
+	workers []*Solver
+	pool    *sharePool
+	winner  int
+}
+
+// NewPortfolio builds an n-worker team over base, taking ownership of
+// it as worker 0. n < 1 is treated as 1; a one-worker portfolio has no
+// pool and behaves exactly like the base solver. Must be called
+// outside search (between solves), like Clone.
+func NewPortfolio(base *Solver, n int) *Portfolio {
+	if n < 1 {
+		n = 1
+	}
+	p := &Portfolio{workers: make([]*Solver, n)}
+	p.workers[0] = base
+	if n == 1 {
+		return p
+	}
+	p.pool = &sharePool{}
+	base.share = p.pool
+	base.shareID = 0
+	for i := 1; i < n; i++ {
+		w := base.Clone()
+		w.SetPolicy(WorkerPolicy(i))
+		w.share = p.pool
+		w.shareID = i
+		p.workers[i] = w
+	}
+	return p
+}
+
+// Workers reports the team size.
+func (p *Portfolio) Workers() int { return len(p.workers) }
+
+// Worker returns team member i (0 is the base solver). Intended for
+// inspection — stats, proof traces — not for driving searches behind
+// the portfolio's back.
+func (p *Portfolio) Worker(i int) *Solver { return p.workers[i] }
+
+// Winner returns the index of the worker whose verdict the last
+// PortfolioContext call adopted (0 before any call, and for every call
+// that ended without a verdict).
+func (p *Portfolio) Winner() int { return p.winner }
+
+// NewVar introduces a fresh variable on every worker and returns it.
+// Workers allocate in lockstep, so the variable means the same thing
+// team-wide.
+func (p *Portfolio) NewVar() Var {
+	v := p.workers[0].NewVar()
+	for _, w := range p.workers[1:] {
+		w.NewVar()
+	}
+	return v
+}
+
+// AddClause adds the clause on every worker. The return value is
+// worker 0's (all workers agree semantically — a false return means
+// the formula is unsat at the top level).
+func (p *Portfolio) AddClause(lits ...Lit) bool {
+	ok := p.workers[0].AddClause(lits...)
+	for _, w := range p.workers[1:] {
+		w.AddClause(lits...)
+	}
+	return ok
+}
+
+// MarkEliminable surrenders v to bounded variable elimination on every
+// worker (see Solver.MarkEliminable for the contract).
+func (p *Portfolio) MarkEliminable(v Var) {
+	for _, w := range p.workers {
+		w.MarkEliminable(v)
+	}
+}
+
+// SetConflictBudget bounds each worker's per-solve conflict spend.
+func (p *Portfolio) SetConflictBudget(n int64) {
+	for _, w := range p.workers {
+		w.ConflictBudget = n
+	}
+}
+
+// Solve is PortfolioContext with a background context.
+func (p *Portfolio) Solve(assumptions ...Lit) Status {
+	st, _ := p.PortfolioContext(context.Background(), assumptions...)
+	return st
+}
+
+// SolveContext makes Portfolio a drop-in for Solver in solve loops.
+func (p *Portfolio) SolveContext(ctx context.Context, assumptions ...Lit) (Status, error) {
+	return p.PortfolioContext(ctx, assumptions...)
+}
+
+// PortfolioContext races every worker on the query; the first Sat or
+// Unsat verdict wins, the rest are cancelled, and the winner's model,
+// core, and proof become the portfolio's result (Model, Core, Proof).
+// All workers are joined before returning — no goroutine outlives the
+// call, and every worker is idle (level 0) afterwards, so the team can
+// be grown, cloned, or solved again immediately.
+//
+// When no worker reaches a verdict (per-worker conflict budgets
+// exhausted, or the caller's context fired), worker 0's status and
+// error are returned, keeping the no-verdict behavior identical to the
+// single-solver path.
+func (p *Portfolio) PortfolioContext(ctx context.Context, assumptions ...Lit) (Status, error) {
+	if len(p.workers) == 1 {
+		return p.workers[0].SolveContext(ctx, assumptions...)
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		idx int
+		st  Status
+		err error
+	}
+	results := make(chan outcome, len(p.workers))
+	for i, w := range p.workers {
+		go func(i int, w *Solver) {
+			st, err := w.SolveContext(rctx, assumptions...)
+			results <- outcome{idx: i, st: st, err: err}
+		}(i, w)
+	}
+	decided := outcome{idx: -1}
+	all := make([]outcome, len(p.workers))
+	for range p.workers {
+		r := <-results
+		all[r.idx] = r
+		if decided.idx < 0 && (r.st == Sat || r.st == Unsat) {
+			decided = r
+			cancel() // first verdict wins; stop the rest within one check interval
+		}
+	}
+	// Race-level counters live on worker 0 so they ride the ordinary
+	// Stats harvesting (Sub deltas, session merging).
+	w0 := p.workers[0]
+	w0.Stats.PortfolioRaces++
+	if decided.idx < 0 {
+		p.winner = 0
+		return all[0].st, all[0].err
+	}
+	p.winner = decided.idx
+	b := decided.idx
+	if b >= len(w0.Stats.PortfolioWins) {
+		b = len(w0.Stats.PortfolioWins) - 1
+	}
+	w0.Stats.PortfolioWins[b]++
+	return decided.st, decided.err
+}
+
+// Model returns the winner's model (see Solver.Model).
+func (p *Portfolio) Model() []bool { return p.workers[p.winner].Model() }
+
+// Value returns v's assignment in the winner's model.
+func (p *Portfolio) Value(v Var) LBool { return p.workers[p.winner].Value(v) }
+
+// ValueLit returns l's truth in the winner's model.
+func (p *Portfolio) ValueLit(l Lit) LBool { return p.workers[p.winner].ValueLit(l) }
+
+// Core returns the winner's assumption core (see Solver.Core).
+func (p *Portfolio) Core() []Lit { return p.workers[p.winner].Core() }
+
+// Proof returns the winner's proof writer — the trace certifying the
+// verdict PortfolioContext adopted. Each worker's trace is
+// self-contained (imports are RUP-gated and logged as its own learnts),
+// so checking the winner's trace alone validates the verdict.
+func (p *Portfolio) Proof() ProofWriter { return p.workers[p.winner].Proof() }
+
+// WorkerProof returns worker i's proof writer.
+func (p *Portfolio) WorkerProof(i int) ProofWriter { return p.workers[i].Proof() }
+
+// Okay reports whether every worker is still consistent at the top
+// level (any worker discovering top-level unsat makes the formula
+// unsat).
+func (p *Portfolio) Okay() bool {
+	for _, w := range p.workers {
+		if !w.Okay() {
+			return false
+		}
+	}
+	return true
+}
+
+// StatsSum returns the counter-wise sum of every worker's Stats — the
+// team's total effort, in the same shape a single solver reports, so
+// session-level harvesting (Stats.Sub against a checkout snapshot,
+// engine merging) works unchanged. Structural gauges come from worker
+// 0; tier gauges are maxima across the team.
+func (p *Portfolio) StatsSum() Stats {
+	out := p.workers[0].Stats
+	for _, w := range p.workers[1:] {
+		st := w.Stats
+		out.Solves += st.Solves
+		out.Decisions += st.Decisions
+		out.Propagations += st.Propagations
+		out.BinPropagations += st.BinPropagations
+		out.Conflicts += st.Conflicts
+		out.Restarts += st.Restarts
+		out.BlockedRestarts += st.BlockedRestarts
+		out.Learnt += st.Learnt
+		out.MinimizedLits += st.MinimizedLits
+		out.LBDSum += st.LBDSum
+		for i := range out.LBDHist {
+			out.LBDHist[i] += st.LBDHist[i]
+		}
+		out.Reductions += st.Reductions
+		out.RemovedClauses += st.RemovedClauses
+		out.ModeSwitches += st.ModeSwitches
+		out.InprocessRounds += st.InprocessRounds
+		out.VivifiedClauses += st.VivifiedClauses
+		out.VivifiedLits += st.VivifiedLits
+		out.SubsumedClauses += st.SubsumedClauses
+		out.StrengthenedClauses += st.StrengthenedClauses
+		out.ElimVars += st.ElimVars
+		out.InprocessDeleted += st.InprocessDeleted
+		out.SharedExported += st.SharedExported
+		out.SharedImported += st.SharedImported
+		out.SharedRejected += st.SharedRejected
+		out.PortfolioRaces += st.PortfolioRaces
+		for i := range out.PortfolioWins {
+			out.PortfolioWins[i] += st.PortfolioWins[i]
+		}
+		if st.CoreLearnts > out.CoreLearnts {
+			out.CoreLearnts = st.CoreLearnts
+		}
+		if st.MidLearnts > out.MidLearnts {
+			out.MidLearnts = st.MidLearnts
+		}
+		if st.LocalLearnts > out.LocalLearnts {
+			out.LocalLearnts = st.LocalLearnts
+		}
+	}
+	return out
+}

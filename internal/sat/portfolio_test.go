@@ -1,0 +1,245 @@
+package sat
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPortfolioSingleWorkerMatchesSolver pins the determinism anchor of
+// portfolio mode: a one-worker portfolio IS the plain solver — same
+// verdicts, same search trajectory (conflicts, decisions), no pool.
+func TestPortfolioSingleWorkerMatchesSolver(t *testing.T) {
+	plain := NewSolver()
+	addRandom3SAT(plain, 130, 559, benchSeedHard3SAT)
+	stPlain := plain.Solve()
+
+	base := NewSolver()
+	addRandom3SAT(base, 130, 559, benchSeedHard3SAT)
+	p := NewPortfolio(base, 1)
+	stPort := p.Solve()
+
+	if stPlain != stPort {
+		t.Fatalf("verdicts diverge: solver %v, one-worker portfolio %v", stPlain, stPort)
+	}
+	if plain.Stats.Conflicts != base.Stats.Conflicts || plain.Stats.Decisions != base.Stats.Decisions {
+		t.Fatalf("trajectories diverge: solver %d/%d conflicts/decisions, portfolio %d/%d",
+			plain.Stats.Conflicts, plain.Stats.Decisions, base.Stats.Conflicts, base.Stats.Decisions)
+	}
+	if base.share != nil {
+		t.Fatal("one-worker portfolio wired a share pool")
+	}
+}
+
+// TestPortfolioDifferential races a three-worker team against a fresh
+// single solver across a family of random instances. Verdicts must
+// agree, and every Unsat verdict's winning trace must pass the
+// independent proof checker — imports included, since the importer logs
+// them as its own RUP-gated learnts.
+func TestPortfolioDifferential(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		single := NewSolver()
+		addRandom3SAT(single, 110, 470, seed)
+		want := single.Solve()
+
+		base := NewSolver()
+		tr := NewTrace()
+		if err := base.SetProof(tr); err != nil {
+			t.Fatal(err)
+		}
+		addRandom3SAT(base, 110, 470, seed)
+		p := NewPortfolio(base, 3)
+		got := p.Solve()
+
+		if got != want {
+			t.Fatalf("seed %d: portfolio %v, single solver %v", seed, got, want)
+		}
+		if got == Unsat {
+			wtr, ok := p.Proof().(*Trace)
+			if !ok {
+				t.Fatalf("seed %d: winner (worker %d) has no trace", seed, p.Winner())
+			}
+			c := mustCheckTrace(t, wtr)
+			if !c.RootConflict() {
+				t.Fatalf("seed %d: winner's checked trace has no root conflict", seed)
+			}
+		}
+		if got == Sat {
+			// The winner's model must satisfy the instance as the
+			// single solver sees it.
+			m := p.Model()
+			check := NewSolver()
+			addRandom3SAT(check, 110, 470, seed)
+			for _, cl := range check.clauses {
+				satisfied := false
+				for _, l := range cl.lits {
+					if m[l.Var()] == l.IsPos() {
+						satisfied = true
+						break
+					}
+				}
+				if !satisfied {
+					t.Fatalf("seed %d: winner's model falsifies clause %v", seed, cl.lits)
+				}
+			}
+		}
+	}
+}
+
+// TestPortfolioSharing drives a team on an instance long enough for
+// restart boundaries to pass and checks the sharing machinery actually
+// moves clauses: someone exports, someone imports, and every import was
+// RUP-gated onto a trace that still checks.
+func TestPortfolioSharing(t *testing.T) {
+	base := NewSolver()
+	tr := NewTrace()
+	if err := base.SetProof(tr); err != nil {
+		t.Fatal(err)
+	}
+	pigeonhole(base, 8, 7)
+	p := NewPortfolio(base, 3)
+	if st := p.Solve(); st != Unsat {
+		t.Fatalf("PHP(8,7) = %v, want Unsat", st)
+	}
+	sum := p.StatsSum()
+	if sum.SharedExported == 0 {
+		t.Fatal("no worker exported a clause on a 4000-conflict unsat instance")
+	}
+	wtr, ok := p.Proof().(*Trace)
+	if !ok {
+		t.Fatal("winner has no trace")
+	}
+	c := mustCheckTrace(t, wtr)
+	if !c.RootConflict() {
+		t.Fatal("winner's checked trace has no root conflict")
+	}
+}
+
+// TestPortfolioUnderAssumptions checks the assumption path end to end:
+// the team returns Unsat under assumptions, the winner's core names a
+// subset of the assumptions, and dropping the core's assumptions flips
+// the verdict.
+func TestPortfolioUnderAssumptions(t *testing.T) {
+	base := NewSolver()
+	vars := newVars(base, 3)
+	a, b, c := PosLit(vars[0]), PosLit(vars[1]), PosLit(vars[2])
+	base.AddClause(a.Neg(), b)
+	base.AddClause(b.Neg(), c)
+	p := NewPortfolio(base, 2)
+	if st := p.Solve(a, c.Neg()); st != Unsat {
+		t.Fatalf("Solve(a, !c) = %v, want Unsat", st)
+	}
+	core := p.Core()
+	if len(core) == 0 {
+		t.Fatal("empty core for Unsat under assumptions")
+	}
+	allowed := map[Lit]bool{a: true, c.Neg(): true}
+	for _, l := range core {
+		if !allowed[l] {
+			t.Fatalf("core literal %d is not one of the assumptions", l)
+		}
+	}
+	if st := p.Solve(a); st != Sat {
+		t.Fatalf("Solve(a) = %v, want Sat", st)
+	}
+}
+
+// TestPortfolioCancellation cancels a race mid-search on a hard
+// instance and checks the contract: Unknown with the context's error,
+// every worker goroutine joined (no leak), the team immediately usable
+// again, and Stats.Sub still saturation-safe on the portfolio counters.
+func TestPortfolioCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	base := NewSolver()
+	pigeonhole(base, 10, 9) // far beyond the cancellation horizon
+	p := NewPortfolio(base, 4)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	st, err := p.PortfolioContext(ctx)
+	if st != Unknown || err == nil {
+		t.Fatalf("cancelled race = (%v, %v), want (Unknown, context error)", st, err)
+	}
+
+	// All workers joined: the goroutine count settles back to the
+	// baseline (give the runtime a moment to retire them).
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, n)
+	}
+
+	// The team is idle and reusable: a budgeted re-solve returns
+	// deterministically.
+	p.SetConflictBudget(50)
+	if st := p.Solve(); st != Unknown {
+		t.Fatalf("budgeted re-solve = %v, want Unknown", st)
+	}
+
+	// Harvest arithmetic stays safe even if a checkpoint outruns the
+	// current counters (solver swapped for a fresh clone).
+	ckpt := p.StatsSum()
+	ckpt.PortfolioRaces += 100
+	ckpt.SharedExported += 100
+	d := p.StatsSum().Sub(ckpt)
+	if d.PortfolioRaces != 0 || d.SharedExported != 0 {
+		t.Fatalf("portfolio counters must saturate at zero, got %+v", d)
+	}
+}
+
+// TestConcurrentCloneWithProof clones one proof-logging solver from
+// several goroutines at once — the checkout pattern of a pre-cloned
+// warm team — and lets every clone finish an Unsat search whose forked
+// trace must check independently.
+func TestConcurrentCloneWithProof(t *testing.T) {
+	base := NewSolver()
+	tr := NewTrace()
+	if err := base.SetProof(tr); err != nil {
+		t.Fatal(err)
+	}
+	addRandom3SAT(base, 140, 600, 5) // unsat family instance
+	base.ConflictBudget = 40
+	if st := base.Solve(); st != Unknown {
+		t.Fatalf("warmup solve = %v, want Unknown (budgeted)", st)
+	}
+	base.ConflictBudget = 0
+
+	const clones = 4
+	var wg sync.WaitGroup
+	traces := make([]*Trace, clones)
+	for i := 0; i < clones; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := base.Clone()
+			if st := c.Solve(); st != Unsat {
+				t.Errorf("clone %d: Solve = %v, want Unsat", i, st)
+				return
+			}
+			ctr, ok := c.Proof().(*Trace)
+			if !ok {
+				t.Errorf("clone %d: proof writer not forked", i)
+				return
+			}
+			traces[i] = ctr
+		}(i)
+	}
+	wg.Wait()
+	for i, ctr := range traces {
+		if ctr == nil {
+			continue // an earlier Errorf already failed the test
+		}
+		c := mustCheckTrace(t, ctr)
+		if !c.RootConflict() {
+			t.Fatalf("clone %d: checked trace has no root conflict", i)
+		}
+	}
+}

@@ -18,11 +18,12 @@ func litsKey(lits []Lit) string {
 }
 
 // checkPropIndexConsistency verifies the propagation indexes against
-// the clause database: every stored clause is indexed exactly twice —
-// binaries on both binary implication lists (carrying the correct
-// implied literal), longer clauses on the watch lists of lits[0] and
-// lits[1] — and no index entry references a clause outside the
-// database (i.e. a detached clause never lingers).
+// the clause database: binaries appear on both binary implication
+// lists (carrying the correct implied literal), ternaries on all
+// three ternary watch lists (carrying the correct other literals),
+// longer clauses on the watch lists of lits[0] and lits[1] — and no
+// index entry references a clause outside the database (i.e. a
+// detached clause never lingers).
 func checkPropIndexConsistency(t *testing.T, s *Solver) {
 	t.Helper()
 	live := make(map[*clause]bool, len(s.clauses)+len(s.learnts))
@@ -42,8 +43,8 @@ func checkPropIndexConsistency(t *testing.T, s *Solver) {
 			if !live[c] {
 				t.Fatalf("watch list of %d references a detached clause %v", w, c.lits)
 			}
-			if len(c.lits) == 2 {
-				t.Fatalf("binary clause %v indexed on the long-clause watch lists", c.lits)
+			if len(c.lits) <= 3 {
+				t.Fatalf("short clause %v indexed on the long-clause watch lists", c.lits)
 			}
 			if c.lits[0].Neg() != w && c.lits[1].Neg() != w {
 				t.Fatalf("clause %v watched on %d, which negates neither lits[0] nor lits[1]", c.lits, w)
@@ -72,13 +73,42 @@ func checkPropIndexConsistency(t *testing.T, s *Solver) {
 			}
 			count[c]++
 		}
+		for _, tw := range s.terns[w] {
+			c := tw.c
+			if !live[c] {
+				t.Fatalf("ternary list of %d references a detached clause %v", w, c.lits)
+			}
+			if len(c.lits) != 3 {
+				t.Fatalf("clause %v of length %d indexed on the ternary watch lists", c.lits, len(c.lits))
+			}
+			others := map[Lit]bool{}
+			found := false
+			for _, l := range c.lits {
+				if l.Neg() == w && !found {
+					found = true
+					continue
+				}
+				others[l] = true
+			}
+			if !found {
+				t.Fatalf("ternary clause %v on list of %d, which negates none of its literals", c.lits, w)
+			}
+			if !others[tw.o1] || !others[tw.o2] || tw.o1 == tw.o2 {
+				t.Fatalf("ternary clause %v on list of %d carries other literals %d,%d, want %v", c.lits, w, tw.o1, tw.o2, others)
+			}
+			count[c]++
+		}
 	}
 	for c := range live {
 		if len(c.lits) < 2 {
 			t.Fatalf("stored clause %v has fewer than two literals", c.lits)
 		}
-		if count[c] != 2 {
-			t.Fatalf("clause %v has %d propagation-index entries, want 2", c.lits, count[c])
+		want := 2
+		if len(c.lits) == 3 {
+			want = 3
+		}
+		if count[c] != want {
+			t.Fatalf("clause %v has %d propagation-index entries, want %d", c.lits, count[c], want)
 		}
 	}
 }
@@ -245,7 +275,7 @@ func TestReduceDBDuringSearch(t *testing.T) {
 		if s.Stats.Reductions == 0 {
 			t.Fatal("search completed without a reduction; enlarge the instance")
 		}
-		if got, want := tr.Deletes(), int(s.Stats.RemovedClauses); got != want {
+		if got, want := tr.Deletes(), int(s.Stats.RemovedClauses+s.Stats.InprocessDeleted); got != want {
 			t.Fatalf("trace records %d deletions, stats say %d", got, want)
 		}
 		checkPropIndexConsistency(t, s)
@@ -263,7 +293,7 @@ func TestReduceDBDuringSearch(t *testing.T) {
 		if s.Stats.Reductions == 0 {
 			t.Fatal("search completed without a reduction; enlarge the instance")
 		}
-		if got, want := tr.Deletes(), int(s.Stats.RemovedClauses); got != want {
+		if got, want := tr.Deletes(), int(s.Stats.RemovedClauses+s.Stats.InprocessDeleted); got != want {
 			t.Fatalf("trace records %d deletions, stats say %d", got, want)
 		}
 		checkPropIndexConsistency(t, s)
@@ -279,7 +309,7 @@ func TestReduceDBDuringSearch(t *testing.T) {
 // trail is still present in the clause database.
 func TestReduceDBKeepsReasonsOfTrail(t *testing.T) {
 	s := NewSolver()
-	addRandom3SAT(s, 200, 800, 5)
+	addRandom3SAT(s, 200, 800, 10)
 	s.ConflictBudget = 4000
 	if st := s.Solve(); st == Unsat {
 		t.Fatalf("Solve = %v, want Sat or Unknown", st)

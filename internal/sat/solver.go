@@ -34,8 +34,43 @@ type Stats struct {
 	// clauses they deleted.
 	Reductions     uint64
 	RemovedClauses uint64
-	MaxVars        int
-	Clauses        int
+	// ModeSwitches counts restart-mode window flips (focused <->
+	// stable) under the alternating restart policy.
+	ModeSwitches uint64
+	// Inprocessing counters: rounds run, literals removed by
+	// vivification and clauses it shortened, clauses deleted by
+	// subsumption, clauses shortened by self-subsuming strengthening,
+	// and variables resolved away by bounded elimination.
+	InprocessRounds     uint64
+	VivifiedClauses     uint64
+	VivifiedLits        uint64
+	SubsumedClauses     uint64
+	StrengthenedClauses uint64
+	ElimVars            uint64
+	// InprocessDeleted counts every clause deletion inprocessing logged
+	// to the proof trace (satisfied, subsumed, strengthened-and-replaced,
+	// or eliminated), so trace deletions stay reconcilable with stats:
+	// trace deletes == RemovedClauses + InprocessDeleted.
+	InprocessDeleted uint64
+	// Clause-sharing counters (portfolio mode, see portfolio.go):
+	// SharedExported counts low-glue learnts this solver published to
+	// the portfolio pool, SharedImported the peer clauses it admitted
+	// through the RUP gate, SharedRejected the candidates the gate
+	// refused (redundant at this worker's root, not propagation-
+	// checkable against its database, or touching one of its
+	// eliminated variables).
+	SharedExported uint64
+	SharedImported uint64
+	SharedRejected uint64
+	// PortfolioRaces counts multi-worker portfolio solves; the
+	// portfolio books its race-level counters on worker 0 so they flow
+	// through the ordinary Stats harvesting (Sub, session merging).
+	// PortfolioWins buckets race wins by worker index, the last bucket
+	// collecting every higher index.
+	PortfolioRaces uint64
+	PortfolioWins  [8]uint64
+	MaxVars             int
+	Clauses             int
 	// CoreLearnts, MidLearnts, and LocalLearnts gauge the tiered
 	// learnt-clause database (glue<=2 / glue<=6 / rest) as of the last
 	// reduction or solve.
@@ -57,6 +92,10 @@ type clause struct {
 	// of grace in reduceDB; it is set whenever the clause participates
 	// in conflict analysis and cleared by the reduction that honors it.
 	protect bool
+	// dead marks a clause removed by inprocessing; compactDB drops it
+	// from the database slices at the end of the round. Never set
+	// outside an inprocessing round.
+	dead bool
 }
 
 // Clause-management tiers, following Glucose: glue clauses
@@ -87,6 +126,18 @@ type binWatch struct {
 	c     *clause
 }
 
+// ternWatch is one entry of a ternary watch list: the clause's other
+// two literals inlined, plus the clause for reasons and analysis.
+// Three-literal clauses — the dominant problem-clause shape after
+// CNF encoding, and a large share of minimized learnts — watch all
+// three literals and never relocate, so a visit is two truth-value
+// loads with no clause dereference unless the clause actually
+// propagates or conflicts.
+type ternWatch struct {
+	o1, o2 Lit
+	c      *clause
+}
+
 // Adaptive restart policy parameters (see restartNow): exponential
 // moving averages of learnt-clause LBD over a short and a long window,
 // compared Glucose-style, with restarts blocked while the trail is
@@ -111,6 +162,101 @@ const (
 	lubyRestartBase = 1024
 )
 
+// Mode alternation (RestartAlternating). A solve opens
+// in a focused window (aggressive Luby restarts — the policy that
+// predates the adaptive one, and the faster choice on uniformly
+// hard, typically overconstrained-unsat instances), then flips to a
+// stable window (glue-adaptive restarts with trail blocking — the
+// faster choice when the instance has a model to close in on), and
+// alternates with the window doubling at every flip so both regimes
+// get asymptotically long runs on big instances.
+//
+// Why not the one-way "fall back to Luby on uniformly high glue"
+// escape latch: on random 3-SAT near the phase transition, sat and
+// unsat instances are statistically indistinguishable by glue EMAs
+// (measured here: slow EMA ~5-6.5 on the 130-var unsat family,
+// ~9-10.5 on the 200-var sat family — glue tracks instance scale, not
+// satisfiability), so any threshold that catches the unsat family
+// also latches satisfiable instances into a 20x regression.
+// Alternation instead bounds the loss on either family by the window
+// overhead, without guessing the family up front.
+//
+// focusedWindowInit is the first focused window's conflict budget
+// (a var only so the tuning tests can sweep it).
+var focusedWindowInit = int64(512)
+
+// RestartMode selects a solver's restart schedule.
+type RestartMode uint8
+
+const (
+	// RestartAlternating is the default: alternate focused windows
+	// (aggressive Luby) and stable windows (glue-adaptive, trail
+	// blocking) on a doubling conflict budget, opening focused.
+	RestartAlternating RestartMode = iota
+	// RestartAdaptive runs only the Glucose-style glue-driven policy
+	// with its long Luby fallback cap — the stable half of
+	// RestartAlternating, on its own.
+	RestartAdaptive
+	// RestartLuby runs only the plain aggressive Luby schedule — the
+	// focused half of RestartAlternating, on its own.
+	RestartLuby
+)
+
+// DefaultLubyBase is the phase-length scale for RestartLuby and for
+// focused windows.
+const DefaultLubyBase = 100
+
+// Policy bundles the search heuristics a portfolio diversifies across
+// workers. The zero value is not meaningful; start from DefaultPolicy.
+type Policy struct {
+	// Restart selects the restart schedule.
+	Restart RestartMode
+	// LubyBase scales RestartLuby phases and focused windows' Luby
+	// schedule. Zero means DefaultLubyBase.
+	LubyBase float64
+	// VarDecay is the VSIDS activity decay factor in (0,1); smaller
+	// decays faster (more reactive branching). Zero means 0.95.
+	VarDecay float64
+	// InvertPhase branches unsaved variables toward true instead of
+	// false, steering a worker into the complementary half of the
+	// search space.
+	InvertPhase bool
+	// NoTargetPhase disables target-phase saving: branching follows
+	// plain saved phases only, never the deepest-trail snapshot.
+	NoTargetPhase bool
+}
+
+// DefaultPolicy returns the solver's standard profile: alternating
+// restart modes, 0.95 VSIDS decay, negative default phase.
+func DefaultPolicy() Policy {
+	return Policy{Restart: RestartAlternating, LubyBase: DefaultLubyBase, VarDecay: 0.95}
+}
+
+// SetPolicy installs a search policy. Call it between solves (it
+// flips the saved phase of every unassigned variable to the policy's
+// default polarity, so a freshly cloned portfolio worker actually
+// explores the opposite half). Zero-valued numeric fields fall back to
+// their defaults.
+func (s *Solver) SetPolicy(p Policy) {
+	if p.LubyBase == 0 {
+		p.LubyBase = DefaultLubyBase
+	}
+	if p.VarDecay == 0 {
+		p.VarDecay = 0.95
+	}
+	if p.InvertPhase != s.pol.InvertPhase {
+		for v := range s.phase {
+			if s.assigns[v] == LUndef {
+				s.phase[v] = p.InvertPhase
+			}
+		}
+	}
+	s.pol = p
+}
+
+// CurrentPolicy returns the policy the solver is running.
+func (s *Solver) CurrentPolicy() Policy { return s.pol }
+
 // Solver is a CDCL SAT solver. The zero value is not usable; create
 // solvers with NewSolver. A Solver is not safe for concurrent use.
 type Solver struct {
@@ -118,9 +264,11 @@ type Solver struct {
 	clauses []*clause
 	learnts []*clause
 	watches [][]watcher  // indexed by Lit; clauses of three or more literals
-	bins    [][]binWatch // indexed by Lit; two-literal clauses
+	bins    [][]binWatch  // indexed by Lit; two-literal clauses
+	terns   [][]ternWatch // indexed by Lit; three-literal clauses
 
 	assigns  []LBool   // current assignment, by Var
+	vals     []LBool   // literal-indexed shadow of assigns, by Lit
 	level    []int     // decision level of each assigned var
 	reason   []*clause // implying clause of each assigned var (nil for decisions)
 	trail    []Lit
@@ -140,7 +288,7 @@ type Solver struct {
 	bestTrail   int
 
 	seen     []bool
-	analyzeT []Lit // scratch for conflict analysis
+	analyzeBuf []Lit // scratch for conflict analysis
 
 	// minimization scratch: the literals whose seen flags must be
 	// cleared after analyze (learnt literals plus everything marked by
@@ -166,6 +314,20 @@ type Solver struct {
 	emaConfl   uint64
 	restartIdx uint64
 
+	// pol is the installed search policy (see SetPolicy).
+	//
+	// Mode-alternation state (RestartAlternating), re-armed per solve:
+	// modeFocused is the active window kind, modeBudget the conflicts
+	// left in it, modeWindow the current window length.
+	pol         Policy
+	modeFocused bool
+	modeBudget  int64
+	modeWindow  int64
+
+	// debugHook, when non-nil, is called after each conflict is folded
+	// into the EMAs (test instrumentation only).
+	debugHook func()
+
 	claInc float64
 
 	assumptions []Lit
@@ -182,12 +344,37 @@ type Solver struct {
 	// spend before returning Unknown. Zero or negative means no bound.
 	ConflictBudget int64
 
+	// Inprocess tunes the between-restart simplification pass (see
+	// inprocess.go). The zero value enables it with default gates.
+	Inprocess InprocessConfig
+	// inprocConfl is Stats.Conflicts as of the last inprocessing round.
+	inprocConfl uint64
+	// eliminable marks variables the caller surrendered to bounded
+	// variable elimination (MarkEliminable); elimed the ones actually
+	// resolved away; elimStack their deleted clauses, for model
+	// extension.
+	eliminable []bool
+	elimed     []bool
+	elimStack  []elimRecord
+	// vivScratch and phaseScratch are vivification's reusable buffers.
+	vivScratch   []Lit
+	phaseScratch []phaseSave
+
+	// share connects the solver to a portfolio's clause pool (nil
+	// outside portfolio mode): shareID is this worker's index there and
+	// shareCursor the pool position it has consumed up to. Wired by
+	// NewPortfolio; deliberately not carried by Clone — a clone starts
+	// detached from any pool.
+	share       *sharePool
+	shareID     int
+	shareCursor int
+
 	Stats Stats
 }
 
 // NewSolver creates an empty solver.
 func NewSolver() *Solver {
-	s := &Solver{ok: true, varInc: 1.0, claInc: 1.0}
+	s := &Solver{ok: true, varInc: 1.0, claInc: 1.0, pol: DefaultPolicy()}
 	s.order = newVarHeap(&s.activity)
 	return s
 }
@@ -196,14 +383,18 @@ func NewSolver() *Solver {
 func (s *Solver) NewVar() Var {
 	v := Var(len(s.assigns))
 	s.assigns = append(s.assigns, LUndef)
+	s.vals = append(s.vals, LUndef, LUndef)
 	s.level = append(s.level, -1)
 	s.reason = append(s.reason, nil)
 	s.activity = append(s.activity, 0)
-	s.phase = append(s.phase, false)
+	s.phase = append(s.phase, s.pol.InvertPhase)
 	s.targetPhase = append(s.targetPhase, LUndef)
+	s.eliminable = append(s.eliminable, false)
+	s.elimed = append(s.elimed, false)
 	s.seen = append(s.seen, false)
 	s.watches = append(s.watches, nil, nil)
 	s.bins = append(s.bins, nil, nil)
+	s.terns = append(s.terns, nil, nil)
 	s.litMark = append(s.litMark, 0, 0)
 	s.order.insert(v)
 	if int(v)+1 > s.Stats.MaxVars {
@@ -218,18 +409,14 @@ func (s *Solver) NumVars() int { return len(s.assigns) }
 // NumClauses reports how many problem clauses are currently held.
 func (s *Solver) NumClauses() int { return len(s.clauses) }
 
+// value returns the truth of literal l under the current assignment.
+// It reads the literal-indexed shadow of assigns: one load, no sign
+// arithmetic — this is the hottest operation in the solver (blocker
+// tests and watch scans in propagate), so the two extra writes per
+// enqueue/unassign that keep the shadow current buy a measurable
+// propagation speedup.
 func (s *Solver) value(l Lit) LBool {
-	v := s.assigns[l.Var()]
-	if v == LUndef {
-		return LUndef
-	}
-	if l.IsPos() {
-		return v
-	}
-	if v == LTrue {
-		return LFalse
-	}
-	return LTrue
+	return s.vals[l]
 }
 
 // Value returns the assignment of v in the most recent Sat model. It
@@ -274,14 +461,19 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	s.logProof(ProofInput, lits)
 	// Sort-free simplification over a small scratch copy.
 	out := make([]Lit, 0, len(lits))
+	dropped := false
 	for _, l := range lits {
 		if int(l.Var()) >= len(s.assigns) {
 			panic(fmt.Sprintf("sat: clause references unknown variable %d", l.Var()))
+		}
+		if s.elimed[l.Var()] {
+			panic(fmt.Sprintf("sat: clause references eliminated variable %d", l.Var()))
 		}
 		switch s.value(l) {
 		case LTrue:
 			return true // satisfied at level 0
 		case LFalse:
+			dropped = true
 			continue // cannot help
 		}
 		dup, taut := false, false
@@ -315,6 +507,16 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		}
 		return s.ok
 	}
+	// When simplification dropped a root-false literal the stored
+	// clause differs (as a set) from the logged input, and a later
+	// inprocessing deletion would log a clause the checker never saw.
+	// Log the stored form as a lemma — it is RUP from the input plus
+	// the root units — so deletions always match a logged clause.
+	// (Reordering and duplicate removal need no such bridge: deletion
+	// matching is by sorted deduplicated literal set.)
+	if dropped {
+		s.logProof(ProofLearn, out)
+	}
 	c := &clause{lits: out}
 	s.clauses = append(s.clauses, c)
 	s.Stats.Clauses++
@@ -333,6 +535,13 @@ func (s *Solver) attach(c *clause) {
 		s.bins[c.lits[1].Neg()] = append(s.bins[c.lits[1].Neg()], binWatch{other: c.lits[0], c: c})
 		return
 	}
+	if len(c.lits) == 3 {
+		a, b, d := c.lits[0], c.lits[1], c.lits[2]
+		s.terns[a.Neg()] = append(s.terns[a.Neg()], ternWatch{o1: b, o2: d, c: c})
+		s.terns[b.Neg()] = append(s.terns[b.Neg()], ternWatch{o1: a, o2: d, c: c})
+		s.terns[d.Neg()] = append(s.terns[d.Neg()], ternWatch{o1: a, o2: b, c: c})
+		return
+	}
 	s.watches[c.lits[0].Neg()] = append(s.watches[c.lits[0].Neg()], watcher{c: c, blocker: c.lits[1]})
 	s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], watcher{c: c, blocker: c.lits[0]})
 }
@@ -340,6 +549,8 @@ func (s *Solver) attach(c *clause) {
 func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
 	v := l.Var()
 	s.assigns[v] = boolToLBool(l.IsPos())
+	s.vals[l] = LTrue
+	s.vals[l.Neg()] = LFalse
 	s.level[v] = s.decisionLevel()
 	s.reason[v] = from
 	s.trail = append(s.trail, l)
@@ -350,15 +561,51 @@ func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
 // two-watched-literal scheme for longer clauses. It returns the
 // conflicting clause, or nil if propagation completed without conflict.
 func (s *Solver) propagate() *clause {
+	// Hoisted: vals is read on every watcher visit, and the compiler
+	// cannot keep it in a register across the s.* method calls below.
+	vals := s.vals
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead] // p is now true; visit clauses watching !p
 		s.qhead++
 		s.Stats.Propagations++
 
+		// Ternary clauses containing !p: satisfied, unit, conflicting,
+		// or still two-undef — decided from the two inlined literals
+		// alone. Entries are static (all three literals watched), so an
+		// early conflict return leaves the lists intact.
+		for _, tw := range s.terns[p] {
+			v1, v2 := vals[tw.o1], vals[tw.o2]
+			if v1 == LTrue || v2 == LTrue {
+				continue
+			}
+			var imp Lit
+			switch {
+			case v1 == LFalse && v2 == LFalse:
+				s.qhead = len(s.trail)
+				return tw.c
+			case v1 == LFalse:
+				imp = tw.o2
+			case v2 == LFalse:
+				imp = tw.o1
+			default:
+				continue // two literals still open
+			}
+			// Reason clauses lead with the literal they imply.
+			c := tw.c
+			if c.lits[0] != imp {
+				if c.lits[1] == imp {
+					c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+				} else {
+					c.lits[0], c.lits[2] = c.lits[2], c.lits[0]
+				}
+			}
+			s.uncheckedEnqueue(imp, c)
+		}
+
 		// Binary clauses containing !p: each either implies its other
 		// literal or conflicts — nothing to relocate, no blockers.
 		for _, bw := range s.bins[p] {
-			switch s.value(bw.other) {
+			switch vals[bw.other] {
 			case LTrue:
 			case LFalse:
 				s.qhead = len(s.trail)
@@ -380,7 +627,7 @@ func (s *Solver) propagate() *clause {
 		var conflict *clause
 		for i := 0; i < len(ws); i++ {
 			w := ws[i]
-			if s.value(w.blocker) == LTrue {
+			if vals[w.blocker] == LTrue {
 				kept = append(kept, w)
 				continue
 			}
@@ -393,16 +640,17 @@ func (s *Solver) propagate() *clause {
 			// If the other watched literal is true, the clause is
 			// satisfied; update the blocker.
 			first := c.lits[0]
-			if first != w.blocker && s.value(first) == LTrue {
+			if first != w.blocker && vals[first] == LTrue {
 				kept = append(kept, watcher{c: c, blocker: first})
 				continue
 			}
 			// Look for a new literal to watch.
 			found := false
-			for k := 2; k < len(c.lits); k++ {
-				if s.value(c.lits[k]) != LFalse {
-					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], watcher{c: c, blocker: first})
+			lits := c.lits
+			for k := 2; k < len(lits); k++ {
+				if vals[lits[k]] != LFalse {
+					lits[1], lits[k] = lits[k], lits[1]
+					s.watches[lits[1].Neg()] = append(s.watches[lits[1].Neg()], watcher{c: c, blocker: first})
 					found = true
 					break
 				}
@@ -412,7 +660,7 @@ func (s *Solver) propagate() *clause {
 			}
 			// Clause is unit or conflicting.
 			kept = append(kept, watcher{c: c, blocker: first})
-			if s.value(first) == LFalse {
+			if vals[first] == LFalse {
 				// Conflict: keep remaining watchers and bail out.
 				conflict = c
 				for i++; i < len(ws); i++ {
@@ -440,7 +688,11 @@ func (s *Solver) propagate() *clause {
 // the asserting literal. Both transformations keep the clause a RUP
 // consequence of the database, so proof traces verify unchanged.
 func (s *Solver) analyze(conflict *clause) ([]Lit, int, int32) {
-	learnt := []Lit{0} // slot 0 reserved for the asserting literal
+	// Work in a persistent scratch buffer: the resolution loop grows
+	// the clause literal by literal, and reallocating that growth on
+	// every conflict is measurable. The caller gets an exact-sized
+	// copy, since learnt clauses own their literal storage.
+	learnt := append(s.analyzeBuf[:0], 0) // slot 0 for the asserting literal
 	pathC := 0
 	var p Lit = -1
 	idx := len(s.trail) - 1
@@ -539,7 +791,10 @@ func (s *Solver) analyze(conflict *clause) ([]Lit, int, int32) {
 	for _, q := range s.toClear {
 		s.seen[q.Var()] = false
 	}
-	return learnt, btLevel, lbd
+	s.analyzeBuf = learnt[:0:cap(learnt)]
+	res := make([]Lit, len(learnt))
+	copy(res, learnt)
+	return res, btLevel, lbd
 }
 
 // litRedundant reports whether literal q of the learnt clause is
@@ -700,7 +955,7 @@ func (s *Solver) bumpVar(v Var) {
 	s.order.update(v)
 }
 
-func (s *Solver) decayVar() { s.varInc *= 1.0 / 0.95 }
+func (s *Solver) decayVar() { s.varInc *= 1.0 / s.pol.VarDecay }
 
 func (s *Solver) bumpClause(c *clause) {
 	c.activity += s.claInc
@@ -724,6 +979,8 @@ func (s *Solver) cancelUntil(level int) {
 		l := s.trail[i]
 		v := l.Var()
 		s.assigns[v] = LUndef
+		s.vals[l] = LUndef
+		s.vals[l.Neg()] = LUndef
 		s.reason[v] = nil
 		s.phase[v] = l.IsPos() // phase saving
 		s.order.insert(v)
@@ -736,15 +993,12 @@ func (s *Solver) cancelUntil(level int) {
 func (s *Solver) pickBranchLit() Lit {
 	for !s.order.empty() {
 		v := s.order.removeMax()
-		if s.assigns[v] == LUndef {
-			// Target phase saving: prefer the polarity the variable had
-			// on the deepest trail seen — the closest the search has
-			// been to a model — over the last-backtracked polarity.
+		if s.assigns[v] == LUndef && !s.elimed[v] {
 			// Target phase saving: prefer the polarity the variable had
 			// on the deepest trail seen during *this* solve — the
 			// closest the current search has been to a model — over the
 			// last-backtracked polarity.
-			if tp := s.targetPhase[v]; tp != LUndef {
+			if tp := s.targetPhase[v]; tp != LUndef && !s.pol.NoTargetPhase {
 				return MkLit(v, tp == LTrue)
 			}
 			return MkLit(v, s.phase[v])
@@ -784,6 +1038,31 @@ func (s *Solver) noteConflict(lbd int32) {
 	ema(&s.lbdEmaFast, float64(lbd), lbdEmaFastAlpha)
 	ema(&s.lbdEmaSlow, float64(lbd), lbdEmaSlowAlpha)
 	ema(&s.trailEma, float64(len(s.trail)), trailEmaAlpha)
+
+	if s.pol.Restart == RestartAlternating {
+		s.modeBudget--
+	}
+	if s.debugHook != nil {
+		s.debugHook()
+	}
+}
+
+// flipMode ends the current restart-mode window: the other mode takes
+// over with a doubled window, its Luby index starting over.
+func (s *Solver) flipMode() {
+	s.modeFocused = !s.modeFocused
+	s.modeWindow *= 2
+	s.modeBudget = s.modeWindow
+	s.restartIdx = 0
+	s.Stats.ModeSwitches++
+	// Re-arm the target-phase tracker: the outgoing mode's deepest
+	// trail is its notion of near-model progress, and pinning the
+	// incoming mode's branching to it drags the search straight back
+	// into the region the old mode was stuck in.
+	s.bestTrail = 0
+	for i := range s.targetPhase {
+		s.targetPhase[i] = LUndef
+	}
 }
 
 // restartNow decides whether the current search phase should end. The
@@ -797,6 +1076,18 @@ func (s *Solver) restartNow(conflicts int64) bool {
 	if conflicts <= 0 {
 		return false
 	}
+	alternating := s.pol.Restart == RestartAlternating
+	if alternating && s.modeBudget <= 0 {
+		// Window spent: mode boundaries are restart points.
+		s.flipMode()
+		return true
+	}
+	if s.pol.Restart == RestartLuby || (alternating && s.modeFocused) {
+		// Focused: plain aggressive Luby, no adaptive signal, no
+		// blocking.
+		return conflicts >= int64(luby(s.pol.LubyBase, s.restartIdx))
+	}
+	// Stable: the glue-adaptive policy.
 	if conflicts >= int64(luby(lubyRestartBase, s.restartIdx)) {
 		return true
 	}
@@ -898,6 +1189,20 @@ func (s *Solver) detach(c *clause) {
 		}
 		return
 	}
+	if len(c.lits) == 3 {
+		for _, l := range c.lits {
+			wl := l.Neg()
+			tw := s.terns[wl]
+			for i := range tw {
+				if tw[i].c == c {
+					tw[i] = tw[len(tw)-1]
+					s.terns[wl] = tw[:len(tw)-1]
+					break
+				}
+			}
+		}
+		return
+	}
 	for _, wl := range []Lit{c.lits[0].Neg(), c.lits[1].Neg()} {
 		ws := s.watches[wl]
 		for i, w := range ws {
@@ -934,6 +1239,11 @@ func (s *Solver) SolveContext(ctx context.Context, assumptions ...Lit) (Status, 
 	if !s.ok {
 		return Unsat, nil
 	}
+	for _, a := range assumptions {
+		if s.elimed[a.Var()] {
+			panic(fmt.Sprintf("sat: assumption references eliminated variable %d", a.Var()))
+		}
+	}
 	s.assumptions = assumptions
 	defer s.cancelUntil(0)
 	defer s.updateTierGauges()
@@ -946,6 +1256,10 @@ func (s *Solver) SolveContext(ctx context.Context, assumptions ...Lit) (Status, 
 	// the long-lived polarity memory instead.
 	s.bestTrail = 0
 	s.restartIdx = 0
+	// Re-arm restart-mode alternation: every solve opens focused.
+	s.modeFocused = s.pol.Restart == RestartAlternating
+	s.modeWindow = focusedWindowInit
+	s.modeBudget = focusedWindowInit
 	for i := range s.targetPhase {
 		s.targetPhase[i] = LUndef
 	}
@@ -975,6 +1289,7 @@ func (s *Solver) SolveContext(ctx context.Context, assumptions ...Lit) (Status, 
 			}
 			s.model = s.model[:len(s.assigns)]
 			copy(s.model, s.assigns)
+			s.extendModel()
 			return Sat, nil
 		}
 		if st == Unsat {
@@ -987,6 +1302,16 @@ func (s *Solver) SolveContext(ctx context.Context, assumptions ...Lit) (Status, 
 		s.Stats.Restarts++
 		if s.ConflictBudget > 0 && int64(s.Stats.Conflicts-conflictsAtStart) >= s.ConflictBudget {
 			return Unknown, nil
+		}
+		// Restart boundary, decision level 0, propagation at fixpoint:
+		// first admit peer clauses from the portfolio pool, then let
+		// inprocessing rewrite the database (imports are ordinary
+		// learnts by the time a round sees them).
+		if s.share != nil && !s.importShared() {
+			return Unsat, nil
+		}
+		if s.inprocessDue() && !s.inprocess() {
+			return Unsat, nil
 		}
 	}
 }
@@ -1025,7 +1350,7 @@ func (s *Solver) search(ctx context.Context, remaining int64, maxLearnts *float6
 			// Target phase saving: a conflict trail is a local maximum
 			// of the search's progress; remember the deepest one as the
 			// branching target.
-			if len(s.trail) > s.bestTrail {
+			if !s.pol.NoTargetPhase && len(s.trail) > s.bestTrail {
 				s.bestTrail = len(s.trail)
 				for _, l := range s.trail {
 					s.targetPhase[l.Var()] = boolToLBool(l.IsPos())
@@ -1036,6 +1361,12 @@ func (s *Solver) search(ctx context.Context, remaining int64, maxLearnts *float6
 			// checker needs units too, because the solver keeps them
 			// only as trail assignments, never as clauses.
 			s.logProof(ProofLearn, learnt)
+			// Portfolio clause sharing: units and glue clauses are the
+			// lemmas cheap enough to ship and strong enough to matter.
+			if s.share != nil && (len(learnt) == 1 || lbd <= shareMaxGlue) {
+				s.share.publish(s.shareID, learnt, lbd)
+				s.Stats.SharedExported++
+			}
 			s.noteConflict(lbd)
 			s.cancelUntil(btLevel)
 			if len(learnt) == 1 {

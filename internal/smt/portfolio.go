@@ -1,0 +1,114 @@
+package smt
+
+// Portfolio mode: the SMT layer over a racing SAT team.
+//
+// With WithSatWorkers(n>1), the first Solve clones the encoded base
+// solver into a sat.Portfolio of n diversified workers that share
+// glue-2 learnts and race to a verdict. Everything above the verdict is
+// unchanged: the encoder keeps writing to one logical clause database
+// (fan-out through the team), Model/Core/proof reads are redirected to
+// the race winner, and reports stay byte-identical at any worker count
+// because the pipeline consumes verdicts, never search traces.
+//
+// The team is created lazily at the first solve rather than at
+// construction so the whole seed encoding is cloned once, instead of
+// replaying every AddClause n times through the fan-out path.
+
+import (
+	"context"
+
+	"repro/internal/sat"
+)
+
+// WithSatWorkers sets the number of SAT search workers (clamped to at
+// least 1). One worker is the plain single solver — bit-for-bit the
+// same search. More workers race diversified clones with clause
+// sharing; the first verdict wins and the losers are cancelled.
+func WithSatWorkers(n int) Option {
+	return func(s *Solver) {
+		if n < 1 {
+			n = 1
+		}
+		s.satWorkers = n
+	}
+}
+
+// SatWorkers reports the configured worker count.
+func (s *Solver) SatWorkers() int { return s.satWorkers }
+
+// ensureTeam builds the portfolio on first use. Called only from
+// SolveContext, so every clause asserted before the first solve is in
+// the base when it is cloned.
+func (s *Solver) ensureTeam() {
+	if s.satWorkers > 1 && s.team == nil {
+		s.team = sat.NewPortfolio(s.sat, s.satWorkers)
+	}
+}
+
+// The helpers below are the single seam between the encoding layer and
+// the SAT backend: before the team exists (or without one) they talk to
+// the base solver, afterwards they fan writes out to every worker and
+// redirect reads to the race winner.
+
+func (s *Solver) newSatVar() sat.Var {
+	if s.team != nil {
+		return s.team.NewVar()
+	}
+	return s.sat.NewVar()
+}
+
+func (s *Solver) addSatClause(lits ...sat.Lit) {
+	if s.team != nil {
+		s.team.AddClause(lits...)
+		return
+	}
+	s.sat.AddClause(lits...)
+}
+
+func (s *Solver) markSatEliminable(v sat.Var) {
+	if s.team != nil {
+		s.team.MarkEliminable(v)
+		return
+	}
+	s.sat.MarkEliminable(v)
+}
+
+func (s *Solver) satSolveContext(ctx context.Context, assumptions ...sat.Lit) (sat.Status, error) {
+	s.ensureTeam()
+	if s.team != nil {
+		return s.team.PortfolioContext(ctx, assumptions...)
+	}
+	return s.sat.SolveContext(ctx, assumptions...)
+}
+
+// satValueLit reads a literal's model value from whichever solver
+// produced the last verdict.
+func (s *Solver) satValueLit(l sat.Lit) sat.LBool {
+	if s.team != nil {
+		return s.team.ValueLit(l)
+	}
+	return s.sat.ValueLit(l)
+}
+
+func (s *Solver) satCore() []sat.Lit {
+	if s.team != nil {
+		return s.team.Core()
+	}
+	return s.sat.Core()
+}
+
+// activeProofWorker identifies the proof trace behind the last verdict:
+// the race winner's trace, or worker 0's (the base) when no team
+// exists. The index keys the per-worker incremental checkers in
+// proof.go — each worker's trace is self-contained (imports are logged
+// as the importer's own RUP-gated learnts), so each needs its own
+// cursor.
+func (s *Solver) activeProofWorker() (int, *sat.Trace, bool) {
+	if s.team != nil {
+		w := s.team.Winner()
+		tr, ok := s.team.WorkerProof(w).(*sat.Trace)
+		return w, tr, ok
+	}
+	tr, ok := s.sat.Proof().(*sat.Trace)
+	return 0, tr, ok
+}

@@ -1,0 +1,160 @@
+package smt
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/sat"
+)
+
+// php builds a pigeonhole constraint over enum variables: p pigeons,
+// each assigned one of h holes, all distinct — unsat when p > h.
+func php(t *testing.T, s *Solver, p, h int) []*logic.Var {
+	t.Helper()
+	holes := make([]string, h)
+	for j := range holes {
+		holes[j] = string(rune('a' + j))
+	}
+	sort := logic.NewEnumSort("hole", holes...)
+	vars := make([]*logic.Var, p)
+	for i := range vars {
+		vars[i] = logic.NewEnumVar("p"+string(rune('0'+i)), sort)
+	}
+	for i := 0; i < p; i++ {
+		for j := i + 1; j < p; j++ {
+			mustAssert(t, s, logic.Ne(vars[i], vars[j]))
+		}
+	}
+	return vars
+}
+
+// TestPortfolioModeVerdictsAndProofs drives a proof-logging portfolio
+// solver through the full query mix — unconditional Unsat, Sat with
+// model extraction, Unsat under assumptions with a checked core — and
+// verifies every Unsat verdict against the winner's trace.
+func TestPortfolioModeVerdictsAndProofs(t *testing.T) {
+	s := NewSolver(WithProof(), WithSatWorkers(3))
+	if s.SatWorkers() != 3 {
+		t.Fatalf("SatWorkers = %d, want 3", s.SatWorkers())
+	}
+	php(t, s, 4, 3)
+	mustSolve(t, s, sat.Unsat)
+	if _, err := s.VerifyLastUnsat(); err != nil {
+		t.Fatalf("VerifyLastUnsat (unconditional): %v", err)
+	}
+
+	// A fresh satisfiable portfolio query: model must be consistent.
+	s2 := NewSolver(WithProof(), WithSatWorkers(3))
+	vars := php(t, s2, 3, 3)
+	mustSolve(t, s2, sat.Sat)
+	m, err := s2.Model()
+	if err != nil {
+		t.Fatalf("Model: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, v := range vars {
+		val, ok := m[v.Name]
+		if !ok {
+			t.Fatalf("model misses %q", v.Name)
+		}
+		if seen[val.String()] {
+			t.Fatalf("model assigns hole %v twice: %v", val, m)
+		}
+		seen[val.String()] = true
+	}
+
+	// Unsat under assumptions on the same warm solver: the team solved
+	// before, so this exercises the already-built-team path.
+	a := logic.NewBoolVar("a")
+	x := logic.NewBoolVar("x")
+	mustAssert(t, s2, logic.Implies(a, x))
+	mustSolve(t, s2, sat.Unsat, a, logic.Not(x))
+	core := s2.Core()
+	if len(core) == 0 {
+		t.Fatal("empty core for Unsat under assumptions")
+	}
+	if _, err := s2.VerifyLastUnsat(); err != nil {
+		t.Fatalf("VerifyLastUnsat (assumptions): %v", err)
+	}
+	checked, _, err := s2.CheckedCore()
+	if err != nil {
+		t.Fatalf("CheckedCore: %v", err)
+	}
+	if len(checked) == 0 || len(checked) > len(core) {
+		t.Fatalf("CheckedCore = %v, solver core %v", checked, core)
+	}
+}
+
+// TestPortfolioModeAgreesWithSingle runs the same query family at 1 and
+// 3 workers and demands identical verdicts everywhere — the property
+// that makes the worker count invisible in reports.
+func TestPortfolioModeAgreesWithSingle(t *testing.T) {
+	build := func(n int) (*Solver, *logic.Var, *logic.Var) {
+		s := NewSolver(WithSatWorkers(n))
+		x := logic.NewIntVar("x", 0, 15)
+		y := logic.NewIntVar("y", 0, 15)
+		mustAssert(t, s, logic.Lt(x, y))
+		mustAssert(t, s, logic.Le(y, logic.NewInt(9)))
+		return s, x, y
+	}
+	queries := func(s *Solver, x, y *logic.Var) []sat.Status {
+		var out []sat.Status
+		for _, q := range []logic.Term{
+			logic.Eq(x, logic.NewInt(9)),  // unsat: x<y<=9
+			logic.Eq(x, logic.NewInt(8)),  // sat: y=9
+			logic.Gt(y, logic.NewInt(9)),  // unsat
+			logic.Eq(y, logic.NewInt(12)), // unsat
+		} {
+			st, err := s.Solve(q)
+			if err != nil {
+				t.Fatalf("Solve(%v): %v", q, err)
+			}
+			out = append(out, st)
+		}
+		return out
+	}
+	s1, x1, y1 := build(1)
+	s3, x3, y3 := build(3)
+	v1 := queries(s1, x1, y1)
+	v3 := queries(s3, x3, y3)
+	for i := range v1 {
+		if v1[i] != v3[i] {
+			t.Fatalf("query %d: 1 worker %v, 3 workers %v", i, v1[i], v3[i])
+		}
+	}
+}
+
+// TestPortfolioModeCloneAndGuards checks the warm-reuse path: a clone
+// of a portfolio solver carries the worker count, rebuilds its own
+// team, and guarded assertion/retraction works across team solves.
+func TestPortfolioModeCloneAndGuards(t *testing.T) {
+	s := NewSolver(WithSatWorkers(2))
+	x := logic.NewIntVar("x", 0, 30)
+	mustAssert(t, s, logic.Ge(x, logic.NewInt(10)))
+	mustSolve(t, s, sat.Sat) // builds the team
+
+	c := s.Clone()
+	if c.SatWorkers() != 2 {
+		t.Fatalf("clone SatWorkers = %d, want 2", c.SatWorkers())
+	}
+	g, err := c.AssertGuarded(logic.Lt(x, logic.NewInt(10)))
+	if err != nil {
+		t.Fatalf("AssertGuarded: %v", err)
+	}
+	mustSolve(t, c, sat.Unsat)
+	c.Retract(g)
+	mustSolve(t, c, sat.Sat)
+
+	// The original is unaffected by the clone's guard traffic.
+	mustSolve(t, s, sat.Sat)
+
+	// Enumeration on a portfolio solver: 21 values of x remain.
+	n, exhausted, err := c.EnumerateModelsRetractableContext(t.Context(), []*logic.Var{x}, 100, func(logic.Assignment) bool { return true })
+	if err != nil {
+		t.Fatalf("enumerate: %v", err)
+	}
+	if n != 21 || !exhausted {
+		t.Fatalf("enumerate = (%d, %v), want (21, true)", n, exhausted)
+	}
+	mustSolve(t, c, sat.Sat)
+}

@@ -44,14 +44,15 @@ type ProofReport struct {
 
 // ProofEnabled reports whether the solver records a proof trace.
 func (s *Solver) ProofEnabled() bool {
-	_, ok := s.sat.Proof().(*sat.Trace)
+	_, _, ok := s.activeProofWorker()
 	return ok
 }
 
-// ProofOps converts the recorded trace into checker operations (1-based
-// DIMACS literals). It returns nil when proof logging is off.
+// ProofOps converts the recorded trace — the race winner's, in
+// portfolio mode — into checker operations (1-based DIMACS literals).
+// It returns nil when proof logging is off.
 func (s *Solver) ProofOps() []drat.Op {
-	tr, ok := s.sat.Proof().(*sat.Trace)
+	_, tr, ok := s.activeProofWorker()
 	if !ok {
 		return nil
 	}
@@ -106,7 +107,7 @@ func (s *Solver) VerifyLastUnsat() (ProofReport, error) {
 // shrunk core clause (DIMACS literals) for CheckedCore.
 func (s *Solver) verifyLastUnsat() (ProofReport, []int, error) {
 	var rep ProofReport
-	tr, ok := s.sat.Proof().(*sat.Trace)
+	w, tr, ok := s.activeProofWorker()
 	if !ok {
 		return rep, nil, fmt.Errorf("smt: proof logging is off (construct the solver with WithProof)")
 	}
@@ -114,15 +115,26 @@ func (s *Solver) verifyLastUnsat() (ProofReport, []int, error) {
 		return rep, nil, fmt.Errorf("smt: last solve was %v, nothing to verify", s.lastStatus)
 	}
 	start := time.Now()
-	if s.chk == nil {
-		s.chk = drat.NewChecker()
-		s.chkCursor = 0
+	// One incremental checker per worker: in portfolio mode any worker
+	// can win a verdict, and each worker's trace is its own independent
+	// derivation (shared imports are re-logged by the importer), so a
+	// cursor into one trace says nothing about another.
+	if s.chks == nil {
+		s.chks = make(map[int]*drat.Checker)
+		s.chkCursors = make(map[int]int)
 	}
-	for ; s.chkCursor < tr.Len(); s.chkCursor++ {
-		op := opFromTrace(tr.Op(s.chkCursor))
-		if err := s.chk.Apply(op); err != nil {
-			return rep, nil, fmt.Errorf("smt: proof rejected at op %d: %w", s.chkCursor, err)
+	chk := s.chks[w]
+	if chk == nil {
+		chk = drat.NewChecker()
+		s.chks[w] = chk
+		s.chkCursors[w] = 0
+	}
+	for cur := s.chkCursors[w]; cur < tr.Len(); cur++ {
+		op := opFromTrace(tr.Op(cur))
+		if err := chk.Apply(op); err != nil {
+			return rep, nil, fmt.Errorf("smt: proof rejected at op %d: %w", cur, err)
 		}
+		s.chkCursors[w] = cur + 1
 		rep.Ops++
 		if op.Kind == drat.Learn {
 			rep.Lemmas++
@@ -130,12 +142,12 @@ func (s *Solver) verifyLastUnsat() (ProofReport, []int, error) {
 	}
 	rep.TraceLen = tr.Len()
 
-	core := s.sat.Core()
+	core := s.satCore()
 	var shrunk []int
 	if len(core) == 0 {
 		// Unconditional Unsat: the checker must have derived the empty
 		// clause from the inputs alone.
-		if !s.chk.RootConflict() {
+		if !chk.RootConflict() {
 			return rep, nil, fmt.Errorf("smt: verdict is Unsat but the checked trace has no root conflict")
 		}
 	} else {
@@ -151,7 +163,7 @@ func (s *Solver) verifyLastUnsat() (ProofReport, []int, error) {
 		if !okLast || !sameLitSet(last, clause) {
 			return rep, nil, fmt.Errorf("smt: terminal lemma %v does not match the negated core %v", last, clause)
 		}
-		shrunk, _ = s.chk.ShrinkClause(clause)
+		shrunk, _ = chk.ShrinkClause(clause)
 		rep.CoreLits = len(clause)
 		rep.ShrunkCoreLits = len(shrunk)
 	}
