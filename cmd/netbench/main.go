@@ -33,11 +33,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("netbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	table := fs.String("table", "all",
-		"experiment to run: seed, simplify, linearity, pervar, figures, interpretation, ablation, rules, complement, rewrite, lift, sat, scale, all")
+		"experiment to run: seed, simplify, linearity, pervar, figures, interpretation, ablation, rules, complement, rewrite, lift, sat, scale, diff, all")
 	quick := fs.Bool("quick", false, "trim the scaling sweep")
 	format := fs.String("format", "text", "output format: text or json")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration (e.g. 30s, 5m; 0 = no limit)")
 	benchJSON := fs.String("benchjson", "", "write machine-readable pipeline measurements (scenario, wall time, SAT conflicts, cache hits) to this file and exit")
+	diffJSON := fs.String("diffjson", "", "write machine-readable incremental re-explanation measurements (cold vs incremental wall time, dirty sets, cache hit rates) to this file and exit")
 	satWorkers := fs.Int("satworkers", 1, "SAT portfolio width: diversified search workers racing per solve with clause sharing (1 = plain single search; affects -table sat and -benchjson)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
@@ -91,6 +92,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "wrote %s\n", *benchJSON)
+		return 0
+	}
+	if *diffJSON != "" {
+		if err := bench.WriteDiffJSON(ctx, *diffJSON); err != nil {
+			fmt.Fprintln(stderr, "netbench:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *diffJSON)
 		return 0
 	}
 
@@ -148,6 +157,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return one(bench.SatTable(ctx, *satWorkers))
 	case "scale":
 		return one(bench.ScaleTable(ctx, *quick))
+	case "diff":
+		return one(bench.DiffTable(ctx, *quick))
 	case "all":
 		tables, err := bench.All(ctx, *quick)
 		if err != nil {

@@ -4,6 +4,7 @@
 //	netexplain -scenario scenario1 -router R1
 //	netexplain -scenario scenario3 -router R2 -req Req1     # per-requirement
 //	netexplain -scenario scenario1 -router R1 -var 'R1_to_P1/100/action'
+//	netexplain -scenario scenario1 -diff old.cfg new.cfg    # incremental what-if
 //	netexplain -rules                                       # list the 15 rules
 package main
 
@@ -17,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/rewrite"
 	"repro/internal/scenarios"
@@ -42,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	noLift := fs.Bool("nolift", false, "skip subspecification lifting (print residual constraints only)")
 	validate := fs.Bool("validate", false, "validate the deployed configuration against the lifted subspecification")
 	all := fs.Bool("all", false, "print the explanation report for every configured router")
+	diff := fs.Bool("diff", false, "incremental what-if: takes two positional config files OLD NEW; topology and intent come from -scenario")
 	complement := fs.Bool("complement", false, "explain what the REST of the network must do, holding -router fixed")
 	interp2 := fs.Bool("interp2", false, "synthesize and explain under interpretation 2 (unlisted preference paths as last resorts)")
 	rules := fs.Bool("rules", false, "list the 15 simplification rules and exit")
@@ -79,10 +82,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	sopts := synth.DefaultOptions()
 	sopts.AllowUnspecified = *interp2
-	res, err := synth.SynthesizeContext(ctx, sc.Net, sc.Sketch, sc.Requirements(), sopts)
-	if err != nil {
-		return fail(err)
-	}
 	reqs := sc.Requirements()
 	if *reqName != "" {
 		b := sc.Spec.Block(*reqName)
@@ -95,6 +94,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opts := core.DefaultOptions()
 	opts.Synth = sopts
 	opts.Lift = !*noLift
+
+	if *diff {
+		// Incremental what-if: explain the OLD deployment (warming the
+		// session caches), apply the edit, and re-explain only what the
+		// edit touches. The printed report is byte-identical to a cold
+		// full report over NEW; the summary shows what the delta
+		// machinery reused.
+		rest := fs.Args()
+		if len(rest) != 2 {
+			return usage(fmt.Errorf("-diff needs two positional arguments: old.cfg new.cfg"))
+		}
+		oldDep, err := readDeployment(rest[0])
+		if err != nil {
+			return fail(err)
+		}
+		newDep, err := readDeployment(rest[1])
+		if err != nil {
+			return fail(err)
+		}
+		explainer, err := core.NewExplainer(sc.Net, reqs, oldDep, opts)
+		if err != nil {
+			return fail(err)
+		}
+		if _, err := explainer.ReportContext(ctx); err != nil {
+			return fail(fmt.Errorf("explaining %s: %w", rest[0], err))
+		}
+		dr, err := explainer.ReExplainContext(ctx, core.Delta{Deployment: newDep})
+		if err != nil {
+			return fail(fmt.Errorf("re-explaining %s: %w", rest[1], err))
+		}
+		fmt.Fprint(stdout, dr.Report)
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, dr.Summary)
+		return 0
+	}
+
+	res, err := synth.SynthesizeContext(ctx, sc.Net, sc.Sketch, sc.Requirements(), sopts)
+	if err != nil {
+		return fail(err)
+	}
 	explainer, err := core.NewExplainer(sc.Net, reqs, res.Deployment, opts)
 	if err != nil {
 		return fail(err)
@@ -169,6 +208,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// readDeployment loads a multi-router configuration file (stanzas
+// split at "router bgp" lines).
+func readDeployment(path string) (config.Deployment, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dep, err := config.ParseDeployment(string(src))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return dep, nil
 }
 
 // parseTarget parses MAP/SEQ/action, MAP/SEQ/match/I, MAP/SEQ/set/I.

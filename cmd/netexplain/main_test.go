@@ -1,10 +1,16 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/netgen"
+	"repro/internal/scenarios"
+	"repro/internal/synth"
 )
 
 func TestParseTarget(t *testing.T) {
@@ -68,5 +74,56 @@ func TestRunRules(t *testing.T) {
 	}
 	if out.Len() == 0 {
 		t.Fatal("-rules printed nothing")
+	}
+}
+
+// TestRunDiff drives the incremental what-if mode end to end: explain
+// OLD, re-explain NEW, print the full (byte-identical-to-cold) report
+// plus the delta summary.
+func TestRunDiff(t *testing.T) {
+	sc := scenarios.Scenario1()
+	res, err := synth.Synthesize(sc.Net, sc.Sketch, sc.Requirements(), synth.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited, edits := netgen.Perturb(res.Deployment, 1, 1)
+	if len(edits) != 1 {
+		t.Fatalf("wanted 1 edit, got %v", edits)
+	}
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.cfg")
+	newPath := filepath.Join(dir, "new.cfg")
+	if err := os.WriteFile(oldPath, []byte(config.PrintDeployment(res.Deployment)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(config.PrintDeployment(edited)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-scenario", "scenario1", "-diff", oldPath, newPath}, &out, &errOut); code != 0 {
+		t.Fatalf("-diff exit %d (stderr: %s)", code, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "EXPLANATION REPORT") {
+		t.Fatalf("no report in output:\n%s", got)
+	}
+	if !strings.Contains(got, "WHAT-IF DELTA SUMMARY") {
+		t.Fatalf("no delta summary in output:\n%s", got)
+	}
+	if !strings.Contains(got, "edited configs:") {
+		t.Fatalf("summary missing edited configs line:\n%s", got)
+	}
+
+	// Usage errors: missing positional args, unreadable file.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-scenario", "scenario1", "-diff", oldPath}, &out, &errOut); code != 2 {
+		t.Fatalf("-diff with one arg: exit %d, want 2", code)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-scenario", "scenario1", "-diff", oldPath, filepath.Join(dir, "missing.cfg")}, &out, &errOut); code != 1 {
+		t.Fatalf("-diff with missing file: exit %d, want 1", code)
 	}
 }

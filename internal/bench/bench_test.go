@@ -185,6 +185,23 @@ func TestTableJSON(t *testing.T) {
 	}
 }
 
+func TestDiffTableQuick(t *testing.T) {
+	tbl, err := DiffTable(context.Background(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quick mode covers the three seed scenarios; every scenario has at
+	// least an action-flip, a pref-change, and a med-change site.
+	if len(tbl.Rows) < 9 {
+		t.Fatalf("rows = %d, want >= 9", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[len(row)-1] != "true" {
+			t.Errorf("%s %s: incremental report not byte-identical to cold", row[0], row[1])
+		}
+	}
+}
+
 func TestScaleTableQuick(t *testing.T) {
 	tbl, err := ScaleTable(context.Background(), true)
 	if err != nil {

@@ -1,0 +1,322 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/netgen"
+	"repro/internal/scenarios"
+	"repro/internal/spec"
+	"repro/internal/synth"
+	"repro/internal/topology"
+	"repro/internal/verify"
+)
+
+// DiffEntry is one (workload, edit-kind) measurement of the incremental
+// re-explanation machinery: the wall time of a cold full report over
+// the edited network versus re-explaining the same edit through a warm
+// explainer, plus the delta statistics ReExplain reports. ByteIdentical
+// is the correctness bit — the incremental report compared byte for
+// byte against the cold one.
+type DiffEntry struct {
+	Workload string `json:"workload"`
+	EditKind string `json:"edit_kind"`
+	// Edit is the applied edit's router and detail string.
+	Edit string `json:"edit"`
+	// ColdMS is a cold full report over the edited network (fresh
+	// explainer, no session to reuse); IncrementalMS is ReExplain of the
+	// same edit against a warm explainer.
+	ColdMS        float64 `json:"cold_ms"`
+	IncrementalMS float64 `json:"incremental_ms"`
+	Speedup       float64 `json:"speedup"`
+	Routers       int     `json:"routers"`
+	// DirtyRouters is the size of the observed dirty set (routers whose
+	// seed specification changed); Spliced and Recomputed split the lift
+	// stage's work; FastPath marks edits proven model-invisible and
+	// answered with the previous report verbatim.
+	DirtyRouters int  `json:"dirty_routers"`
+	Spliced      int  `json:"spliced"`
+	Recomputed   int  `json:"recomputed"`
+	FastPath     bool `json:"fast_path"`
+	// CacheHits and CacheMisses are the report-cache lookups the
+	// re-explanation performed; ConeAtoms totals the dirty routers' seed
+	// conjuncts inside the edit's cone of influence.
+	CacheHits     int  `json:"cache_hits"`
+	CacheMisses   int  `json:"cache_misses"`
+	ConeAtoms     int  `json:"cone_atoms"`
+	ByteIdentical bool `json:"byte_identical"`
+}
+
+// DiffPerfReport is the payload written by netbench -diffjson
+// (BENCH_diff.json).
+type DiffPerfReport struct {
+	Name    string      `json:"name"`
+	Entries []DiffEntry `json:"entries"`
+}
+
+// diffEditKinds is the edit-family sweep, one representative edit per
+// family per workload. The families deliberately span the delta
+// machinery's regimes: action-flip and pref-change are visible to the
+// encoding (dirty cone, partial splice); nexthop-change folds to
+// nothing the encoder models for every router but still shifts the
+// edited router's vocabulary contribution (full splice); med-change on
+// a clause without a metric line adds one, growing the edited router's
+// symbolization surface (dirty). The separately staged med-retune —
+// changing an EXISTING metric's value — is the fully invisible edit
+// that takes the fast path.
+var diffEditKinds = []string{"action-flip", "pref-change", "med-change", "nexthop-change"}
+
+// diffJob is one workload the diff benchmark measures.
+type diffJob struct {
+	name string
+	net  *topology.Network
+	reqs []spec.Requirement
+	dep  config.Deployment
+	opts core.Options
+}
+
+// diffJobs synthesizes the benchmark workloads: the three seed
+// scenarios always, plus the netgen Grid/FatTree/Random presets unless
+// quick is set.
+func diffJobs(ctx context.Context, quick bool) ([]diffJob, error) {
+	var jobs []diffJob
+	for _, sc := range scenarios.All() {
+		res, err := synthesizeScenario(ctx, sc)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, diffJob{sc.Name, sc.Net, sc.Requirements(), res.Deployment, core.DefaultOptions()})
+	}
+	if quick {
+		return jobs, nil
+	}
+	for _, wl := range satWorkloads() {
+		opts := synth.DefaultOptions()
+		opts.MaxPathLen = 7
+		opts.MaxCandidatesPerNode = 8
+		res, err := synth.SynthesizeContext(ctx, wl.Net, wl.Sketch, wl.Requirements(), opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", wl.Name, err)
+		}
+		if ok, err := verify.SatisfiesContext(ctx, wl.Net, res.Deployment, wl.Requirements()); err != nil || !ok {
+			return nil, fmt.Errorf("%s: synthesized deployment does not verify (%v)", wl.Name, err)
+		}
+		copts := core.DefaultOptions()
+		copts.Synth = opts
+		jobs = append(jobs, diffJob{wl.Name, wl.Net, wl.Requirements(), res.Deployment, copts})
+	}
+	return jobs, nil
+}
+
+// editCandidate is one single-edit variant of a workload's deployment.
+type editCandidate struct {
+	dep  config.Deployment
+	edit netgen.Edit
+}
+
+// editCandidates enumerates deterministic single edits of the wanted
+// family by scanning Perturb seeds, deduplicated by edit site. Several
+// candidates are returned because a behavior-visible edit can make the
+// intent unsatisfiable — the benchmark then moves to the next site.
+func editCandidates(dep config.Deployment, kind string, max int) []editCandidate {
+	seen := map[string]bool{}
+	var out []editCandidate
+	for seed := int64(0); seed < 64 && len(out) < max; seed++ {
+		edited, edits := netgen.Perturb(dep, seed, 1)
+		if len(edits) != 1 || edits[0].Kind != kind {
+			continue
+		}
+		key := edits[0].Router + "|" + edits[0].Detail
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, editCandidate{edited, edits[0]})
+	}
+	return out
+}
+
+// diffEntries runs the full measurement: per workload, warm one
+// explainer with a full report, then for each edit family measure
+// ReExplain of a single representative edit and compare — in bytes and
+// in wall time — against a cold full report over the edited network.
+// Between families the warm explainer is steered back to the baseline
+// deployment through the same incremental path, so every measured edit
+// starts from a session warmed on the unedited network.
+func diffEntries(ctx context.Context, quick bool) ([]DiffEntry, error) {
+	jobs, err := diffJobs(ctx, quick)
+	if err != nil {
+		return nil, err
+	}
+	var entries []DiffEntry
+	for _, j := range jobs {
+		e, err := core.NewExplainer(j.net, j.reqs, j.dep, j.opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", j.name, err)
+		}
+		if _, err := e.ReportContext(ctx); err != nil {
+			return nil, fmt.Errorf("%s: warm report: %w", j.name, err)
+		}
+		onBaseline := true
+		// rewarm steers the explainer back to the baseline deployment,
+		// rebuilding it cold if the incremental revert fails.
+		rewarm := func() error {
+			if onBaseline {
+				return nil
+			}
+			if _, err := e.ReExplainContext(ctx, core.Delta{Deployment: j.dep}); err == nil {
+				onBaseline = true
+				return nil
+			}
+			e, err = core.NewExplainer(j.net, j.reqs, j.dep, j.opts)
+			if err != nil {
+				return err
+			}
+			if _, err := e.ReportContext(ctx); err != nil {
+				return err
+			}
+			onBaseline = true
+			return nil
+		}
+		// measure re-explains one edit through the warm explainer and,
+		// on success, records an entry verified against a cold report.
+		// ok=false means the edit broke the intent (a cold explainer
+		// rejects it the same way) and the caller should try another.
+		measure := func(kind string, cand editCandidate) (bool, error) {
+			start := time.Now()
+			dr, err := e.ReExplainContext(ctx, core.Delta{Deployment: cand.dep})
+			onBaseline = false
+			if err != nil {
+				if ctx.Err() != nil {
+					return false, ctx.Err()
+				}
+				return false, nil
+			}
+			incrMS := float64(time.Since(start).Microseconds()) / 1000
+
+			cold, err := core.NewExplainer(j.net, j.reqs, cand.dep, j.opts)
+			if err != nil {
+				return false, fmt.Errorf("%s %s: cold explainer: %w", j.name, kind, err)
+			}
+			start = time.Now()
+			want, err := cold.ReportContext(ctx)
+			if err != nil {
+				return false, fmt.Errorf("%s %s: cold report: %w", j.name, kind, err)
+			}
+			coldMS := float64(time.Since(start).Microseconds()) / 1000
+
+			speedup := 0.0
+			if incrMS > 0 {
+				speedup = coldMS / incrMS
+			}
+			entries = append(entries, DiffEntry{
+				Workload:      j.name,
+				EditKind:      kind,
+				Edit:          cand.edit.Router + " " + cand.edit.Detail,
+				ColdMS:        coldMS,
+				IncrementalMS: incrMS,
+				Speedup:       speedup,
+				Routers:       dr.Stats.Routers,
+				DirtyRouters:  len(dr.Stats.PredictedDirty),
+				Spliced:       dr.Stats.Spliced,
+				Recomputed:    dr.Stats.Recomputed,
+				FastPath:      dr.Stats.FastPath,
+				CacheHits:     dr.Stats.CacheHits,
+				CacheMisses:   dr.Stats.CacheMisses,
+				ConeAtoms:     dr.Stats.ConeAtoms,
+				ByteIdentical: dr.Report == want,
+			})
+			return true, nil
+		}
+
+		for _, kind := range diffEditKinds {
+			for _, cand := range editCandidates(j.dep, kind, 6) {
+				if err := rewarm(); err != nil {
+					return nil, fmt.Errorf("%s: rewarm baseline: %w", j.name, err)
+				}
+				ok, err := measure(kind, cand)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					break
+				}
+			}
+		}
+
+		// med-retune: changing the VALUE of an existing metric — the
+		// canonical model-invisible edit an operator makes ("retune the
+		// link weight"). Synthesized deployments carry no metric lines,
+		// so stage one med-change to introduce the line (that deployment
+		// becomes the warm baseline) and measure retuning the same line.
+		if cands := editCandidates(j.dep, "med-change", 1); len(cands) == 1 {
+			staged, first := cands[0].dep, cands[0].edit
+			site, _, _ := strings.Cut(first.Detail, ":")
+			for _, cand := range editCandidates(staged, "med-change", 8) {
+				if cand.edit.Router != first.Router || !strings.HasPrefix(cand.edit.Detail, site+":") {
+					continue
+				}
+				if _, err := e.ReExplainContext(ctx, core.Delta{Deployment: staged}); err != nil {
+					break
+				}
+				onBaseline = false
+				if _, err := measure("med-retune", cand); err != nil {
+					return nil, err
+				}
+				break
+			}
+		}
+	}
+	return entries, nil
+}
+
+// DiffTable measures the incremental what-if machinery (extension
+// Ext-4): cold-report versus ReExplain wall time for one representative
+// edit of every family, over the seed scenarios and (unless quick) the
+// netgen Grid/FatTree/Random presets.
+func DiffTable(ctx context.Context, quick bool) (*Table, error) {
+	entries, err := diffEntries(ctx, quick)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "diff (extension Ext-4)",
+		Caption: "Incremental re-explanation after a single-router edit. cold-ms is a full report by a fresh explainer over the edited network; incr-ms re-explains the same edit through an explainer warmed on the unedited network. dirty is the observed dirty set (routers whose seed specification changed); spliced/recomp split the lift stage's work; fast marks edits proven invisible to the encoding and answered with the previous report verbatim; cache is report-cache hits/misses; bytes-ok confirms the incremental report is byte-identical to the cold one.",
+		Columns: []string{"workload", "edit", "cold-ms", "incr-ms", "speedup", "routers", "dirty", "spliced", "recomp", "fast", "cache", "bytes-ok"},
+	}
+	for _, en := range entries {
+		t.AddRow(en.Workload, en.EditKind,
+			fmt.Sprintf("%.1f", en.ColdMS), fmt.Sprintf("%.1f", en.IncrementalMS),
+			fmt.Sprintf("%.1fx", en.Speedup),
+			en.Routers, en.DirtyRouters, en.Spliced, en.Recomputed,
+			en.FastPath,
+			fmt.Sprintf("%d/%d", en.CacheHits, en.CacheMisses),
+			en.ByteIdentical)
+	}
+	return t, nil
+}
+
+// WriteDiffJSON runs the full diff benchmark (netgen presets included)
+// and writes the report to path, indented for committing alongside the
+// benchmark baselines (BENCH_diff.json).
+func WriteDiffJSON(ctx context.Context, path string) error {
+	entries, err := diffEntries(ctx, false)
+	if err != nil {
+		return err
+	}
+	rep := &DiffPerfReport{Name: "incremental-reexplain", Entries: entries}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

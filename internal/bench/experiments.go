@@ -443,13 +443,15 @@ func ScaleTable(ctx context.Context, quick bool) (*Table, error) {
 	return t, nil
 }
 
-// All returns every experiment table. quick trims the scaling sweep.
+// All returns every experiment table. quick trims the scaling sweep
+// and restricts the diff benchmark to the seed scenarios.
 func All(ctx context.Context, quick bool) ([]*Table, error) {
 	builders := []func(context.Context) (*Table, error){
 		SeedTable, SimplifyTable, LinearityTable, PerVarTable,
 		FigureTable, InterpretationTable, AblationTable, RuleFireTable,
 		ComplementTable, RewriteTable, LiftTable,
 		func(ctx context.Context) (*Table, error) { return ScaleTable(ctx, quick) },
+		func(ctx context.Context) (*Table, error) { return DiffTable(ctx, quick) },
 	}
 	var out []*Table
 	for _, b := range builders {

@@ -122,16 +122,16 @@ func Perf(ctx context.Context, satWorkers int) (*PerfReport, error) {
 			avgLBD = float64(st.LBDSum) / float64(st.Learnt)
 		}
 		rep.Entries = append(rep.Entries, PerfEntry{
-			Scenario:           sc.Name,
-			WallMS:             wallMS,
-			SynthMS:            synthMS,
-			SATConflicts:       st.Conflicts,
-			SATSolves:          st.Solves,
-			SATPropagations:    st.Propagations,
-			SATBinPropagations: st.BinPropagations,
-			SATRestarts:        st.Restarts,
-			SATMinimizedLits:   st.MinimizedLits,
-			SATAvgLBD:          avgLBD,
+			Scenario:            sc.Name,
+			WallMS:              wallMS,
+			SynthMS:             synthMS,
+			SATConflicts:        st.Conflicts,
+			SATSolves:           st.Solves,
+			SATPropagations:     st.Propagations,
+			SATBinPropagations:  st.BinPropagations,
+			SATRestarts:         st.Restarts,
+			SATMinimizedLits:    st.MinimizedLits,
+			SATAvgLBD:           avgLBD,
 			SATTierCore:         st.CoreLearnts,
 			SATTierMid:          st.MidLearnts,
 			SATTierLocal:        st.LocalLearnts,
@@ -142,18 +142,18 @@ func Perf(ctx context.Context, satWorkers int) (*PerfReport, error) {
 			SATSharedRejected:   st.SharedRejected,
 			SATInprocessRounds:  st.InprocessRounds,
 			SATInprocessDeleted: st.InprocessDeleted,
-			LiftQueries:        st.LiftQueries,
-			LiftP50MS:          float64(st.LiftP50.Microseconds()) / 1000,
-			LiftP95MS:          float64(st.LiftP95.Microseconds()) / 1000,
-			WarmSolverHits:     st.WarmSolverHits,
-			WarmSolverMisses:   st.WarmSolverMisses,
-			CacheHits:          st.CacheHits,
-			Encodes:            st.Encodes,
-			ReusedCandidates:   st.ReusedCandidates,
-			NormCacheHits:      st.NormCacheHits,
-			NormCacheMisses:    st.NormCacheMisses,
-			NormCacheEntries:   st.NormCacheEntries,
-			InternedTerms:      logic.Default().Size(),
+			LiftQueries:         st.LiftQueries,
+			LiftP50MS:           float64(st.LiftP50.Microseconds()) / 1000,
+			LiftP95MS:           float64(st.LiftP95.Microseconds()) / 1000,
+			WarmSolverHits:      st.WarmSolverHits,
+			WarmSolverMisses:    st.WarmSolverMisses,
+			CacheHits:           st.CacheHits,
+			Encodes:             st.Encodes,
+			ReusedCandidates:    st.ReusedCandidates,
+			NormCacheHits:       st.NormCacheHits,
+			NormCacheMisses:     st.NormCacheMisses,
+			NormCacheEntries:    st.NormCacheEntries,
+			InternedTerms:       logic.Default().Size(),
 		})
 	}
 	return rep, nil

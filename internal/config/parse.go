@@ -153,6 +153,51 @@ func Parse(src string) (*Config, error) {
 	return c, c.Validate()
 }
 
+// ParseDeployment reads a multi-router deployment in the dialect
+// produced by PrintDeployment: one Print rendering per router, each
+// opened by its "router bgp <name>" line. Router names must be unique.
+func ParseDeployment(src string) (Deployment, error) {
+	var chunks []string
+	var cur []string
+	flush := func() {
+		// Drop chunks with no content (blank lines and comments before
+		// the first stanza).
+		content := false
+		for _, l := range cur {
+			if t := strings.TrimSpace(l); t != "" && !strings.HasPrefix(t, "!") {
+				content = true
+				break
+			}
+		}
+		if content {
+			chunks = append(chunks, strings.Join(cur, "\n"))
+		}
+		cur = nil
+	}
+	for _, raw := range strings.Split(src, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(raw), "router bgp ") {
+			flush()
+		}
+		cur = append(cur, raw)
+	}
+	flush()
+	if len(chunks) == 0 {
+		return nil, fmt.Errorf("config: no 'router bgp' stanza")
+	}
+	dep := Deployment{}
+	for _, chunk := range chunks {
+		c, err := Parse(chunk)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := dep[c.Router]; ok {
+			return nil, fmt.Errorf("config: duplicate configuration for router %s", c.Router)
+		}
+		dep[c.Router] = c
+	}
+	return dep, nil
+}
+
 func parseAction(tok string) (Action, error) {
 	switch tok {
 	case "permit":

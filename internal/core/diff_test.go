@@ -1,0 +1,240 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/netgen"
+	"repro/internal/scenarios"
+	"repro/internal/spec"
+)
+
+// coldReport builds a fresh explainer over dep and renders its report —
+// the ground truth every incremental path must reproduce byte for byte.
+func coldReport(t *testing.T, sc *scenarios.Scenario, dep config.Deployment, reqs []spec.Requirement, opts Options) (string, error) {
+	t.Helper()
+	if reqs == nil {
+		reqs = sc.Requirements()
+	}
+	e, err := NewExplainer(sc.Net, reqs, dep, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.Report()
+}
+
+// TestReExplainByteIdentity is the tentpole's differential pin: for
+// every seed scenario and a battery of deterministic random edits, the
+// incremental re-explanation must produce byte-for-byte the report a
+// cold explainer produces on the edited network — with proof
+// verification on, so spliced verdicts stand on checked proofs.
+func TestReExplainByteIdentity(t *testing.T) {
+	opts := DefaultOptions()
+	opts.VerifyProofs = true
+	for _, sc := range scenarios.All() {
+		dep := synthScenario(t, sc)
+		for seed := int64(1); seed <= 3; seed++ {
+			edited, edits := netgen.Perturb(dep, seed, 2)
+			if len(edits) == 0 {
+				t.Fatalf("%s seed %d: no edit sites", sc.Name, seed)
+			}
+			e, err := NewExplainer(sc.Net, sc.Requirements(), dep, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.Report(); err != nil {
+				t.Fatalf("%s: cold report: %v", sc.Name, err)
+			}
+			dr, incErr := e.ReExplain(Delta{Deployment: edited})
+			want, coldErr := coldReport(t, sc, edited, nil, opts)
+			if coldErr != nil {
+				if incErr == nil {
+					t.Fatalf("%s seed %d: cold explain fails (%v) but ReExplain succeeded", sc.Name, seed, coldErr)
+				}
+				continue
+			}
+			if incErr != nil {
+				t.Fatalf("%s seed %d: ReExplain: %v (edits: %v)", sc.Name, seed, incErr, edits)
+			}
+			if dr.Report != want {
+				t.Fatalf("%s seed %d: incremental report diverges from cold report (edits: %v)\n-- incremental --\n%s\n-- cold --\n%s",
+					sc.Name, seed, edits, dr.Report, want)
+			}
+			if dr.Stats.Spliced+dr.Stats.Recomputed != dr.Stats.Routers && !dr.Stats.FastPath {
+				t.Fatalf("%s seed %d: spliced %d + recomputed %d != routers %d",
+					sc.Name, seed, dr.Stats.Spliced, dr.Stats.Recomputed, dr.Stats.Routers)
+			}
+			if !strings.Contains(dr.Summary, "WHAT-IF DELTA SUMMARY") {
+				t.Fatalf("%s seed %d: malformed summary:\n%s", sc.Name, seed, dr.Summary)
+			}
+		}
+	}
+}
+
+// TestReExplainWorkerMatrix pins byte-identity across the resource
+// knobs: SAT portfolio width times lift worker pool size must never
+// change a single byte of the incremental report.
+func TestReExplainWorkerMatrix(t *testing.T) {
+	sc := scenarios.Scenario2()
+	dep := synthScenario(t, sc)
+	edited, _ := netgen.Perturb(dep, 5, 1)
+	want, coldErr := coldReport(t, sc, edited, nil, DefaultOptions())
+	if coldErr != nil {
+		t.Fatalf("cold report on edited network: %v", coldErr)
+	}
+	for _, satW := range []int{1, 2} {
+		for _, liftW := range []int{1, 4} {
+			opts := DefaultOptions()
+			opts.Budget.SatWorkers = satW
+			opts.LiftWorkers = liftW
+			e, err := NewExplainer(sc.Net, sc.Requirements(), dep, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.Report(); err != nil {
+				t.Fatal(err)
+			}
+			dr, err := e.ReExplain(Delta{Deployment: edited})
+			if err != nil {
+				t.Fatalf("sat=%d lift=%d: %v", satW, liftW, err)
+			}
+			if dr.Report != want {
+				t.Fatalf("sat=%d lift=%d: incremental report diverges from cold report", satW, liftW)
+			}
+		}
+	}
+}
+
+// TestReExplainModelInvisibleEditFastPath: changing the VALUE of a MED
+// metric (outside the modeled selection semantics; the set line itself
+// stays, so the symbolization surface is unchanged) must take the fast
+// path — previous report reused verbatim — and that report must still
+// be byte-identical to a cold report over the edited network.
+func TestReExplainModelInvisibleEditFastPath(t *testing.T) {
+	sc := scenarios.Scenario2()
+	synthDep := synthScenario(t, sc)
+
+	// Baseline network: R2 carries a concrete MED metric.
+	withMED := func(base config.Deployment, med int) (config.Deployment, *config.Set) {
+		out := config.Deployment{}
+		for name, c := range base {
+			out[name] = c
+		}
+		c := base["R2"].Clone()
+		out["R2"] = c
+		cl := c.RouteMaps[c.RouteMapNames()[0]].Clauses[0]
+		s := &config.Set{Kind: config.SetMED, MED: med}
+		cl.Sets = append(cl.Sets, s)
+		return out, s
+	}
+	dep, _ := withMED(synthDep, 50)
+	// Edited network: same line, different metric.
+	edited, _ := withMED(synthDep, 70)
+
+	e := newExplainer(t, sc, dep, nil)
+	prior, err := e.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := e.ReExplain(Delta{Deployment: edited})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dr.Stats.FastPath {
+		t.Fatalf("MED-only edit did not take the fast path: %+v\n%s", dr.Stats, dr.Summary)
+	}
+	if dr.Report != prior {
+		t.Fatal("fast path did not reuse the previous report verbatim")
+	}
+	if len(dr.Stats.EditedConfigs) != 1 || dr.Stats.EditedConfigs[0] != "R2" {
+		t.Fatalf("EditedConfigs = %v, want [R2]", dr.Stats.EditedConfigs)
+	}
+	want, coldErr := coldReport(t, sc, edited, nil, DefaultOptions())
+	if coldErr != nil {
+		t.Fatal(coldErr)
+	}
+	if dr.Report != want {
+		t.Fatal("fast-path report diverges from a cold report over the edited network")
+	}
+	// The explainer now targets the edited network.
+	if e.Deployment["R2"] != edited["R2"] {
+		t.Fatal("ReExplain did not adopt the edited deployment")
+	}
+}
+
+// TestReExplainSpecOnlyEditDirtiesCone: editing only the requirements
+// leaves every config untouched; the dirty set must be exactly the
+// routers whose seed constraints intersect the edit's cone of
+// influence, and exactly those routers' lift stages recompute — every
+// other router splices.
+func TestReExplainSpecOnlyEditDirtiesCone(t *testing.T) {
+	sc := scenarios.Scenario3()
+	dep := synthScenario(t, sc)
+	e := newExplainer(t, sc, dep, nil)
+	if _, err := e.Report(); err != nil {
+		t.Fatal(err)
+	}
+	reqs := sc.Requirements()
+	if len(reqs) < 2 {
+		t.Fatalf("scenario needs >= 2 requirements, has %d", len(reqs))
+	}
+	newReqs := reqs[:len(reqs)-1] // drop one requirement: a pure spec edit
+	dr, err := e.ReExplain(Delta{Reqs: newReqs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Stats.FastPath {
+		t.Fatal("a requirements change must not take the fast path")
+	}
+	if len(dr.Stats.EditedConfigs) != 0 {
+		t.Fatalf("no config changed, but EditedConfigs = %v", dr.Stats.EditedConfigs)
+	}
+	// The dirty set and the recomputed set must coincide: a router whose
+	// seed is outside the edit's cone has a pointer-identical simplified
+	// form and splices; a router inside it recomputes.
+	if dr.Stats.Recomputed != len(dr.Stats.PredictedDirty) {
+		t.Fatalf("recomputed %d routers, but dirty set is %v", dr.Stats.Recomputed, dr.Stats.PredictedDirty)
+	}
+	if dr.Stats.Spliced+dr.Stats.Recomputed != dr.Stats.Routers {
+		t.Fatalf("spliced %d + recomputed %d != routers %d", dr.Stats.Spliced, dr.Stats.Recomputed, dr.Stats.Routers)
+	}
+	want, coldErr := coldReport(t, sc, dep, newReqs, DefaultOptions())
+	if coldErr != nil {
+		t.Fatal(coldErr)
+	}
+	if dr.Report != want {
+		t.Fatal("spec-only incremental report diverges from cold report")
+	}
+}
+
+// TestReExplainChainedEdits drives several generations of edits through
+// one explainer — the interactive what-if session the feature exists
+// for — checking byte-identity at every step.
+func TestReExplainChainedEdits(t *testing.T) {
+	sc := scenarios.Scenario3()
+	dep := synthScenario(t, sc)
+	e := newExplainer(t, sc, dep, nil)
+	if _, err := e.Report(); err != nil {
+		t.Fatal(err)
+	}
+	cur := dep
+	for gen := int64(10); gen < 13; gen++ {
+		edited, edits := netgen.Perturb(cur, gen, 1)
+		dr, incErr := e.ReExplain(Delta{Deployment: edited})
+		want, coldErr := coldReport(t, sc, edited, nil, DefaultOptions())
+		if coldErr != nil {
+			if incErr == nil {
+				t.Fatalf("gen %d: cold fails (%v) but incremental succeeded", gen, coldErr)
+			}
+			return
+		}
+		if incErr != nil {
+			t.Fatalf("gen %d: ReExplain: %v (edits: %v)", gen, incErr, edits)
+		}
+		if dr.Report != want {
+			t.Fatalf("gen %d: incremental report diverges from cold (edits: %v)", gen, edits)
+		}
+		cur = edited
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/config"
 	"repro/internal/engine"
@@ -99,8 +100,16 @@ type Explanation struct {
 	// explanation and every Unsat verdict it rests on carried a proof
 	// the independent checker accepted. (A failing proof aborts the
 	// explanation with an error, so a returned explanation under
-	// Options.VerifyProofs is always Verified.)
+	// Options.VerifyProofs is always Verified. A spliced explanation
+	// — see Explainer.ReExplain — carries the verdicts, and proofs,
+	// of the run that first computed it; the splice gate only accepts
+	// entries produced under the same VerifyProofs setting.)
 	Verified bool
+
+	// liftSpliced marks an explanation whose lift stage was served from
+	// the cross-deployment report cache instead of recomputed (only
+	// possible during ReExplain).
+	liftSpliced bool
 }
 
 // Explainer explains devices of one synthesized deployment.
@@ -115,6 +124,36 @@ type Explainer struct {
 	// nil Session falls back to a fresh full encode per query, which
 	// produces identical results, only slower.
 	Session *engine.Session
+
+	// lastReport is the most recent whole-deployment report rendered by
+	// ReportContext, reused verbatim by ReExplain's fast path when an
+	// edit provably changes nothing the encoder models.
+	lastReport string
+
+	// spliceLift, set only for the duration of a ReExplain sweep,
+	// lets explain() serve a router's lift stage from the report cache
+	// when the cached entry validates against the live encoding.
+	// Ordinary queries always recompute (and refresh the cache), which
+	// keeps repeat-query semantics — warm solver reuse included —
+	// unchanged.
+	spliceLift bool
+
+	// diffInfo collects per-router delta diagnostics during a ReExplain
+	// sweep (nil outside one); diffMu guards it against the parallel
+	// report workers.
+	diffMu   sync.Mutex
+	diffInfo map[string]*routerDelta
+}
+
+// routerDelta is one router's delta diagnostics from a ReExplain
+// sweep: whether its lift stage was spliced, how many raw seed
+// conjuncts changed against the cached generation (-1 when no cached
+// generation exists), and how many conjuncts of the new seed fall in
+// the edit's cone of influence.
+type routerDelta struct {
+	spliced   bool
+	seedDelta int
+	coneAtoms int
 }
 
 // NewExplainer builds an explainer for a synthesis problem's output.
@@ -305,19 +344,171 @@ func (e *Explainer) explain(ctx context.Context, router string, targets []Target
 		}
 	}
 
-	// Step 4: lifting.
+	// Step 4: lifting — spliced from the cross-deployment report cache
+	// during a ReExplain sweep when the cached entry still matches the
+	// live encoding, recomputed (and cached) otherwise.
 	if e.Opts.Lift {
-		block, complete, err := e.lift(ctx, router, key, enc, ex)
-		if err != nil {
-			return nil, err
+		liftKey := "lift|" + key
+		var cache *engine.ReportCache
+		if e.Session != nil {
+			cache = e.Session.ReportCache()
 		}
-		ex.Subspec = block
-		ex.SubspecComplete = complete
+		spliced := false
+		if e.spliceLift && cache != nil {
+			if v, ok := cache.Get(liftKey); ok {
+				if ent, ok := v.(*liftEntry); ok {
+					if e.liftEntryValid(ent, ex, enc) {
+						ex.Subspec = ent.block
+						ex.SubspecComplete = ent.complete
+						ex.liftSpliced = true
+						spliced = true
+					}
+					e.noteDelta(router, ent, enc, spliced)
+				}
+			} else {
+				e.noteMissing(router)
+			}
+		}
+		if !spliced {
+			block, complete, err := e.lift(ctx, router, key, enc, ex)
+			if err != nil {
+				return nil, err
+			}
+			ex.Subspec = block
+			ex.SubspecComplete = complete
+		}
+		if cache != nil {
+			// Refresh even on a splice: the entry's raw seed must track
+			// the current generation so the next delta diffs against it.
+			cache.Put(liftKey, &liftEntry{
+				seed:       enc.Constraints,
+				simplified: ex.Simplified,
+				holes:      ex.HoleVars,
+				paths:      enc.PathInfos(),
+				optsSig:    e.liftOptsSig(),
+				block:      ex.Subspec,
+				complete:   ex.SubspecComplete,
+			})
+		}
 	}
 	// Every Unsat verdict this explanation rests on was re-validated by
 	// the independent checker (failures abort above with an error).
 	ex.Verified = e.Opts.VerifyProofs
 	return ex, nil
+}
+
+// liftEntry is one router's cached lift outcome in the
+// cross-deployment report cache, together with everything needed to
+// decide whether it can be spliced into a later generation's report.
+// The lift stage is a pure function of (seed semantics, candidate
+// paths, hole domains, lift options): terms are hash-consed, so
+// "same semantics" is certified by pointer equality on the simplified
+// normal form, "same candidates" by pointer equality on the path
+// infos' terms, and "same domains" by pointer equality on the hole
+// variables (variables intern with their sort, so a changed enum
+// domain yields a different pointer). See DESIGN.md ("Incremental
+// re-explanation") for the splice-safety argument.
+type liftEntry struct {
+	seed       []logic.Term // raw seed conjuncts of the generation that produced the entry
+	simplified logic.Term
+	holes      map[string]*logic.Var
+	paths      []synth.PathInfo
+	optsSig    string
+	block      *spec.Block
+	complete   bool
+}
+
+// liftOptsSig captures every option the lift stage's outcome depends
+// on; entries produced under a different signature never splice.
+func (e *Explainer) liftOptsSig() string {
+	return fmt.Sprintf("p%d|m%d|c%d|v%t",
+		e.Opts.MaxPatternNodes, e.Opts.Budget.ModelCap(), e.Opts.Budget.MaxConflicts, e.Opts.VerifyProofs)
+}
+
+// liftEntryValid reports whether the cached entry's lift inputs are
+// identical to the live encoding's. Every term comparison is a pointer
+// comparison (hash-consing).
+func (e *Explainer) liftEntryValid(ent *liftEntry, ex *Explanation, enc *synth.Encoding) bool {
+	if ent.optsSig != e.liftOptsSig() || ent.simplified != ex.Simplified {
+		return false
+	}
+	if len(ent.holes) != len(ex.HoleVars) {
+		return false
+	}
+	for n, v := range ex.HoleVars {
+		if ent.holes[n] != v {
+			return false
+		}
+	}
+	paths := enc.PathInfos()
+	if len(ent.paths) != len(paths) {
+		return false
+	}
+	for i := range paths {
+		a, b := &ent.paths[i], &paths[i]
+		if a.Prefix != b.Prefix || a.Sel != b.Sel || a.LP != b.LP ||
+			len(a.EdgeConds) != len(b.EdgeConds) || len(a.Path) != len(b.Path) {
+			return false
+		}
+		for j := range a.EdgeConds {
+			if a.EdgeConds[j] != b.EdgeConds[j] {
+				return false
+			}
+		}
+		for j := range a.Path {
+			if a.Path[j] != b.Path[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// noteDelta records one router's delta diagnostics during a ReExplain
+// sweep: the raw-seed symmetric difference against the cached
+// generation and, when non-empty, the size of the edit's cone of
+// influence within the new seed (rewrite.Cone over the changed
+// conjuncts' free-variable signatures).
+func (e *Explainer) noteDelta(router string, ent *liftEntry, enc *synth.Encoding, spliced bool) {
+	if e.diffInfo == nil {
+		return
+	}
+	old := make(map[logic.Term]bool, len(ent.seed))
+	for _, c := range ent.seed {
+		old[c] = true
+	}
+	var editSig uint64
+	delta := 0
+	for _, c := range enc.Constraints {
+		if old[c] {
+			delete(old, c)
+			continue
+		}
+		delta++
+		editSig |= logic.Signature(c)
+	}
+	for c := range old {
+		delta++
+		editSig |= logic.Signature(c)
+	}
+	cone := 0
+	if delta > 0 {
+		cone = len(rewrite.Cone(enc.Constraints, editSig))
+	}
+	e.diffMu.Lock()
+	e.diffInfo[router] = &routerDelta{spliced: spliced, seedDelta: delta, coneAtoms: cone}
+	e.diffMu.Unlock()
+}
+
+// noteMissing records that a router had no cached generation to diff
+// against (treated as dirty: nothing is known about it).
+func (e *Explainer) noteMissing(router string) {
+	if e.diffInfo == nil {
+		return
+	}
+	e.diffMu.Lock()
+	e.diffInfo[router] = &routerDelta{seedDelta: -1}
+	e.diffMu.Unlock()
 }
 
 // mentionsAny reports whether t contains any of the named variables.

@@ -28,18 +28,36 @@ func (e *Explainer) ReportContext(ctx context.Context) (string, error) {
 	ctx, cancelBudget := e.Opts.Budget.Apply(ctx)
 	defer cancelBudget()
 
+	routers := e.reportRouters()
+	exs, err := e.explainSweep(ctx, routers)
+	if err != nil {
+		return "", err
+	}
+	out := e.renderReport(routers, exs)
+	e.lastReport = out
+	return out, nil
+}
+
+// reportRouters returns the configured routers in report order.
+func (e *Explainer) reportRouters() []string {
 	routers := make([]string, 0, len(e.Deployment))
 	for r := range e.Deployment {
 		routers = append(routers, r)
 	}
 	sort.Strings(routers)
+	return routers
+}
 
-	// Routers are independent explanation problems: run them on a
-	// fixed-size worker pool (none of the shared inputs are mutated,
-	// and the session cache is safe for concurrent use). A pool sized
-	// by GOMAXPROCS keeps memory bounded on wide deployments, where
-	// one goroutine per router would hold every encoder and solver
-	// alive at once. The first failure cancels the remaining work.
+// explainSweep explains every listed router across a fixed-size worker
+// pool and returns the explanations in the same order. Routers are
+// independent explanation problems: none of the shared inputs are
+// mutated, and the session cache is safe for concurrent use. A pool
+// sized by GOMAXPROCS keeps memory bounded on wide deployments, where
+// one goroutine per router would hold every encoder and solver alive
+// at once. The first failure cancels the remaining work; the error is
+// reported for the lowest-indexed failing router, so it is independent
+// of worker scheduling.
+func (e *Explainer) explainSweep(ctx context.Context, routers []string) ([]*Explanation, error) {
 	type outcome struct {
 		ex  *Explanation
 		err error
@@ -86,7 +104,20 @@ feed:
 			}
 		}
 	}
+	out := make([]*Explanation, len(routers))
+	for i, router := range routers {
+		if results[i].err != nil {
+			return nil, fmt.Errorf("core: explaining %s: %w", router, results[i].err)
+		}
+		out[i] = results[i].ex
+	}
+	return out, nil
+}
 
+// renderReport assembles the report document from the explanations
+// (in router order). Pure formatting: every byte is determined by the
+// requirements and the explanations.
+func (e *Explainer) renderReport(routers []string, exs []*Explanation) string {
 	var sb strings.Builder
 	sb.WriteString("EXPLANATION REPORT\n")
 	sb.WriteString("==================\n\n")
@@ -96,10 +127,7 @@ feed:
 	}
 	sb.WriteString("\n")
 	for i, router := range routers {
-		if results[i].err != nil {
-			return "", fmt.Errorf("core: explaining %s: %w", router, results[i].err)
-		}
-		ex := results[i].ex
+		ex := exs[i]
 		fmt.Fprintf(&sb, "--- %s ---\n", router)
 		fmt.Fprintf(&sb, "seed: %d atoms over %d variables; simplified: %d atoms (%.0fx, %d passes)\n",
 			ex.SeedSize, len(ex.HoleVars), ex.SimplifiedSize, ex.Reduction(), ex.Passes)
@@ -119,5 +147,5 @@ feed:
 		}
 		sb.WriteString("\n")
 	}
-	return sb.String(), nil
+	return sb.String()
 }

@@ -141,6 +141,12 @@ type Stats struct {
 	// SimplifyHits counts seed simplifications answered from the
 	// session's per-seed outcome cache without touching the normalizer.
 	SimplifyHits int
+	// ReportCacheHits and ReportCacheMisses count lookups in the
+	// cross-deployment report cache (per-router lift artifacts reused
+	// by delta re-explanation). Cumulative across the session chain:
+	// successor sessions share one cache.
+	ReportCacheHits   int
+	ReportCacheMisses int
 	// NormCacheHits and NormCacheMisses count subterm lookups in the
 	// session's shared normal-form cache (the rewrite engine's
 	// memoization table); NormCacheEntries is the number of distinct

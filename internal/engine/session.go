@@ -61,12 +61,13 @@ type Session struct {
 	solvMu  sync.Mutex
 	solvers map[string]*smt.Solver
 
-	// simpMu guards the per-seed outcome cache, keyed by the canonical
+	// simps is the per-seed outcome cache, keyed by the canonical
 	// (interned) seed term. Simplification is a pure function of the
 	// term, so repeat queries over a cached encoding skip normalization
-	// entirely.
-	simpMu sync.Mutex
-	simps  map[logic.Term]*SimplifyOutcome
+	// entirely. Successor sessions (NewSessionFrom) share the cache:
+	// purity makes it sound across deployments, and an edited network's
+	// unchanged routers present pointer-identical seeds.
+	simps *simpCache
 
 	// nf is the session-lifetime normal-form cache shared by every
 	// simplification run through this session: distinct seeds that
@@ -74,8 +75,80 @@ type Session struct {
 	// their encodings) reuse one another's normalization work at
 	// subterm granularity. The cache is safe for concurrent readers
 	// and writers, so parallel report workers simplify through it
-	// directly.
+	// directly. Shared with successor sessions.
 	nf *rewrite.Cache
+
+	// reports is the cross-deployment report cache successor sessions
+	// inherit: opaque per-router artifacts (the explainer's lift
+	// results) keyed by encoding key. Values are validated by the
+	// caller against the current encoding before reuse — the cache
+	// itself only stores and counts.
+	reports *ReportCache
+
+	// prevBase is the predecessor session's base encoding (set by
+	// NewSessionFrom): ensureBase derives this session's base from it,
+	// sharing every candidate whose path avoids the edited routers.
+	prevBase *synth.Base
+}
+
+// simpCache is the sharable per-seed simplification cache (see
+// Session.simps).
+type simpCache struct {
+	mu sync.Mutex
+	m  map[logic.Term]*SimplifyOutcome
+}
+
+// ReportCache stores per-router explanation artifacts across
+// deployment generations. Keys are the session encoding keys; values
+// are opaque to the engine (the core layer stores its lift outcomes
+// and re-validates them against the live encoding before splicing, so
+// a stale entry costs a recompute, never a wrong answer). Safe for
+// concurrent use.
+type ReportCache struct {
+	mu     sync.Mutex
+	m      map[string]any
+	hits   int
+	misses int
+}
+
+// NewReportCache creates an empty report cache.
+func NewReportCache() *ReportCache {
+	return &ReportCache{m: make(map[string]any)}
+}
+
+// Get returns the entry stored under key, counting a hit or miss.
+func (rc *ReportCache) Get(key string) (any, bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	v, ok := rc.m[key]
+	if ok {
+		rc.hits++
+	} else {
+		rc.misses++
+	}
+	return v, ok
+}
+
+// Put stores an entry under key, displacing any previous one.
+func (rc *ReportCache) Put(key string, v any) {
+	rc.mu.Lock()
+	rc.m[key] = v
+	rc.mu.Unlock()
+}
+
+// Len returns the number of stored entries.
+func (rc *ReportCache) Len() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return len(rc.m)
+}
+
+// Counters returns the cumulative hit and miss counts (callers wanting
+// per-phase figures snapshot before and after).
+func (rc *ReportCache) Counters() (hits, misses int) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.hits, rc.misses
 }
 
 // SimplifyOutcome is one seed's cached simplification: the simplified
@@ -107,10 +180,45 @@ func NewSession(net *topology.Network, reqs []spec.Requirement, dep config.Deplo
 		in:      logic.Default(),
 		entries: make(map[string]*entry),
 		solvers: make(map[string]*smt.Solver),
-		simps:   make(map[logic.Term]*SimplifyOutcome),
+		simps:   &simpCache{m: make(map[logic.Term]*SimplifyOutcome)},
 		nf:      rewrite.NewCache(),
+		reports: NewReportCache(),
 	}
 }
+
+// NewSessionFrom creates the successor session for an edited variant
+// of prev's problem: same topology and encoder options, new
+// requirements and deployment. The successor shares prev's pure
+// cross-deployment state — the term table, the normal-form cache, the
+// per-seed simplification cache, and the report cache — and derives
+// its base encoding from prev's (candidates on paths avoiding the
+// edited routers are pointer-shared). Deployment-specific state is NOT
+// shared: encoding entries and the warm-solver pool start empty, since
+// their contents assert the predecessor deployment's constraints.
+// Budget and VerifyProofs are copied from prev.
+func NewSessionFrom(prev *Session, reqs []spec.Requirement, dep config.Deployment) *Session {
+	s := &Session{
+		net:          prev.net,
+		reqs:         reqs,
+		dep:          dep,
+		opts:         prev.opts,
+		in:           prev.in,
+		Budget:       prev.Budget,
+		VerifyProofs: prev.VerifyProofs,
+		entries:      make(map[string]*entry),
+		solvers:      make(map[string]*smt.Solver),
+		simps:        prev.simps,
+		nf:           prev.nf,
+		reports:      prev.reports,
+	}
+	prev.baseMu.Lock()
+	s.prevBase = prev.base
+	prev.baseMu.Unlock()
+	return s
+}
+
+// ReportCache returns the session's cross-deployment report cache.
+func (s *Session) ReportCache() *ReportCache { return s.reports }
 
 // Interner returns the session's shared term table. Solvers working on
 // this session's encodings should adopt it (smt.Solver.UseInterner) so
@@ -197,7 +305,7 @@ func (s *Session) ensureBase(ctx context.Context) *synth.Base {
 		return s.base
 	}
 	start := time.Now()
-	base, err := synth.NewBase(ctx, s.net, s.dep, s.opts)
+	base, err := synth.NewBaseFrom(ctx, s.net, s.dep, s.opts, s.prevBase)
 	if err != nil {
 		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 			s.baseDead = true
@@ -212,6 +320,15 @@ func (s *Session) ensureBase(ctx context.Context) *synth.Base {
 	return base
 }
 
+// EnsureBase builds (or returns) the session's base encoding — the
+// concrete deployment's candidate structure. Nil when base
+// construction failed; derived encodes then proceed without reuse.
+// Exported for the delta layer, which diffs the predecessor's and
+// successor's bases to locate an edit's modeled footprint.
+func (s *Session) EnsureBase(ctx context.Context) *synth.Base {
+	return s.ensureBase(ctx)
+}
+
 // Simplify normalizes the seed term through the session's shared
 // normal-form cache, caching the per-seed outcome by the term's
 // canonical pointer — with hash-consed encodings a repeat query over a
@@ -224,15 +341,15 @@ func (s *Session) ensureBase(ctx context.Context) *synth.Base {
 // work happened to be done in), so either result is the same.
 func (s *Session) Simplify(seed logic.Term) *SimplifyOutcome {
 	seed = s.in.Intern(seed)
-	s.simpMu.Lock()
-	if out, ok := s.simps[seed]; ok {
-		s.simpMu.Unlock()
+	s.simps.mu.Lock()
+	if out, ok := s.simps.m[seed]; ok {
+		s.simps.mu.Unlock()
 		s.mu.Lock()
 		s.stats.SimplifyHits++
 		s.mu.Unlock()
 		return out
 	}
-	s.simpMu.Unlock()
+	s.simps.mu.Unlock()
 	simp := rewrite.NewShared(s.nf)
 	out := &SimplifyOutcome{
 		Simplified: simp.Simplify(seed),
@@ -240,9 +357,9 @@ func (s *Session) Simplify(seed logic.Term) *SimplifyOutcome {
 		Trace:      append([]int(nil), simp.Trace...),
 		Stats:      simp.Stats,
 	}
-	s.simpMu.Lock()
-	s.simps[seed] = out
-	s.simpMu.Unlock()
+	s.simps.mu.Lock()
+	s.simps.m[seed] = out
+	s.simps.mu.Unlock()
 	return out
 }
 
@@ -354,6 +471,7 @@ func (s *Session) Stats() Stats {
 	st.NormCacheHits = s.nf.Hits()
 	st.NormCacheMisses = s.nf.Misses()
 	st.NormCacheEntries = s.nf.Len()
+	st.ReportCacheHits, st.ReportCacheMisses = s.reports.Counters()
 	st.LiftQueries = len(s.liftNS)
 	if n := len(s.liftNS); n > 0 {
 		ns := append([]int64(nil), s.liftNS...)

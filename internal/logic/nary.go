@@ -141,6 +141,27 @@ func varBit(name string) uint64 {
 // The signature admits false positives (two names may share a bit) but
 // no false negatives, so sig&mask == 0 proves none of the masked
 // variables occur.
+// Signature returns the term's 64-bit free-variable Bloom signature:
+// one bit per (hashed) variable name occurring free in the term.
+// Interned nodes answer in O(1) from the signature cached at intern
+// time; hand-built nodes fall back to a walk. The signature admits
+// false positives (two names may share a bit) but no false negatives:
+// Signature(a)&Signature(b) == 0 proves a and b share no variables.
+func Signature(t Term) uint64 {
+	if sig, ok := varSigFast(t); ok {
+		return sig
+	}
+	var sig uint64
+	Walk(t, func(u Term) bool {
+		if s, ok := varSigFast(u); ok {
+			sig |= s
+			return false
+		}
+		return true
+	})
+	return sig
+}
+
 func varSigFast(t Term) (sig uint64, ok bool) {
 	switch n := t.(type) {
 	case *Var:

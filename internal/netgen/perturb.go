@@ -1,0 +1,165 @@
+package netgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/config"
+	"repro/internal/synth"
+)
+
+// Edit records one deterministic single-router perturbation applied by
+// Perturb.
+type Edit struct {
+	// Router is the edited device.
+	Router string
+	// Kind names the edit family: "action-flip", "pref-change",
+	// "med-change", or "nexthop-change".
+	Kind string
+	// Detail locates and describes the edit (route-map, clause, old and
+	// new value).
+	Detail string
+}
+
+// editSite is one place an edit could land, in deterministic
+// enumeration order.
+type editSite struct {
+	router string
+	rm     string
+	clause int // index into Clauses
+	kind   string
+	setIdx int // index into Sets for set edits, -1 otherwise
+}
+
+// Perturb applies nEdits deterministic single-router edits to a
+// concrete deployment and returns the edited deployment plus the edit
+// list. The same (deployment, seed, nEdits) always produces the same
+// edits. Edited routers' configurations are deep-cloned; unedited
+// routers share the input's pointers, so callers (and the incremental
+// re-explainer) can detect untouched configs by identity.
+//
+// The edit families model the what-if questions an operator asks of a
+// synthesized network:
+//
+//   - action-flip: a route-map clause's permit/deny is inverted
+//     (a filter policy change — visible to the encoding).
+//   - pref-change: a set local-preference value is moved
+//     (a preference policy change — visible to the encoding).
+//   - med-change: a clause's MED metric is added or adjusted (the
+//     classic "link weight" tweak; MED is outside the modeled
+//     selection semantics, so the encoding is unchanged).
+//   - nexthop-change: a set next-hop-ip line is toggled between the
+//     base vocabulary addresses (cosmetic rewrite, forwarding
+//     semantics unmodeled).
+//
+// Sites are enumerated in sorted router / route-map / clause order and
+// chosen by a seeded permutation, at most one edit per site.
+func Perturb(dep config.Deployment, seed int64, nEdits int) (config.Deployment, []Edit) {
+	var sites []editSite
+	routers := make([]string, 0, len(dep))
+	for r := range dep {
+		routers = append(routers, r)
+	}
+	sort.Strings(routers)
+	for _, r := range routers {
+		c := dep[r]
+		for _, name := range c.RouteMapNames() {
+			rm := c.RouteMaps[name]
+			for ci, cl := range rm.Clauses {
+				if cl.ActionHole == "" {
+					sites = append(sites, editSite{r, name, ci, "action-flip", -1})
+				}
+				sites = append(sites, editSite{r, name, ci, "med-change", -1})
+				for si, s := range cl.Sets {
+					if s.ParamHole != "" {
+						continue
+					}
+					switch s.Kind {
+					case config.SetLocalPref:
+						// Only preferences already on the modeled rank
+						// grid can be moved along it.
+						if _, err := synth.EncodeLP(s.LocalPref); err == nil {
+							sites = append(sites, editSite{r, name, ci, "pref-change", si})
+						}
+					case config.SetNextHopIP:
+						sites = append(sites, editSite{r, name, ci, "nexthop-change", si})
+					}
+				}
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(sites))
+	if nEdits > len(sites) {
+		nEdits = len(sites)
+	}
+
+	out := config.Deployment{}
+	for name, c := range dep {
+		out[name] = c // pointer-shared until edited
+	}
+	cloned := map[string]bool{}
+	edits := make([]Edit, 0, nEdits)
+	for _, idx := range perm[:nEdits] {
+		site := sites[idx]
+		if !cloned[site.router] {
+			out[site.router] = out[site.router].Clone()
+			cloned[site.router] = true
+		}
+		cl := out[site.router].RouteMaps[site.rm].Clauses[site.clause]
+		at := fmt.Sprintf("%s seq %d", site.rm, cl.Seq)
+		var detail string
+		switch site.kind {
+		case "action-flip":
+			old := cl.Action
+			if cl.Action == config.Permit {
+				cl.Action = config.Deny
+			} else {
+				cl.Action = config.Permit
+			}
+			detail = fmt.Sprintf("%s: %v -> %v", at, old, cl.Action)
+		case "pref-change":
+			s := cl.Sets[site.setIdx]
+			old := s.LocalPref
+			// Step along the modeled rank grid [20..170 step 10]; for
+			// any on-grid value, one of the two directions stays inside.
+			delta := 10 * (1 + rng.Intn(3))
+			nu := old + delta
+			if _, err := synth.EncodeLP(nu); err != nil {
+				nu = old - delta
+			}
+			s.LocalPref = nu
+			detail = fmt.Sprintf("%s: local-preference %d -> %d", at, old, nu)
+		case "med-change":
+			var med *config.Set
+			for _, s := range cl.Sets {
+				if s.Kind == config.SetMED && s.ParamHole == "" {
+					med = s
+					break
+				}
+			}
+			if med == nil {
+				med = &config.Set{Kind: config.SetMED}
+				cl.Sets = append(cl.Sets, med)
+			}
+			old := med.MED
+			med.MED = old + 5*(1+rng.Intn(4))
+			detail = fmt.Sprintf("%s: med %d -> %d", at, old, med.MED)
+		case "nexthop-change":
+			s := cl.Sets[site.setIdx]
+			old := s.NextHopIP
+			// Toggle between the encoder's base vocabulary addresses
+			// (always in the vocabulary), so the edit cannot grow the
+			// enum sorts the encodings range over.
+			if s.NextHopIP == "10.0.0.1" {
+				s.NextHopIP = "10.0.0.2"
+			} else {
+				s.NextHopIP = "10.0.0.1"
+			}
+			detail = fmt.Sprintf("%s: next-hop %s -> %s", at, old, s.NextHopIP)
+		}
+		edits = append(edits, Edit{Router: site.router, Kind: site.kind, Detail: detail})
+	}
+	return out, edits
+}

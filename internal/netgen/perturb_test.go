@@ -1,0 +1,118 @@
+package netgen
+
+import (
+	"testing"
+
+	"repro/internal/config"
+)
+
+// perturbFixture is a small concrete deployment exercising every edit
+// family's site enumeration.
+func perturbFixture() config.Deployment {
+	r1 := config.New("R1")
+	r1.AddRouteMap(&config.RouteMap{
+		Name: "R1_to_P1",
+		Clauses: []*config.Clause{
+			{Seq: 10, Action: config.Permit, Sets: []*config.Set{
+				{Kind: config.SetLocalPref, LocalPref: 120},
+				{Kind: config.SetNextHopIP, NextHopIP: "10.0.0.1"},
+			}},
+			{Seq: 100, Action: config.Deny},
+		},
+	})
+	r2 := config.New("R2")
+	r2.AddRouteMap(&config.RouteMap{
+		Name: "R2_from_P2",
+		Clauses: []*config.Clause{
+			{Seq: 10, Action: config.Permit, Sets: []*config.Set{
+				{Kind: config.SetLocalPref, LocalPref: 80},
+				{Kind: config.SetMED, MED: 30},
+			}},
+		},
+	})
+	return config.Deployment{"R1": r1, "R2": r2}
+}
+
+func TestPerturbDeterministic(t *testing.T) {
+	dep := perturbFixture()
+	a, ea := Perturb(dep, 7, 3)
+	b, eb := Perturb(dep, 7, 3)
+	if len(ea) != 3 || len(eb) != 3 {
+		t.Fatalf("edit counts: %d, %d, want 3", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edit %d differs across identical calls: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+	for name := range dep {
+		if config.Print(a[name]) != config.Print(b[name]) {
+			t.Fatalf("%s differs across identical Perturb calls", name)
+		}
+	}
+	// A different seed must (on this fixture) choose different edits.
+	_, ec := Perturb(dep, 8, 3)
+	same := true
+	for i := range ea {
+		if ea[i] != ec[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical edit lists")
+	}
+}
+
+func TestPerturbSharesUneditedConfigs(t *testing.T) {
+	dep := perturbFixture()
+	before := map[string]string{}
+	for name, c := range dep {
+		before[name] = config.Print(c)
+	}
+	out, edits := Perturb(dep, 3, 2)
+	edited := map[string]bool{}
+	for _, e := range edits {
+		edited[e.Router] = true
+		if e.Detail == "" || e.Kind == "" {
+			t.Fatalf("edit missing detail: %+v", e)
+		}
+	}
+	for name := range dep {
+		if edited[name] {
+			if out[name] == dep[name] {
+				t.Fatalf("edited router %s shares the input config pointer", name)
+			}
+			if config.Print(out[name]) == before[name] {
+				t.Fatalf("edited router %s prints identically to the input", name)
+			}
+		} else if out[name] != dep[name] {
+			t.Fatalf("unedited router %s was cloned", name)
+		}
+		// The input deployment is never mutated.
+		if config.Print(dep[name]) != before[name] {
+			t.Fatalf("Perturb mutated the input config of %s", name)
+		}
+	}
+}
+
+func TestPerturbStaysOnRankGrid(t *testing.T) {
+	dep := perturbFixture()
+	// Drive every site over many seeds; any off-grid local-preference
+	// or unknown next-hop would break re-encoding downstream.
+	for seed := int64(0); seed < 20; seed++ {
+		out, _ := Perturb(dep, seed, 10)
+		for name, c := range out {
+			for _, rm := range c.RouteMapNames() {
+				for _, cl := range c.RouteMaps[rm].Clauses {
+					for _, s := range cl.Sets {
+						if s.Kind == config.SetLocalPref {
+							if s.LocalPref < 20 || s.LocalPref > 170 || s.LocalPref%10 != 0 {
+								t.Fatalf("seed %d: %s local-preference %d off the rank grid", seed, name, s.LocalPref)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package rewrite
+
+import "repro/internal/logic"
+
+// Cone computes the cone of influence of an edit inside a constraint
+// conjunction: the conjuncts transitively connected, through shared
+// free variables, to the variables named by editSig (a Bloom signature
+// built with logic.Signature over the edited terms).
+//
+// The closure mirrors how normalization spreads information: rules
+// like eq-propagation carry a fact from one conjunct into every
+// conjunct sharing its variables, which can in turn expose new facts,
+// so an edit's reach is the fixpoint of "shares a variable with an
+// already-reached conjunct". Signatures are Bloom filters, so the
+// result over-approximates (two variable names may share a bit) but
+// never under-approximates: a conjunct outside the returned cone
+// provably shares no variable with the edit.
+//
+// The returned slice preserves the conjunct order of the input. A zero
+// editSig (the edit touches no variables, e.g. a pure-constant change)
+// yields an empty cone.
+func Cone(conjuncts []logic.Term, editSig uint64) []logic.Term {
+	if editSig == 0 || len(conjuncts) == 0 {
+		return nil
+	}
+	sigs := make([]uint64, len(conjuncts))
+	for i, c := range conjuncts {
+		sigs[i] = logic.Signature(c)
+	}
+	in := make([]bool, len(conjuncts))
+	reach := editSig
+	for changed := true; changed; {
+		changed = false
+		for i, s := range sigs {
+			if in[i] || s&reach == 0 || s == 0 {
+				continue
+			}
+			in[i] = true
+			if s&^reach != 0 {
+				reach |= s
+				changed = true
+			}
+		}
+	}
+	var out []logic.Term
+	for i, c := range conjuncts {
+		if in[i] {
+			out = append(out, c)
+		}
+	}
+	return out
+}

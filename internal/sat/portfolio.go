@@ -14,8 +14,12 @@ package sat
 //
 // Sharing protocol: workers export units and glue clauses (LBD <=
 // coreLBD) into one append-only pool as they learn them; each worker
-// drains the pool at its own restart boundaries (decision level 0,
-// propagation at fixpoint) and admits each candidate through a RUP
+// drains the pool at solve start and at its own restart boundaries
+// (decision level 0, propagation at fixpoint), and additionally polls
+// the pool every shareImportCadence conflicts mid-search, forcing an
+// early restart when peers have published — short queries would
+// otherwise finish before their first scheduled restart and import
+// nothing. Every candidate is admitted through a RUP
 // gate — assume the clause's negation on a throwaway decision level,
 // propagate, and require a conflict. The gate serves two masters at
 // once: it filters clauses that this worker's database cannot (yet)
@@ -37,6 +41,7 @@ package sat
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 )
 
 // shareMaxGlue is the export threshold: only units and clauses at or
@@ -61,6 +66,9 @@ type sharedClause struct {
 type sharePool struct {
 	mu  sync.Mutex
 	log []sharedClause
+	// n mirrors len(log) atomically so workers can poll for pending
+	// entries from inside the search loop without taking the mutex.
+	n atomic.Int64
 }
 
 // publish appends a copy of the clause to the pool.
@@ -68,7 +76,16 @@ func (p *sharePool) publish(from int, lits []Lit, lbd int32) {
 	cp := append([]Lit(nil), lits...)
 	p.mu.Lock()
 	p.log = append(p.log, sharedClause{from: from, lbd: lbd, lits: cp})
+	p.n.Store(int64(len(p.log)))
 	p.mu.Unlock()
+}
+
+// pending reports whether entries beyond cursor exist — a lock-free
+// hint for the in-search import poll. A false negative merely delays an
+// import to the next poll or restart; a false positive cannot happen
+// (the log is append-only).
+func (p *sharePool) pending(cursor int) bool {
+	return p.n.Load() > int64(cursor)
 }
 
 // since returns the entries published at or after cursor, and the new

@@ -1,0 +1,38 @@
+package sat
+
+import "testing"
+
+// TestPortfolioImportsAcrossShortSolves pins the fix for a sharing
+// blind spot: a query that finishes before its first scheduled restart
+// used to import nothing — the only import point was the restart
+// boundary — so pipelines made of many short solves saw
+// SharedImported = 0 at any width. Imports now also run at the top of
+// every solve (draining what peers published during earlier solves)
+// and via the mid-search cadence poll, so a sequence of short races on
+// one team must move clauses in BOTH directions: exports and imports.
+func TestPortfolioImportsAcrossShortSolves(t *testing.T) {
+	base := NewSolver()
+	tr := NewTrace()
+	if err := base.SetProof(tr); err != nil {
+		t.Fatal(err)
+	}
+	addRandom3SAT(base, 110, 470, benchSeedHard3SAT)
+	p := NewPortfolio(base, 2)
+	// Several short queries under shifting assumptions — the explanation
+	// pipeline's access pattern. Each query alone is far below the first
+	// restart interval of most profiles.
+	for v := Var(0); v < 8; v++ {
+		p.Solve(MkLit(v, v%2 == 0))
+	}
+	sum := p.StatsSum()
+	if sum.SharedExported == 0 {
+		t.Fatal("no worker exported a clause across 8 queries")
+	}
+	if sum.SharedImported == 0 {
+		t.Fatalf("no worker imported a clause across 8 queries (exported %d, rejected %d)",
+			sum.SharedExported, sum.SharedRejected)
+	}
+	// Every import was RUP-gated onto the importer's own trace; worker
+	// 0's trace must still check end to end.
+	mustCheckTrace(t, tr)
+}

@@ -69,8 +69,8 @@ type Stats struct {
 	// collecting every higher index.
 	PortfolioRaces uint64
 	PortfolioWins  [8]uint64
-	MaxVars             int
-	Clauses             int
+	MaxVars        int
+	Clauses        int
 	// CoreLearnts, MidLearnts, and LocalLearnts gauge the tiered
 	// learnt-clause database (glue<=2 / glue<=6 / rest) as of the last
 	// reduction or solve.
@@ -263,7 +263,7 @@ type Solver struct {
 	ok      bool // false once the clause set is known unsat at level 0
 	clauses []*clause
 	learnts []*clause
-	watches [][]watcher  // indexed by Lit; clauses of three or more literals
+	watches [][]watcher   // indexed by Lit; clauses of three or more literals
 	bins    [][]binWatch  // indexed by Lit; two-literal clauses
 	terns   [][]ternWatch // indexed by Lit; three-literal clauses
 
@@ -287,7 +287,7 @@ type Solver struct {
 	targetPhase []LBool
 	bestTrail   int
 
-	seen     []bool
+	seen       []bool
 	analyzeBuf []Lit // scratch for conflict analysis
 
 	// minimization scratch: the literals whose seen flags must be
@@ -1264,6 +1264,18 @@ func (s *Solver) SolveContext(ctx context.Context, assumptions ...Lit) (Status, 
 		s.targetPhase[i] = LUndef
 	}
 
+	// Solve start, decision level 0: admit peer clauses from the
+	// portfolio pool before the caller's context can end the race.
+	// Short queries — won by a peer before this worker's first restart,
+	// often before its first decision — used to import nothing, because
+	// the only import point was the restart boundary below; draining the
+	// pool up front means every worker adopts what peers published
+	// during earlier solves, even when it contributes no search time to
+	// this one.
+	if s.share != nil && !s.importShared() {
+		return Unsat, nil
+	}
+
 	maxLearnts := float64(len(s.clauses))/3 + 100
 	conflictsAtStart := s.Stats.Conflicts
 	for {
@@ -1304,9 +1316,11 @@ func (s *Solver) SolveContext(ctx context.Context, assumptions ...Lit) (Status, 
 			return Unknown, nil
 		}
 		// Restart boundary, decision level 0, propagation at fixpoint:
-		// first admit peer clauses from the portfolio pool, then let
-		// inprocessing rewrite the database (imports are ordinary
-		// learnts by the time a round sees them).
+		// first admit peer clauses from the portfolio pool (the cadence
+		// poll in search() forces an early restart onto this import when
+		// peers publish mid-search), then let inprocessing rewrite the
+		// database (imports are ordinary learnts by the time a round
+		// sees them).
 		if s.share != nil && !s.importShared() {
 			return Unsat, nil
 		}
@@ -1326,12 +1340,20 @@ func (s *Solver) Core() []Lit { return s.core }
 // latency well below a restart interval.
 const ctxCheckInterval = 64
 
+// shareImportCadence is how many conflicts pass between a portfolio
+// worker's polls of the shared-clause pool from inside search. A poll
+// that finds pending entries ends the phase (an early restart), whose
+// import then runs at the top of the solve loop. Without the poll,
+// short queries — the explanation pipeline's bread and butter — finish
+// before their first scheduled restart and never import at all.
+const shareImportCadence = 256
+
 // search runs CDCL until a result, a restart (decided adaptively, or
 // forced by the conflict budget via remaining >= 0), a cancelled
 // context (both surface as Unknown; the caller re-checks the context
 // and the budget), or unsat.
 func (s *Solver) search(ctx context.Context, remaining int64, maxLearnts *float64) Status {
-	var conflicts, iter int64
+	var conflicts, iter, lastSharePoll int64
 	for {
 		if iter%ctxCheckInterval == 0 && ctx.Err() != nil {
 			s.cancelUntil(0)
@@ -1401,6 +1423,17 @@ func (s *Solver) search(ctx context.Context, remaining int64, maxLearnts *float6
 		if s.restartNow(conflicts) {
 			s.cancelUntil(0)
 			return Unknown
+		}
+		// Portfolio import poll: every shareImportCadence conflicts,
+		// peek (lock-free) for peer clauses and force an early restart
+		// to import them. Restart counters tick as for any restart; a
+		// width-1 solver (share == nil) never polls.
+		if s.share != nil && conflicts-lastSharePoll >= shareImportCadence {
+			lastSharePoll = conflicts
+			if s.share.pending(s.shareCursor) {
+				s.cancelUntil(0)
+				return Unknown
+			}
 		}
 		if float64(len(s.learnts)) >= *maxLearnts {
 			s.reduceDB()

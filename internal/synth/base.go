@@ -3,9 +3,11 @@ package synth
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/config"
+	"repro/internal/logic"
 	"repro/internal/topology"
 )
 
@@ -32,12 +34,28 @@ type Base struct {
 // The deployment must be concrete: symbolic holes would leak hole
 // variables owned by this throwaway encoder into derived encodings.
 func NewBase(ctx context.Context, net *topology.Network, dep config.Deployment, opts Options) (*Base, error) {
+	return newBase(ctx, net, dep, opts, nil)
+}
+
+// NewBaseFrom is NewBase reusing a prior base of an edited variant of
+// the same deployment: candidates whose propagation path avoids every
+// router whose config pointer differs from the prior's deployment are
+// copied (pointer-shared) from the prior instead of re-derived. The
+// result is identical to a fresh NewBase — sharing is an exactness-
+// preserving optimization (see Encoder.WithBase) — but pointer-shared
+// candidates additionally let DiffBases compare the two bases in O(1)
+// per unchanged candidate. A nil prior degrades to NewBase.
+func NewBaseFrom(ctx context.Context, net *topology.Network, dep config.Deployment, opts Options, prior *Base) (*Base, error) {
+	return newBase(ctx, net, dep, opts, prior)
+}
+
+func newBase(ctx context.Context, net *topology.Network, dep config.Deployment, opts Options, prior *Base) (*Base, error) {
 	for name, c := range dep {
 		if !c.Concrete() {
 			return nil, fmt.Errorf("synth: base deployment config %s still has holes", name)
 		}
 	}
-	e := NewEncoder(net, dep, opts)
+	e := NewEncoder(net, dep, opts).WithBase(prior)
 	if err := e.enumerateCandidates(ctx); err != nil {
 		return nil, err
 	}
@@ -66,4 +84,155 @@ func (b *Base) NumCandidates() int {
 		n += len(m)
 	}
 	return n
+}
+
+// BaseDiff is the outcome of comparing two bases (DiffBases).
+type BaseDiff struct {
+	// Comparable is false when the bases were built over different
+	// topologies or candidate-enumeration options, in which case no
+	// finer comparison was attempted (Identical is false and EditSig
+	// covers every variable).
+	Comparable bool
+	// Identical reports that every candidate's symbolic edge condition
+	// and route state is pointer-identical between the bases: the two
+	// deployments are indistinguishable to the encoder, so every
+	// derived encoding — and everything downstream of it — coincides.
+	Identical bool
+	// Changed lists, sorted, the endpoints of edges that introduced a
+	// differing candidate: the routers whose modeled contribution the
+	// edit actually reached. Edges inheriting a difference from an
+	// upstream hop are not re-attributed (their introduction point
+	// already is).
+	Changed []string
+	// EditSig is the union of the free-variable Bloom signatures
+	// (logic.Signature) of every differing candidate's old and new
+	// terms — the seed-level footprint of the edit, feeding the cone
+	// computation (rewrite.Cone).
+	EditSig uint64
+}
+
+// DiffBases compares the modeled contribution of every candidate path
+// between two bases of the same topology. Terms are hash-consed, so
+// "unchanged" is a pointer comparison per candidate regardless of how
+// the bases were built; NewBaseFrom merely makes the bases cheaper to
+// produce.
+func DiffBases(old, nu *Base) *BaseDiff {
+	if old == nil || nu == nil || old.net != nu.net || old.opts != nu.opts {
+		return &BaseDiff{Comparable: false, EditSig: ^uint64(0)}
+	}
+	d := &BaseDiff{Comparable: true, Identical: true}
+	changed := map[string]bool{}
+
+	prefixes := map[string]bool{}
+	for p := range old.cands {
+		prefixes[p] = true
+	}
+	for p := range nu.cands {
+		prefixes[p] = true
+	}
+	for prefix := range prefixes {
+		oc, nc := old.cands[prefix], nu.cands[prefix]
+		keys := make([]string, 0, len(oc))
+		seen := map[string]bool{}
+		for k := range oc {
+			keys = append(keys, k)
+			seen[k] = true
+		}
+		for k := range nc {
+			if !seen[k] {
+				keys = append(keys, k)
+			}
+		}
+		// Shortest paths first, so a differing candidate knows whether
+		// its parent already differed (the difference is inherited, not
+		// introduced on this edge).
+		sort.Slice(keys, func(i, j int) bool {
+			ci, cj := strings.Count(keys[i], "_"), strings.Count(keys[j], "_")
+			if ci != cj {
+				return ci < cj
+			}
+			return keys[i] < keys[j]
+		})
+		dirtyKey := map[string]bool{}
+		for _, k := range keys {
+			co, cn := oc[k], nc[k]
+			if candidateSame(co, cn) {
+				continue
+			}
+			d.Identical = false
+			dirtyKey[k] = true
+			d.EditSig |= candidateSig(co) | candidateSig(cn)
+			path := strings.Split(k, "_")
+			if len(path) < 2 {
+				continue
+			}
+			parentKey := strings.Join(path[:len(path)-1], "_")
+			if dirtyKey[parentKey] {
+				continue // inherited from upstream; attributed there
+			}
+			changed[path[len(path)-2]] = true
+			changed[path[len(path)-1]] = true
+		}
+	}
+	for r := range changed {
+		d.Changed = append(d.Changed, r)
+	}
+	sort.Strings(d.Changed)
+	return d
+}
+
+// candidateSame reports whether two candidates carry the same symbolic
+// content. Terms are canonical in one interner, so every comparison is
+// a pointer comparison.
+func candidateSame(a, b *candidate) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a == b {
+		return true
+	}
+	if a.edgeCond != b.edgeCond {
+		return false
+	}
+	sa, sb := a.state, b.state
+	if (sa == nil) != (sb == nil) {
+		return false
+	}
+	if sa == nil || sa == sb {
+		return true
+	}
+	if sa.lp != sb.lp || sa.nextHop != sb.nextHop || len(sa.comms) != len(sb.comms) {
+		return false
+	}
+	for c, t := range sa.comms {
+		if sb.comms[c] != t {
+			return false
+		}
+	}
+	return true
+}
+
+// candidateSig unions the free-variable signatures of a candidate's
+// symbolic terms (edge condition, local-pref rank, community
+// conditions, selection variable).
+func candidateSig(c *candidate) uint64 {
+	if c == nil {
+		return 0
+	}
+	var sig uint64
+	if c.edgeCond != nil {
+		sig |= logic.Signature(c.edgeCond)
+	}
+	if c.sel != nil {
+		sig |= logic.Signature(c.sel)
+	}
+	if c.state != nil {
+		if c.state.lp != nil {
+			sig |= logic.Signature(c.state.lp)
+		}
+		for _, t := range c.state.comms {
+			sig |= logic.Signature(t)
+		}
+	}
+	return sig
 }

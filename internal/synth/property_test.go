@@ -1,9 +1,10 @@
-package synth
+package synth_test
 
 import (
 	"testing"
 
 	"repro/internal/netgen"
+	"repro/internal/synth"
 	"repro/internal/verify"
 )
 
@@ -14,7 +15,7 @@ import (
 // are separate implementations of BGP semantics, so this differential
 // check catches divergence in either.
 func TestSynthesisSoundnessAcrossWorkloads(t *testing.T) {
-	opts := DefaultOptions()
+	opts := synth.DefaultOptions()
 	opts.MaxPathLen = 7
 	opts.MaxCandidatesPerNode = 8
 	for seed := int64(1); seed <= 12; seed++ {
@@ -23,7 +24,7 @@ func TestSynthesisSoundnessAcrossWorkloads(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := Synthesize(wl.Net, wl.Sketch, wl.Requirements(), opts)
+			res, err := synth.Synthesize(wl.Net, wl.Sketch, wl.Requirements(), opts)
 			if err != nil {
 				// Some generated instances are genuinely
 				// unsatisfiable (e.g. the preference's primary pattern
@@ -50,11 +51,11 @@ func TestSynthesisDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts := DefaultOptions()
+	opts := synth.DefaultOptions()
 	opts.MaxPathLen = 7
 	opts.MaxCandidatesPerNode = 8
-	a, errA := Synthesize(wl.Net, wl.Sketch, wl.Requirements(), opts)
-	b, errB := Synthesize(wl.Net, wl.Sketch, wl.Requirements(), opts)
+	a, errA := synth.Synthesize(wl.Net, wl.Sketch, wl.Requirements(), opts)
+	b, errB := synth.Synthesize(wl.Net, wl.Sketch, wl.Requirements(), opts)
 	if (errA == nil) != (errB == nil) {
 		t.Fatalf("determinism broken: %v vs %v", errA, errB)
 	}

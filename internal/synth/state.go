@@ -106,6 +106,81 @@ func buildVocab(net *topology.Network, sketch config.Deployment) *vocab {
 	return v
 }
 
+// VocabContribFingerprint hashes one configuration's contribution to
+// the encoder's deployment-dependent vocabulary: the concrete
+// community tags and next-hop IPs its route-maps mention (buildVocab
+// folds these into the enum sorts every hole variable of the
+// deployment ranges over). Explanation encodings symbolize one router
+// at a time, so the vocabulary seen when explaining router Y is the
+// union of every OTHER router's contribution — if each router's
+// contribution is unchanged between two deployments, every derived
+// encoding's sorts are unchanged too. Prefixes and neighbor names come
+// from the topology and need no fingerprinting.
+func VocabContribFingerprint(c *config.Config) uint64 {
+	var items []string
+	for _, name := range c.RouteMapNames() {
+		for _, cl := range c.RouteMaps[name].Clauses {
+			for _, m := range cl.Matches {
+				if m.Kind == config.MatchCommunity && m.ValueHole == "" {
+					items = append(items, "c"+m.Community.String())
+				}
+			}
+			for _, s := range cl.Sets {
+				if s.Kind == config.SetCommunity && s.ParamHole == "" {
+					items = append(items, "c"+s.Community.String())
+				}
+				if s.Kind == config.SetNextHopIP && s.ParamHole == "" && s.NextHopIP != "" {
+					items = append(items, "ip"+s.NextHopIP)
+				}
+			}
+		}
+	}
+	sort.Strings(items)
+	// Deduplicate: the vocabulary is a set, so repeating a tag is not a
+	// contribution change.
+	h := uint64(14695981039346656037)
+	prev := ""
+	for _, it := range items {
+		if it == prev {
+			continue
+		}
+		prev = it
+		for i := 0; i < len(it); i++ {
+			h = (h ^ uint64(it[i])) * 1099511628211
+		}
+		h = (h ^ 0xff) * 1099511628211
+	}
+	return h
+}
+
+// ModeledFingerprint hashes a configuration modulo the concrete values
+// the encoding ignores: MED metrics and next-hop IP rewrites are
+// masked before hashing, while the lines themselves still count
+// (symbolization surfaces a hole variable per set line, so adding or
+// removing one changes the explanation problem even when its value
+// never constrains anything). Two concrete configurations with equal
+// modeled fingerprints and equal vocabulary contributions
+// (VocabContribFingerprint) yield identical constraint systems under
+// every symbolization of the surrounding deployment.
+func ModeledFingerprint(c *config.Config) uint64 {
+	masked := c.Clone()
+	for _, name := range masked.RouteMapNames() {
+		for _, cl := range masked.RouteMaps[name].Clauses {
+			for _, s := range cl.Sets {
+				switch s.Kind {
+				case config.SetMED:
+					s.MED = 0
+				case config.SetNextHopIP:
+					if s.ParamHole == "" {
+						s.NextHopIP = ""
+					}
+				}
+			}
+		}
+	}
+	return config.Fingerprint(masked)
+}
+
 // commConst returns the enum literal of a community.
 func (v *vocab) commConst(c bgp.Community) *logic.EnumLit {
 	return logic.NewEnum(v.commSort, "c"+c.String())
