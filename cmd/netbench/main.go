@@ -33,12 +33,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("netbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	table := fs.String("table", "all",
-		"experiment to run: seed, simplify, linearity, pervar, figures, interpretation, ablation, rules, complement, rewrite, lift, sat, scale, diff, all")
+		"experiment to run: seed, simplify, linearity, pervar, figures, interpretation, ablation, rules, complement, rewrite, lift, sat, scale, diff, serve, all")
 	quick := fs.Bool("quick", false, "trim the scaling sweep")
 	format := fs.String("format", "text", "output format: text or json")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration (e.g. 30s, 5m; 0 = no limit)")
 	benchJSON := fs.String("benchjson", "", "write machine-readable pipeline measurements (scenario, wall time, SAT conflicts, cache hits) to this file and exit")
 	diffJSON := fs.String("diffjson", "", "write machine-readable incremental re-explanation measurements (cold vs incremental wall time, dirty sets, cache hit rates) to this file and exit")
+	serveJSON := fs.String("servejson", "", "write machine-readable serving-layer measurements (throughput, latency percentiles, response-cache hit rate, CLI byte-identity) to this file and exit")
 	satWorkers := fs.Int("satworkers", 1, "SAT portfolio width: diversified search workers racing per solve with clause sharing (1 = plain single search; affects -table sat and -benchjson)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
@@ -102,6 +103,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "wrote %s\n", *diffJSON)
 		return 0
 	}
+	if *serveJSON != "" {
+		if err := bench.WriteServeJSON(ctx, *serveJSON, *quick); err != nil {
+			fmt.Fprintln(stderr, "netbench:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *serveJSON)
+		return 0
+	}
 
 	emit := func(tables []*bench.Table) int {
 		if *format == "json" {
@@ -159,6 +168,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return one(bench.ScaleTable(ctx, *quick))
 	case "diff":
 		return one(bench.DiffTable(ctx, *quick))
+	case "serve":
+		return one(bench.ServeTable(ctx, *quick))
 	case "all":
 		tables, err := bench.All(ctx, *quick)
 		if err != nil {

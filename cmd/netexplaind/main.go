@@ -1,0 +1,90 @@
+// netexplaind serves the explanation pipeline over HTTP: a JSON API
+// (POST /explain, POST /diff, GET /metrics, GET /healthz) backed by a
+// pool of warm engine sessions and a content-addressed response cache.
+//
+//	netexplaind -addr :8080
+//	netexplaind -addr :8080 -maxinflight 32 -timeout 30s -proof
+//
+// Request and response shapes are documented in internal/server and
+// the README's netexplaind section.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// testOnListen, when set by a test, is called with the bound address
+// and the serving *http.Server once the listener is up.
+var testOnListen func(addr string, srv *http.Server)
+
+// run is main with the process glue factored out. Exit codes follow
+// the shared cmd convention: 0 success (clean shutdown), 1 operational
+// failure, 2 usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("netexplaind", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	maxInflight := fs.Int("maxinflight", 16, "maximum concurrently admitted explain/diff requests")
+	cacheSize := fs.Int("cachesize", 256, "response cache entries (content-addressed; -1 disables)")
+	poolSize := fs.Int("poolsize", 16, "warm session pool entries (LRU-evicted)")
+	timeout := fs.Duration("timeout", 2*time.Minute, "default per-request deadline when the request sets none")
+	maxTimeout := fs.Duration("maxtimeout", 0, "clamp for requested deadlines (0 = same as -timeout)")
+	maxSatWorkers := fs.Int("maxsatworkers", 8, "clamp for per-request sat_workers")
+	maxLiftWorkers := fs.Int("maxliftworkers", 8, "clamp for per-request lift_workers")
+	proof := fs.Bool("proof", false, "verify every Unsat verdict with the independent proof checker")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "netexplaind: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+	if *maxInflight < 1 || *poolSize < 1 || *maxSatWorkers < 1 || *maxLiftWorkers < 1 {
+		fmt.Fprintln(stderr, "netexplaind: -maxinflight, -poolsize, -maxsatworkers, and -maxliftworkers must be at least 1")
+		return 2
+	}
+	if *timeout <= 0 {
+		fmt.Fprintln(stderr, "netexplaind: -timeout must be positive")
+		return 2
+	}
+
+	srv := server.New(server.Options{
+		MaxInflight:       *maxInflight,
+		ResponseCacheSize: *cacheSize,
+		PoolSize:          *poolSize,
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTimeout,
+		MaxSatWorkers:     *maxSatWorkers,
+		MaxLiftWorkers:    *maxLiftWorkers,
+		VerifyProofs:      *proof,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "netexplaind:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "netexplaind: listening on %s\n", l.Addr())
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	if testOnListen != nil {
+		go testOnListen(l.Addr().String(), httpSrv)
+	}
+	if err := httpSrv.Serve(l); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(stderr, "netexplaind:", err)
+		return 1
+	}
+	return 0
+}

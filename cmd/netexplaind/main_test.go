@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunUsageErrors pins the shared cmd convention: bad flags and
+// stray positional arguments are usage errors (exit 2) and are
+// rejected before any socket is opened.
+func TestRunUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-no-such-flag"},
+		{"stray-arg"},
+		{"-maxinflight", "0"},
+		{"-poolsize", "-3"},
+		{"-timeout", "-1s"},
+		{"-maxsatworkers", "0"},
+	}
+	for _, args := range cases {
+		var out, errOut strings.Builder
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Errorf("run(%v): exit %d, want 2 (stderr: %s)", args, code, errOut.String())
+		}
+		if out.Len() != 0 {
+			t.Errorf("run(%v): usage error wrote to stdout: %q", args, out.String())
+		}
+	}
+}
+
+// TestRunListenFailure maps an unbindable address onto an operational
+// failure (exit 1).
+func TestRunListenFailure(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-addr", "256.0.0.1:0"}, &out, &errOut); code != 1 {
+		t.Fatalf("bad addr: exit %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "netexplaind:") {
+		t.Fatalf("stderr missing error: %q", errOut.String())
+	}
+}
+
+// TestRunServesUntilClosed starts the daemon on an ephemeral port,
+// checks /healthz and /metrics over real HTTP, and verifies a clean
+// shutdown exits 0.
+func TestRunServesUntilClosed(t *testing.T) {
+	hookErr := make(chan error, 1)
+	testOnListen = func(addr string, srv *http.Server) {
+		defer srv.Close()
+		hookErr <- func() error {
+			client := &http.Client{Timeout: 10 * time.Second}
+			resp, err := client.Get("http://" + addr + "/healthz")
+			if err != nil {
+				return err
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+				return fmt.Errorf("healthz: status %d body %q", resp.StatusCode, body)
+			}
+			resp, err = client.Get("http://" + addr + "/metrics")
+			if err != nil {
+				return err
+			}
+			body, _ = io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("metrics: status %d body %q", resp.StatusCode, body)
+			}
+			var m map[string]any
+			if err := json.Unmarshal(body, &m); err != nil {
+				return fmt.Errorf("metrics not JSON: %v", err)
+			}
+			return nil
+		}()
+	}
+	defer func() { testOnListen = nil }()
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-addr", "127.0.0.1:0"}, &out, &errOut); code != 0 {
+		t.Fatalf("run: exit %d, want 0 (stderr: %s)", code, errOut.String())
+	}
+	if err := <-hookErr; err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "listening on") {
+		t.Fatalf("stdout missing listen line: %q", out.String())
+	}
+}

@@ -43,6 +43,8 @@ func (e *Explainer) ExplainComplement(router string) (*ComplementExplanation, er
 // ExplainComplementContext is ExplainComplement with cancellation and
 // the budget's deadline applied.
 func (e *Explainer) ExplainComplementContext(ctx context.Context, router string) (*ComplementExplanation, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	ctx, cancel := e.Opts.Budget.Apply(ctx)
 	defer cancel()
 	if e.Net.Router(router) == nil {

@@ -88,6 +88,12 @@ func (e *Explainer) ReExplain(delta Delta) (*DiffReport, error) {
 // deployment: the sweep recomputes every reported figure, and splices
 // only artifacts certified identical by hash-consing.
 func (e *Explainer) ReExplainContext(ctx context.Context, delta Delta) (*DiffReport, error) {
+	// ReExplain retargets the explainer (Deployment, Reqs, Session are
+	// swapped in place), so it excludes every concurrent query for its
+	// whole duration — including the sweep, whose splice flags are
+	// per-explainer state ordinary queries must not observe.
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	newDep := delta.Deployment
 	if newDep == nil {
 		newDep = e.Deployment
@@ -135,7 +141,9 @@ func (e *Explainer) ReExplainContext(ctx context.Context, delta Delta) (*DiffRep
 		st.ModelChanged = bd.Changed
 	}
 
+	e.reportMu.Lock()
 	prior := e.lastReport
+	e.reportMu.Unlock()
 	e.Deployment = newDep
 	e.Reqs = reqs
 	e.Session = newSess
@@ -149,7 +157,9 @@ func (e *Explainer) ReExplainContext(ctx context.Context, delta Delta) (*DiffRep
 	// seed — hence its whole explanation — is unchanged, and the
 	// previous report stands verbatim.
 	if !reqsChanged && modeledSame && bd.Comparable && bd.Identical && prior != "" {
+		e.reportMu.Lock()
 		e.lastReport = prior
+		e.reportMu.Unlock()
 		st.FastPath = true
 		st.Spliced = len(newDep)
 		return &DiffReport{Report: prior, Summary: renderDiffSummary(st), Stats: st}, nil
@@ -168,7 +178,9 @@ func (e *Explainer) ReExplainContext(ctx context.Context, delta Delta) (*DiffRep
 		return nil, err
 	}
 	out := e.renderReport(routers, exs)
+	e.reportMu.Lock()
 	e.lastReport = out
+	e.reportMu.Unlock()
 
 	for i, r := range routers {
 		if exs[i].liftSpliced {

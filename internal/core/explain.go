@@ -113,6 +113,14 @@ type Explanation struct {
 }
 
 // Explainer explains devices of one synthesized deployment.
+//
+// An Explainer is safe for concurrent use: read-style queries
+// (Explain*, Report*, CheckSubspec*, ExplainComplement*, Stats) may
+// run in parallel — they share the session's concurrency-safe caches —
+// while ReExplain, which retargets the explainer at an edited problem
+// (swapping Deployment, Reqs, and Session in place), excludes every
+// other call for its duration. Direct writes to the exported fields
+// are not synchronized; set them before sharing the explainer.
 type Explainer struct {
 	Net        *topology.Network
 	Reqs       []spec.Requirement
@@ -125,9 +133,18 @@ type Explainer struct {
 	// produces identical results, only slower.
 	Session *engine.Session
 
+	// mu is the re-entrancy lock: read-style queries hold it shared,
+	// ReExplainContext — the only method that mutates the problem
+	// fields — holds it exclusively. Internal helpers never touch it,
+	// so a query never re-locks on its own call path.
+	mu sync.RWMutex
+
 	// lastReport is the most recent whole-deployment report rendered by
 	// ReportContext, reused verbatim by ReExplain's fast path when an
-	// edit provably changes nothing the encoder models.
+	// edit provably changes nothing the encoder models. Guarded by
+	// reportMu (a leaf lock: concurrent ReportContext calls share mu
+	// but still race on this field without it).
+	reportMu   sync.Mutex
 	lastReport string
 
 	// spliceLift, set only for the duration of a ReExplain sweep,
@@ -173,6 +190,8 @@ func NewExplainer(net *topology.Network, reqs []spec.Requirement, dep config.Dep
 // Stats returns the session's merged statistics (encode effort, cache
 // hits, solver work). Zero when the explainer has no session.
 func (e *Explainer) Stats() engine.Stats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if e.Session == nil {
 		return engine.Stats{}
 	}
@@ -243,6 +262,8 @@ func (e *Explainer) ExplainAll(router string) (*Explanation, error) {
 // ExplainAllContext is ExplainAll with cancellation and the budget's
 // deadline applied.
 func (e *Explainer) ExplainAllContext(ctx context.Context, router string) (*Explanation, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	ctx, cancel := e.Opts.Budget.Apply(ctx)
 	defer cancel()
 	return e.explainAll(ctx, router)
@@ -272,6 +293,8 @@ func (e *Explainer) Explain(router string, targets []Target) (*Explanation, erro
 // deadline applied: a cancelled or expired context aborts encoding and
 // any running solver call promptly.
 func (e *Explainer) ExplainContext(ctx context.Context, router string, targets []Target) (*Explanation, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	ctx, cancel := e.Opts.Budget.Apply(ctx)
 	defer cancel()
 	return e.explain(ctx, router, targets)

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/netgen"
+	"repro/internal/scenarios"
+)
+
+// TestExplainerConcurrentQueries hammers one shared explainer with
+// parallel read-style queries (run under -race): every goroutine's
+// results must be byte-identical to the single-threaded reference.
+func TestExplainerConcurrentQueries(t *testing.T) {
+	sc := scenarios.Scenario1()
+	dep := synthScenario(t, sc)
+	e := newExplainer(t, sc, dep, nil)
+
+	wantReport, err := e.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEx, err := e.ExplainAll("R1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStats := e.Stats()
+	if wantStats.Encodes == 0 {
+		t.Fatal("reference run recorded no encodes")
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			switch g % 3 {
+			case 0:
+				got, err := e.ReportContext(context.Background())
+				if err != nil {
+					t.Errorf("goroutine %d: report: %v", g, err)
+					return
+				}
+				if got != wantReport {
+					t.Errorf("goroutine %d: report diverged", g)
+				}
+			case 1:
+				got, err := e.ExplainAllContext(context.Background(), "R1")
+				if err != nil {
+					t.Errorf("goroutine %d: explain: %v", g, err)
+					return
+				}
+				if got.Simplified != wantEx.Simplified {
+					t.Errorf("goroutine %d: explanation diverged", g)
+				}
+			case 2:
+				e.Stats() // must not race with the queries
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestExplainerReExplainExcludesQueries interleaves ReExplain (which
+// swaps the explainer's problem in place) with concurrent report
+// queries. Under -race this pins the exclusion; functionally, every
+// query must return one of the two coherent reports — the old
+// problem's or the new problem's — never a hybrid.
+func TestExplainerReExplainExcludesQueries(t *testing.T) {
+	sc := scenarios.Scenario1()
+	dep := synthScenario(t, sc)
+	edited, edits := netgen.Perturb(dep, 1, 1)
+	if len(edits) == 0 {
+		t.Fatal("no edit sites")
+	}
+
+	e := newExplainer(t, sc, dep, nil)
+	oldReport, err := e.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	newReport, coldErr := coldReport(t, sc, edited, nil, DefaultOptions())
+	if coldErr != nil {
+		t.Skipf("edited deployment does not explain: %v", coldErr)
+	}
+
+	var wg sync.WaitGroup
+	reports := make([]string, 6)
+	errs := make([]error, 6)
+	for g := range reports {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			reports[g], errs[g] = e.ReportContext(context.Background())
+		}(g)
+	}
+	dr, err := e.ReExplain(Delta{Deployment: edited})
+	if err != nil {
+		t.Fatalf("ReExplain: %v (edits: %v)", err, edits)
+	}
+	if dr.Report != newReport {
+		t.Fatal("ReExplain report diverges from cold edited report")
+	}
+	wg.Wait()
+	for g, r := range reports {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if r != oldReport && r != newReport {
+			t.Errorf("goroutine %d: hybrid report (neither old nor new problem)", g)
+		}
+	}
+
+	// After the swap, fresh queries all see the edited problem.
+	got, err := e.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != newReport {
+		t.Fatal("post-ReExplain report is not the edited problem's")
+	}
+}

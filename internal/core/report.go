@@ -25,6 +25,8 @@ func (e *Explainer) Report() (string, error) {
 // in-flight explanations abort and the first error is returned once
 // every worker has exited (no goroutines are leaked).
 func (e *Explainer) ReportContext(ctx context.Context) (string, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	ctx, cancelBudget := e.Opts.Budget.Apply(ctx)
 	defer cancelBudget()
 
@@ -34,7 +36,9 @@ func (e *Explainer) ReportContext(ctx context.Context) (string, error) {
 		return "", err
 	}
 	out := e.renderReport(routers, exs)
+	e.reportMu.Lock()
 	e.lastReport = out
+	e.reportMu.Unlock()
 	return out, nil
 }
 

@@ -41,6 +41,8 @@ func (e *Explainer) CheckSubspec(router string, block *spec.Block) ([]ClauseChec
 // ExplainAll builds, so a prior explanation of the router answers the
 // encoding from the session cache.
 func (e *Explainer) CheckSubspecContext(ctx context.Context, router string, block *spec.Block) ([]ClauseCheck, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	ctx, cancel := e.Opts.Budget.Apply(ctx)
 	defer cancel()
 	c, ok := e.Deployment[router]
@@ -111,6 +113,8 @@ func (e *Explainer) CheckSubspecNecessary(router string, block *spec.Block) ([]N
 // assumption-driven solve on the solver that answered the lift
 // queries — no re-encoding and no fresh Tseitin translation.
 func (e *Explainer) CheckSubspecNecessaryContext(ctx context.Context, router string, block *spec.Block) ([]NecessityCheck, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	ctx, cancel := e.Opts.Budget.Apply(ctx)
 	defer cancel()
 	c, ok := e.Deployment[router]

@@ -1,0 +1,370 @@
+package engine_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/logic"
+	"repro/internal/sat"
+	"repro/internal/scenarios"
+	"repro/internal/smt"
+	"repro/internal/synth"
+)
+
+// TestSessionCheckinDropsGuardedSolver is the regression test for the
+// stale-warm-solver bug: a query that checks out a solver, asserts a
+// temporary guarded constraint, is cancelled mid-solve, and checks the
+// solver back in without retracting. Before the fix the poisoned
+// solver was pooled and its leftover constraint silently flipped the
+// verdicts of every later query under the key.
+func TestSessionCheckinDropsGuardedSolver(t *testing.T) {
+	s := newSession(t)
+	p := logic.NewBoolVar("p")
+
+	// The warm solver for the key asserts the base constraint p.
+	sv := smt.NewSolver()
+	if err := sv.Assert(p); err != nil {
+		t.Fatal(err)
+	}
+	s.CheckinSolver("k", sv)
+
+	// A query checks it out, asserts a temporary !p under a guard, and
+	// is cancelled mid-solve — before the retraction runs.
+	got := s.CheckoutSolver("k")
+	if got != sv {
+		t.Fatal("warm checkout did not return the pooled solver")
+	}
+	if _, err := got.AssertGuarded(logic.Not(p)); err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := got.SolveContext(cancelled); err == nil {
+		t.Fatal("cancelled solve returned no error")
+	}
+
+	// Checkin must refuse the non-pristine solver.
+	s.CheckinSolver("k", got)
+	if st := s.Stats(); st.WarmSolverDropped != 1 {
+		t.Fatalf("WarmSolverDropped = %d, want 1", st.WarmSolverDropped)
+	}
+	if s.CheckoutSolver("k") != nil {
+		t.Fatal("poisoned solver was pooled")
+	}
+
+	// The next query builds cold and gets the right verdict. (The
+	// poisoned solver would answer Unsat: p and the unretracted !p.)
+	fresh := smt.NewSolver()
+	if err := fresh.Assert(p); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := fresh.SolveContext(context.Background()); err != nil || st != sat.Sat {
+		t.Fatalf("fresh solve = %v, %v; want Sat", st, err)
+	}
+	s.CheckinSolver("k", fresh)
+	if s.CheckoutSolver("k") != fresh {
+		t.Fatal("pristine solver was not pooled")
+	}
+}
+
+// TestSessionCheckinPoolsRetractedSolver pins the complement: a solver
+// whose guarded constraint WAS retracted is pristine and must pool.
+func TestSessionCheckinPoolsRetractedSolver(t *testing.T) {
+	s := newSession(t)
+	p := logic.NewBoolVar("p")
+	sv := smt.NewSolver()
+	if err := sv.Assert(p); err != nil {
+		t.Fatal(err)
+	}
+	g, err := sv.AssertGuarded(logic.Not(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv.Retract(g)
+	s.CheckinSolver("k", sv)
+	if st := s.Stats(); st.WarmSolverDropped != 0 {
+		t.Fatalf("WarmSolverDropped = %d, want 0", st.WarmSolverDropped)
+	}
+	got := s.CheckoutSolver("k")
+	if got != sv {
+		t.Fatal("retracted solver was not pooled")
+	}
+	// And it still answers the base problem correctly.
+	if st, err := got.SolveContext(context.Background()); err != nil || st != sat.Sat {
+		t.Fatalf("solve after retract = %v, %v; want Sat", st, err)
+	}
+}
+
+func TestSessionSolverPoolCap(t *testing.T) {
+	s := newSession(t)
+	s.SetCacheLimits(engine.CacheLimits{Solvers: 2})
+	s.CheckinSolver("a", smt.NewSolver())
+	s.CheckinSolver("b", smt.NewSolver())
+	s.CheckinSolver("c", smt.NewSolver()) // evicts a (least recent)
+	if got := s.PooledSolvers(); got != 2 {
+		t.Fatalf("PooledSolvers = %d, want 2", got)
+	}
+	if st := s.Stats(); st.WarmSolverEvicted != 1 {
+		t.Fatalf("WarmSolverEvicted = %d, want 1", st.WarmSolverEvicted)
+	}
+	if s.CheckoutSolver("a") != nil {
+		t.Fatal("evicted key still pooled")
+	}
+	if s.CheckoutSolver("b") == nil || s.CheckoutSolver("c") == nil {
+		t.Fatal("retained keys missing")
+	}
+
+	// Recency order matters: touching a key protects it.
+	s.CheckinSolver("x", smt.NewSolver())
+	s.CheckinSolver("y", smt.NewSolver())
+	sv := s.CheckoutSolver("x") // x becomes most recent at checkin below
+	s.CheckinSolver("x", sv)
+	s.CheckinSolver("z", smt.NewSolver()) // must evict y, not x
+	if s.CheckoutSolver("x") == nil {
+		t.Fatal("recently used key was evicted")
+	}
+	if s.CheckoutSolver("y") != nil {
+		t.Fatal("least recently used key survived")
+	}
+}
+
+func TestSessionTrim(t *testing.T) {
+	s := newSession(t)
+	s.CheckinSolver("a", smt.NewSolver())
+	s.CheckinSolver("b", smt.NewSolver())
+	s.AddLiftQueries([]time.Duration{time.Millisecond, 2 * time.Millisecond})
+	s.Trim()
+	if got := s.PooledSolvers(); got != 0 {
+		t.Fatalf("PooledSolvers after Trim = %d, want 0", got)
+	}
+	st := s.Stats()
+	if st.WarmSolverEvicted != 2 {
+		t.Fatalf("WarmSolverEvicted = %d, want 2", st.WarmSolverEvicted)
+	}
+	// Lift totals survive trimming.
+	if st.LiftQueries != 2 {
+		t.Fatalf("LiftQueries = %d, want 2", st.LiftQueries)
+	}
+	// The session still answers queries (pool rebuilds lazily).
+	s.CheckinSolver("a", smt.NewSolver())
+	if s.CheckoutSolver("a") == nil {
+		t.Fatal("trimmed session refuses new checkins")
+	}
+}
+
+func TestReportCacheLRU(t *testing.T) {
+	rc := engine.NewReportCache()
+	rc.SetLimit(2)
+	rc.Put("a", 1)
+	rc.Put("b", 2)
+	if _, ok := rc.Get("a"); !ok { // a is now most recent
+		t.Fatal("a missing before overflow")
+	}
+	rc.Put("c", 3) // must evict b
+	if _, ok := rc.Get("b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if v, ok := rc.Get("a"); !ok || v != 1 {
+		t.Fatal("recently used entry a was evicted")
+	}
+	if v, ok := rc.Get("c"); !ok || v != 3 {
+		t.Fatal("new entry c missing")
+	}
+	if rc.Evictions() != 1 {
+		t.Fatalf("Evictions = %d, want 1", rc.Evictions())
+	}
+	if rc.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", rc.Len())
+	}
+	// Shrinking the limit sheds immediately.
+	rc.SetLimit(1)
+	if rc.Len() != 1 {
+		t.Fatalf("Len after shrink = %d, want 1", rc.Len())
+	}
+	hits, misses := rc.Counters()
+	if hits != 3 || misses != 1 {
+		t.Fatalf("counters = %d hits, %d misses; want 3, 1", hits, misses)
+	}
+}
+
+func TestSessionSimplifyCacheBounded(t *testing.T) {
+	s := newSession(t)
+	s.SetCacheLimits(engine.CacheLimits{Simplify: 1})
+	x := logic.NewIntVar("x", 0, 7)
+	seedA := logic.And(logic.Eq(x, logic.NewInt(1)), logic.NewBoolVar("p"))
+	seedB := logic.And(logic.Eq(x, logic.NewInt(2)), logic.NewBoolVar("q"))
+	outA := s.Simplify(seedA)
+	outB := s.Simplify(seedB) // evicts seedA's outcome
+	st := s.Stats()
+	if st.SimplifyEntries != 1 {
+		t.Fatalf("SimplifyEntries = %d, want 1", st.SimplifyEntries)
+	}
+	if st.SimplifyEvictions != 1 {
+		t.Fatalf("SimplifyEvictions = %d, want 1", st.SimplifyEvictions)
+	}
+	// The evicted seed recomputes to an equal (deterministic) outcome.
+	outA2 := s.Simplify(seedA)
+	if outA2.Simplified != outA.Simplified {
+		t.Fatal("recomputed outcome differs from the evicted one")
+	}
+	if outB.Simplified == outA.Simplified {
+		t.Fatal("distinct seeds simplified identically (test is vacuous)")
+	}
+}
+
+func TestSessionLiftSampleWindow(t *testing.T) {
+	s := newSession(t)
+	s.SetCacheLimits(engine.CacheLimits{LiftSamples: 10})
+	var ds []time.Duration
+	for i := 1; i <= 100; i++ {
+		ds = append(ds, time.Duration(i)*time.Millisecond)
+	}
+	s.AddLiftQueries(ds)
+	st := s.Stats()
+	if st.LiftQueries != 100 {
+		t.Fatalf("LiftQueries = %d, want 100 (total survives windowing)", st.LiftQueries)
+	}
+	if got := len(s.LiftSamples()); got != 10 {
+		t.Fatalf("retained samples = %d, want 10", got)
+	}
+	// Percentiles are over the window (91..100ms): p50 nearest-rank at
+	// index 4 → 95ms.
+	if st.LiftP50 != 95*time.Millisecond {
+		t.Fatalf("LiftP50 = %v, want 95ms (window, not all-time)", st.LiftP50)
+	}
+}
+
+func TestSessionPoolLifecycle(t *testing.T) {
+	p := engine.NewSessionPool(2)
+	if _, ok := p.Checkout("a"); ok {
+		t.Fatal("empty pool claimed a hit")
+	}
+	// Miss opened a lease; close it by checking in the fresh build.
+	sa := newSession(t)
+	p.Checkin(&engine.PoolItem{Key: "a", Session: sa, Value: "va"})
+	g := p.Gauges()
+	if g.Idle != 1 || g.Leased != 0 || g.Hits != 0 || g.Misses != 1 {
+		t.Fatalf("gauges after first checkin = %+v", g)
+	}
+
+	item, ok := p.Checkout("a")
+	if !ok || item.Session != sa || item.Value != "va" {
+		t.Fatalf("checkout = %+v, %v; want the pooled item", item, ok)
+	}
+	if g := p.Gauges(); g.Leased != 1 || g.Idle != 0 {
+		t.Fatalf("gauges mid-lease = %+v", g)
+	}
+	// Exclusive: a concurrent request for the same key misses.
+	if _, ok := p.Checkout("a"); ok {
+		t.Fatal("leased item handed out twice")
+	}
+	p.Drop(nil) // the concurrent request failed its build
+	p.Checkin(item)
+	if g := p.Gauges(); g.Leased != 0 || g.Idle != 1 {
+		t.Fatalf("gauges after checkin = %+v", g)
+	}
+}
+
+func TestSessionPoolEviction(t *testing.T) {
+	p := engine.NewSessionPool(2)
+	sessions := map[string]*engine.Session{}
+	for _, k := range []string{"a", "b", "c"} {
+		p.Checkout(k)
+		s := newSession(t)
+		s.AddLiftQueries([]time.Duration{time.Millisecond})
+		sessions[k] = s
+		p.Checkin(&engine.PoolItem{Key: k, Session: s})
+	}
+	g := p.Gauges()
+	if g.Idle != 2 || g.Evictions != 1 {
+		t.Fatalf("gauges = %+v; want Idle 2, Evictions 1", g)
+	}
+	// The evicted session ("a", least recent) retired its stats: the
+	// snapshot still counts all three sessions' lift queries.
+	if st := p.StatsSnapshot(); st.LiftQueries != 3 {
+		t.Fatalf("snapshot LiftQueries = %d, want 3 (eviction must not lose work)", st.LiftQueries)
+	}
+	if _, ok := p.Checkout("a"); ok {
+		t.Fatal("evicted key still pooled")
+	}
+	p.Drop(nil)
+
+	// Same-key displacement keeps the newer item and retires the old.
+	item, ok := p.Checkout("b")
+	if !ok {
+		t.Fatal("key b missing")
+	}
+	p.Checkout("b") // concurrent miss builds its own
+	newer := newSession(t)
+	p.Checkin(&engine.PoolItem{Key: "b", Session: newer})
+	p.Checkin(item) // displaces newer? no: item displaces the pooled newer
+	got, ok := p.Checkout("b")
+	if !ok || got.Session != item.Session {
+		t.Fatal("last checkin did not win the slot")
+	}
+	p.Checkin(got)
+	if g := p.Gauges(); g.Leased != 0 {
+		t.Fatalf("Leased = %d at quiescence, want 0", g.Leased)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := engine.Stats{Encodes: 1, Conflicts: 10, CoreLearnts: 5, LiftQueries: 3,
+		LiftP50: time.Millisecond, ReportCacheHits: 2}
+	b := engine.Stats{Encodes: 2, Conflicts: 5, CoreLearnts: 3, LiftQueries: 4,
+		LiftP50: time.Second, ReportCacheHits: 1}
+	a.LBDHist[0], b.LBDHist[0] = 7, 8
+	a.Add(b)
+	if a.Encodes != 3 || a.Conflicts != 15 || a.LiftQueries != 7 || a.ReportCacheHits != 3 {
+		t.Fatalf("summed counters wrong: %+v", a)
+	}
+	if a.CoreLearnts != 5 {
+		t.Fatalf("CoreLearnts = %d, want max 5", a.CoreLearnts)
+	}
+	if a.LBDHist[0] != 15 {
+		t.Fatalf("LBDHist[0] = %d, want 15", a.LBDHist[0])
+	}
+	if a.LiftP50 != 0 || a.LiftP95 != 0 {
+		t.Fatal("percentiles must zero on Add (recomputed by aggregators)")
+	}
+}
+
+func TestNewSessionFromInheritsLimits(t *testing.T) {
+	sc := scenarios.Scenario1()
+	res, err := synth.Synthesize(sc.Net, sc.Sketch, sc.Requirements(), synth.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := engine.NewSession(sc.Net, sc.Requirements(), res.Deployment, synth.DefaultOptions())
+	s.SetCacheLimits(engine.CacheLimits{Reports: 3, Simplify: 3, Solvers: 1, LiftSamples: 5})
+	succ := engine.NewSessionFrom(s, sc.Requirements(), res.Deployment)
+	// Solver limit traveled: a second checkin evicts.
+	succ.CheckinSolver("a", smt.NewSolver())
+	succ.CheckinSolver("b", smt.NewSolver())
+	if got := succ.PooledSolvers(); got != 1 {
+		t.Fatalf("successor PooledSolvers = %d, want 1 (limit inherited)", got)
+	}
+	// Lift window limit traveled.
+	var ds []time.Duration
+	for i := 1; i <= 20; i++ {
+		ds = append(ds, time.Duration(i)*time.Millisecond)
+	}
+	succ.AddLiftQueries(ds)
+	if got := len(succ.LiftSamples()); got != 5 {
+		t.Fatalf("successor retained samples = %d, want 5", got)
+	}
+	// The shared report cache is the same object, still bounded.
+	rc := succ.ReportCache()
+	if rc != s.ReportCache() {
+		t.Fatal("successor does not share the report cache")
+	}
+	for i := 0; i < 5; i++ {
+		rc.Put(fmt.Sprintf("k%d", i), i)
+	}
+	if rc.Len() != 3 {
+		t.Fatalf("shared report cache Len = %d, want 3 (limit inherited)", rc.Len())
+	}
+}

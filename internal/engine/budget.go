@@ -104,12 +104,15 @@ type Stats struct {
 	// solver's dedicated binary implication lists; Restarts and
 	// MinimizedLits total search restarts and the literals deleted
 	// from learnt clauses by minimization; LBDSum totals learnt-clause
-	// glue (LBDSum/Learnt is the mean LBD).
+	// glue (LBDSum/Learnt is the mean LBD); LBDHist buckets learnt
+	// clauses by glue (bucket i = LBD i+1, last bucket absorbs
+	// overflow) — fixed-size array, so serialized order is stable.
 	BinPropagations uint64
 	Restarts        uint64
 	BlockedRestarts uint64
 	MinimizedLits   uint64
 	LBDSum          uint64
+	LBDHist         [8]uint64
 	// CoreLearnts, MidLearnts, and LocalLearnts are the peak sizes of
 	// the tiered learnt-clause database observed across every solver
 	// harvested into the session.
@@ -136,17 +139,29 @@ type Stats struct {
 	InprocessDeleted uint64
 	// WarmSolverHits and WarmSolverMisses count solver checkouts
 	// answered from the session's warm pool versus built cold.
-	WarmSolverHits   int
-	WarmSolverMisses int
+	// WarmSolverDropped counts checkins refused because the solver was
+	// not pristine (active guarded assertions left by a cancelled or
+	// errored query); WarmSolverEvicted counts pooled solvers displaced
+	// by the pool's size cap or a Trim.
+	WarmSolverHits    int
+	WarmSolverMisses  int
+	WarmSolverDropped int
+	WarmSolverEvicted int
 	// SimplifyHits counts seed simplifications answered from the
-	// session's per-seed outcome cache without touching the normalizer.
-	SimplifyHits int
+	// session's per-seed outcome cache without touching the normalizer;
+	// SimplifyEntries is the cache's current size and SimplifyEvictions
+	// counts entries displaced by its size cap.
+	SimplifyHits      int
+	SimplifyEntries   int
+	SimplifyEvictions int
 	// ReportCacheHits and ReportCacheMisses count lookups in the
 	// cross-deployment report cache (per-router lift artifacts reused
 	// by delta re-explanation). Cumulative across the session chain:
-	// successor sessions share one cache.
-	ReportCacheHits   int
-	ReportCacheMisses int
+	// successor sessions share one cache. ReportCacheEvictions counts
+	// entries displaced by the cache's size cap.
+	ReportCacheHits      int
+	ReportCacheMisses    int
+	ReportCacheEvictions int
 	// NormCacheHits and NormCacheMisses count subterm lookups in the
 	// session's shared normal-form cache (the rewrite engine's
 	// memoization table); NormCacheEntries is the number of distinct
@@ -174,4 +189,77 @@ type Stats struct {
 	ProofTime      time.Duration
 	CoreLits       int
 	ShrunkCoreLits int
+}
+
+// Add folds o into s for cross-session aggregation (a session pool
+// summing retired and live sessions into one snapshot). Counters are
+// summed; the tier gauges (peak learnt-database sizes) and cache-size
+// gauges take the max, since they are point-in-time peaks rather than
+// flows. The lift percentiles are zeroed: they cannot be combined from
+// two summaries — aggregators recompute them over the merged sample
+// windows (Session.LiftSamples).
+func (s *Stats) Add(o Stats) {
+	s.BaseEncodes += o.BaseEncodes
+	s.Encodes += o.Encodes
+	s.CacheHits += o.CacheHits
+	s.Candidates += o.Candidates
+	s.ReusedCandidates += o.ReusedCandidates
+	s.EncodeTime += o.EncodeTime
+	s.Solves += o.Solves
+	s.Conflicts += o.Conflicts
+	s.Propagations += o.Propagations
+	s.Decisions += o.Decisions
+	s.Learnt += o.Learnt
+	s.BinPropagations += o.BinPropagations
+	s.Restarts += o.Restarts
+	s.BlockedRestarts += o.BlockedRestarts
+	s.MinimizedLits += o.MinimizedLits
+	s.LBDSum += o.LBDSum
+	for i := range o.LBDHist {
+		s.LBDHist[i] += o.LBDHist[i]
+	}
+	if o.CoreLearnts > s.CoreLearnts {
+		s.CoreLearnts = o.CoreLearnts
+	}
+	if o.MidLearnts > s.MidLearnts {
+		s.MidLearnts = o.MidLearnts
+	}
+	if o.LocalLearnts > s.LocalLearnts {
+		s.LocalLearnts = o.LocalLearnts
+	}
+	s.SatRaces += o.SatRaces
+	for i := range o.SatWins {
+		s.SatWins[i] += o.SatWins[i]
+	}
+	s.SharedExported += o.SharedExported
+	s.SharedImported += o.SharedImported
+	s.SharedRejected += o.SharedRejected
+	s.InprocessRounds += o.InprocessRounds
+	s.InprocessDeleted += o.InprocessDeleted
+	s.WarmSolverHits += o.WarmSolverHits
+	s.WarmSolverMisses += o.WarmSolverMisses
+	s.WarmSolverDropped += o.WarmSolverDropped
+	s.WarmSolverEvicted += o.WarmSolverEvicted
+	s.SimplifyHits += o.SimplifyHits
+	if o.SimplifyEntries > s.SimplifyEntries {
+		s.SimplifyEntries = o.SimplifyEntries
+	}
+	s.SimplifyEvictions += o.SimplifyEvictions
+	s.ReportCacheHits += o.ReportCacheHits
+	s.ReportCacheMisses += o.ReportCacheMisses
+	s.ReportCacheEvictions += o.ReportCacheEvictions
+	s.NormCacheHits += o.NormCacheHits
+	s.NormCacheMisses += o.NormCacheMisses
+	if o.NormCacheEntries > s.NormCacheEntries {
+		s.NormCacheEntries = o.NormCacheEntries
+	}
+	s.LiftQueries += o.LiftQueries
+	s.LiftP50 = 0
+	s.LiftP95 = 0
+	s.ProofChecks += o.ProofChecks
+	s.ProofOps += o.ProofOps
+	s.ProofLemmas += o.ProofLemmas
+	s.ProofTime += o.ProofTime
+	s.CoreLits += o.CoreLits
+	s.ShrunkCoreLits += o.ShrunkCoreLits
 }

@@ -1,0 +1,179 @@
+package engine
+
+import (
+	"container/list"
+	"sort"
+	"sync"
+	"time"
+)
+
+// PoolItem is one pooled problem: the session holding its warm caches
+// plus an opaque caller value (a serving layer stores the explainer
+// built over the session). Between Checkout and Checkin the caller
+// owns the item exclusively — nothing in it is shared with the pool.
+type PoolItem struct {
+	// Key identifies the problem the session was built for. Checkin
+	// under the same key makes the warm state reusable by the next
+	// request for that problem.
+	Key     string
+	Session *Session
+	Value   any
+}
+
+// PoolGauges is a point-in-time reading of a SessionPool's occupancy
+// and traffic counters.
+type PoolGauges struct {
+	// Idle and Leased are current occupancy: items parked in the pool
+	// versus checked out (or being built) by callers. A quiescent pool
+	// has Leased == 0.
+	Idle   int
+	Leased int
+	// Hits and Misses count Checkout calls answered with a warm item
+	// versus not; Evictions counts items displaced by the size cap or
+	// by a same-key checkin.
+	Hits      int
+	Misses    int
+	Evictions int
+}
+
+// SessionPool holds warm problem sessions for reuse across requests,
+// LRU-evicting past a size cap. Leases are exclusive: Checkout removes
+// the item, so two requests for one problem never share a session
+// concurrently (engine.Session is concurrency-safe, but the explainer
+// riding in Value serializes per problem anyway — a second concurrent
+// request for the same key simply builds its own session and the
+// warmer of the two survives checkin). Every Checkout — hit or miss —
+// opens a lease the caller must close with exactly one Checkin or
+// Drop.
+//
+// Evicted and displaced sessions fold their statistics into a retired
+// accumulator so StatsSnapshot never loses work to eviction.
+type SessionPool struct {
+	mu      sync.Mutex
+	limit   int
+	idle    map[string]*list.Element
+	lru     *list.List // of *PoolItem, front = most recent
+	leased  int
+	gauges  PoolGauges
+	retired Stats
+}
+
+// NewSessionPool creates a pool holding at most limit idle items
+// (limit <= 0 means unlimited).
+func NewSessionPool(limit int) *SessionPool {
+	return &SessionPool{
+		limit: limit,
+		idle:  make(map[string]*list.Element),
+		lru:   list.New(),
+	}
+}
+
+// Checkout leases the idle item pooled under key. On a miss it returns
+// nil, false and the lease is still open: the caller is expected to
+// build the item and close the lease with Checkin (pooling the fresh
+// build) or Drop (build failed).
+func (p *SessionPool) Checkout(key string) (*PoolItem, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.leased++
+	el, ok := p.idle[key]
+	if !ok {
+		p.gauges.Misses++
+		return nil, false
+	}
+	p.gauges.Hits++
+	p.lru.Remove(el)
+	delete(p.idle, key)
+	return el.Value.(*PoolItem), true
+}
+
+// Checkin closes a lease by parking item for reuse under item.Key. An
+// idle item already pooled under the key is displaced (its statistics
+// are retired; the newly checked-in item is the one that just ran a
+// query, so it is the warmer of the two), and a pool over its cap
+// evicts the least-recently-used key.
+func (p *SessionPool) Checkin(item *PoolItem) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.leased--
+	if el, ok := p.idle[item.Key]; ok {
+		p.retireLocked(el.Value.(*PoolItem))
+		p.lru.Remove(el)
+		delete(p.idle, item.Key)
+		p.gauges.Evictions++
+	}
+	p.idle[item.Key] = p.lru.PushFront(item)
+	if p.limit > 0 {
+		for p.lru.Len() > p.limit {
+			el := p.lru.Back()
+			old := el.Value.(*PoolItem)
+			p.retireLocked(old)
+			p.lru.Remove(el)
+			delete(p.idle, old.Key)
+			p.gauges.Evictions++
+		}
+	}
+}
+
+// Drop closes a lease without pooling anything (the build failed, or
+// the item is known stale). item may be nil; a non-nil item's session
+// statistics are still retired so its work is not lost from
+// snapshots.
+func (p *SessionPool) Drop(item *PoolItem) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.leased--
+	if item != nil {
+		p.retireLocked(item)
+	}
+}
+
+// retireLocked folds a departing item's session statistics into the
+// retired accumulator. Its lift-latency sample window is dropped (the
+// query count survives; percentiles are recomputed over live windows).
+// Caller holds p.mu.
+func (p *SessionPool) retireLocked(item *PoolItem) {
+	if item.Session == nil {
+		return
+	}
+	p.retired.Add(item.Session.Stats())
+}
+
+// Gauges returns the pool's current occupancy and traffic counters.
+func (p *SessionPool) Gauges() PoolGauges {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	g := p.gauges
+	g.Idle = p.lru.Len()
+	g.Leased = p.leased
+	return g
+}
+
+// StatsSnapshot aggregates engine statistics across the pool: retired
+// sessions plus every currently idle one. The lift percentiles are
+// recomputed over the union of the idle sessions' sample windows
+// (sorted, so the result is independent of pool iteration order).
+// Leased items are not included — their work lands at checkin.
+func (p *SessionPool) StatsSnapshot() Stats {
+	p.mu.Lock()
+	sessions := make([]*Session, 0, p.lru.Len())
+	for el := p.lru.Front(); el != nil; el = el.Next() {
+		if s := el.Value.(*PoolItem).Session; s != nil {
+			sessions = append(sessions, s)
+		}
+	}
+	st := p.retired
+	p.mu.Unlock()
+
+	var samples []int64
+	for _, s := range sessions {
+		st.Add(s.Stats())
+		samples = append(samples, s.LiftSamples()...)
+	}
+	if n := len(samples); n > 0 {
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		st.LiftP50 = time.Duration(samples[(n-1)*50/100])
+		st.LiftP95 = time.Duration(samples[(n-1)*95/100])
+	}
+	return st
+}

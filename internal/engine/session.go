@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"container/list"
 	"context"
 	"errors"
 	"sort"
@@ -16,6 +17,31 @@ import (
 	"repro/internal/synth"
 	"repro/internal/topology"
 )
+
+// DefaultLiftSampleCap bounds the per-session lift-latency sample
+// window. A one-shot CLI run records a few hundred queries; a served
+// session records queries for hours, so the window keeps percentile
+// memory bounded while still reflecting recent behavior.
+const DefaultLiftSampleCap = 1 << 14
+
+// CacheLimits bounds the growable per-session caches. Zero fields mean
+// unlimited (the CLI default, where a session lives for one run); a
+// serving layer that holds sessions for hours sets every field. Limits
+// on the report and simplify caches travel with the caches themselves,
+// so successor sessions (NewSessionFrom) inherit them.
+type CacheLimits struct {
+	// Reports caps the cross-deployment report cache (per-router lift
+	// artifacts), evicted least-recently-used.
+	Reports int
+	// Simplify caps the per-seed simplification outcome cache, evicted
+	// least-recently-used.
+	Simplify int
+	// Solvers caps the warm-solver pool, evicted least-recently-used.
+	Solvers int
+	// LiftSamples caps the lift-latency sample window the percentile
+	// stats are computed over (most recent samples are kept).
+	LiftSamples int
+}
 
 // Session is the shared state of one deployment's explanation queries:
 // the base encoding of the concrete deployment (built once, lazily)
@@ -52,14 +78,19 @@ type Session struct {
 	mu       sync.Mutex
 	entries  map[string]*entry
 	stats    Stats
-	liftNS   []int64 // per-query lift latencies, nanoseconds
+	liftNS   []int64 // recent per-query lift latencies, nanoseconds
+	liftAll  int     // every lift query ever recorded (window may be smaller)
+	liftCap  int     // sample-window cap (0 = DefaultLiftSampleCap)
 
 	// solvMu guards the warm-solver pool: idle solvers keyed by the
 	// encoding key they were built for. Checkout removes the solver
 	// (exclusive use — smt.Solver is not concurrency-safe), checkin
 	// returns it warm for the next query against the same encoding.
-	solvMu  sync.Mutex
-	solvers map[string]*smt.Solver
+	// The pool is LRU-ordered so a size cap evicts the coldest key.
+	solvMu    sync.Mutex
+	solvers   map[string]*list.Element
+	solvLRU   *list.List // of solvEntry, front = most recent
+	solvLimit int        // 0 = unlimited
 
 	// simps is the per-seed outcome cache, keyed by the canonical
 	// (interned) seed term. Simplification is a pure function of the
@@ -91,11 +122,77 @@ type Session struct {
 	prevBase *synth.Base
 }
 
+// solvEntry is one pooled warm solver with its encoding key.
+type solvEntry struct {
+	key string
+	sv  *smt.Solver
+}
+
 // simpCache is the sharable per-seed simplification cache (see
-// Session.simps).
+// Session.simps), LRU-bounded when a limit is set.
 type simpCache struct {
-	mu sync.Mutex
-	m  map[logic.Term]*SimplifyOutcome
+	mu        sync.Mutex
+	m         map[logic.Term]*list.Element
+	lru       *list.List // of simpEntry, front = most recent
+	limit     int
+	evictions int
+}
+
+type simpEntry struct {
+	seed logic.Term
+	out  *SimplifyOutcome
+}
+
+func newSimpCache() *simpCache {
+	return &simpCache{m: make(map[logic.Term]*list.Element), lru: list.New()}
+}
+
+func (c *simpCache) get(seed logic.Term) (*SimplifyOutcome, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[seed]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(simpEntry).out, true
+}
+
+func (c *simpCache) put(seed logic.Term, out *SimplifyOutcome) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[seed]; ok {
+		c.lru.MoveToFront(el)
+		el.Value = simpEntry{seed: seed, out: out}
+		return
+	}
+	c.m[seed] = c.lru.PushFront(simpEntry{seed: seed, out: out})
+	c.shedLocked()
+}
+
+func (c *simpCache) setLimit(n int) {
+	c.mu.Lock()
+	c.limit = n
+	c.shedLocked()
+	c.mu.Unlock()
+}
+
+func (c *simpCache) shedLocked() {
+	if c.limit <= 0 {
+		return
+	}
+	for c.lru.Len() > c.limit {
+		el := c.lru.Back()
+		c.lru.Remove(el)
+		delete(c.m, el.Value.(simpEntry).seed)
+		c.evictions++
+	}
+}
+
+func (c *simpCache) counters() (entries, evictions int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len(), c.evictions
 }
 
 // ReportCache stores per-router explanation artifacts across
@@ -103,44 +200,83 @@ type simpCache struct {
 // are opaque to the engine (the core layer stores its lift outcomes
 // and re-validates them against the live encoding before splicing, so
 // a stale entry costs a recompute, never a wrong answer). Safe for
-// concurrent use.
+// concurrent use. With a limit set (SetLimit) the cache evicts its
+// least-recently-used entry on overflow — an eviction costs a later
+// recompute, never a wrong answer, for the same reason.
 type ReportCache struct {
-	mu     sync.Mutex
-	m      map[string]any
-	hits   int
-	misses int
+	mu        sync.Mutex
+	m         map[string]*list.Element
+	lru       *list.List // of reportEntry, front = most recent
+	limit     int
+	hits      int
+	misses    int
+	evictions int
 }
 
-// NewReportCache creates an empty report cache.
+type reportEntry struct {
+	key string
+	v   any
+}
+
+// NewReportCache creates an empty, unbounded report cache.
 func NewReportCache() *ReportCache {
-	return &ReportCache{m: make(map[string]any)}
+	return &ReportCache{m: make(map[string]*list.Element), lru: list.New()}
+}
+
+// SetLimit bounds the cache to n entries (0 = unlimited), evicting
+// immediately if it is already over.
+func (rc *ReportCache) SetLimit(n int) {
+	rc.mu.Lock()
+	rc.limit = n
+	rc.shedLocked()
+	rc.mu.Unlock()
 }
 
 // Get returns the entry stored under key, counting a hit or miss.
 func (rc *ReportCache) Get(key string) (any, bool) {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
-	v, ok := rc.m[key]
-	if ok {
-		rc.hits++
-	} else {
+	el, ok := rc.m[key]
+	if !ok {
 		rc.misses++
+		return nil, false
 	}
-	return v, ok
+	rc.hits++
+	rc.lru.MoveToFront(el)
+	return el.Value.(reportEntry).v, true
 }
 
-// Put stores an entry under key, displacing any previous one.
+// Put stores an entry under key, displacing any previous one and
+// evicting the least-recently-used entry when over the limit.
 func (rc *ReportCache) Put(key string, v any) {
 	rc.mu.Lock()
-	rc.m[key] = v
-	rc.mu.Unlock()
+	defer rc.mu.Unlock()
+	if el, ok := rc.m[key]; ok {
+		el.Value = reportEntry{key: key, v: v}
+		rc.lru.MoveToFront(el)
+		return
+	}
+	rc.m[key] = rc.lru.PushFront(reportEntry{key: key, v: v})
+	rc.shedLocked()
+}
+
+func (rc *ReportCache) shedLocked() {
+	if rc.limit <= 0 {
+		return
+	}
+	for rc.lru.Len() > rc.limit {
+		el := rc.lru.Back()
+		rc.lru.Remove(el)
+		delete(rc.m, el.Value.(reportEntry).key)
+		rc.evictions++
+	}
 }
 
 // Len returns the number of stored entries.
 func (rc *ReportCache) Len() int {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
-	return len(rc.m)
+	return rc.lru.Len()
 }
 
 // Counters returns the cumulative hit and miss counts (callers wanting
@@ -149,6 +285,13 @@ func (rc *ReportCache) Counters() (hits, misses int) {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	return rc.hits, rc.misses
+}
+
+// Evictions returns how many entries the size limit has displaced.
+func (rc *ReportCache) Evictions() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.evictions
 }
 
 // SimplifyOutcome is one seed's cached simplification: the simplified
@@ -179,8 +322,9 @@ func NewSession(net *topology.Network, reqs []spec.Requirement, dep config.Deplo
 		opts:    opts,
 		in:      logic.Default(),
 		entries: make(map[string]*entry),
-		solvers: make(map[string]*smt.Solver),
-		simps:   &simpCache{m: make(map[logic.Term]*SimplifyOutcome)},
+		solvers: make(map[string]*list.Element),
+		solvLRU: list.New(),
+		simps:   newSimpCache(),
 		nf:      rewrite.NewCache(),
 		reports: NewReportCache(),
 	}
@@ -195,7 +339,8 @@ func NewSession(net *topology.Network, reqs []spec.Requirement, dep config.Deplo
 // edited routers are pointer-shared). Deployment-specific state is NOT
 // shared: encoding entries and the warm-solver pool start empty, since
 // their contents assert the predecessor deployment's constraints.
-// Budget and VerifyProofs are copied from prev.
+// Budget, VerifyProofs, and the cache limits are copied from prev
+// (shared-cache limits travel with the shared caches themselves).
 func NewSessionFrom(prev *Session, reqs []spec.Requirement, dep config.Deployment) *Session {
 	s := &Session{
 		net:          prev.net,
@@ -206,15 +351,68 @@ func NewSessionFrom(prev *Session, reqs []spec.Requirement, dep config.Deploymen
 		Budget:       prev.Budget,
 		VerifyProofs: prev.VerifyProofs,
 		entries:      make(map[string]*entry),
-		solvers:      make(map[string]*smt.Solver),
+		solvers:      make(map[string]*list.Element),
+		solvLRU:      list.New(),
 		simps:        prev.simps,
 		nf:           prev.nf,
 		reports:      prev.reports,
 	}
+	prev.solvMu.Lock()
+	s.solvLimit = prev.solvLimit
+	prev.solvMu.Unlock()
+	prev.mu.Lock()
+	s.liftCap = prev.liftCap
+	prev.mu.Unlock()
 	prev.baseMu.Lock()
 	s.prevBase = prev.base
 	prev.baseMu.Unlock()
 	return s
+}
+
+// SetCacheLimits bounds the session's growable caches (see
+// CacheLimits). Call before heavy traffic; limits on the shared report
+// and simplify caches apply to every session sharing them.
+func (s *Session) SetCacheLimits(l CacheLimits) {
+	s.reports.SetLimit(l.Reports)
+	s.simps.setLimit(l.Simplify)
+	s.solvMu.Lock()
+	s.solvLimit = l.Solvers
+	s.shedSolversLocked()
+	s.solvMu.Unlock()
+	s.mu.Lock()
+	s.liftCap = l.LiftSamples
+	s.trimLiftLocked()
+	s.mu.Unlock()
+}
+
+// Trim sheds the session's rebuildable warm state: the warm-solver
+// pool is emptied (pooled solvers are pure accelerators — the next
+// query rebuilds one cold) and the lift-latency window is compacted.
+// The report and simplify caches stay, already bounded by their
+// limits. A serving layer calls this on idle or memory pressure; a
+// trimmed session keeps answering every query correctly.
+func (s *Session) Trim() {
+	s.solvMu.Lock()
+	dropped := s.solvLRU.Len()
+	s.solvers = make(map[string]*list.Element)
+	s.solvLRU.Init()
+	s.solvMu.Unlock()
+	s.mu.Lock()
+	s.stats.WarmSolverEvicted += dropped
+	s.trimLiftLocked()
+	s.mu.Unlock()
+}
+
+// trimLiftLocked keeps only the most recent liftCap samples. Caller
+// holds s.mu.
+func (s *Session) trimLiftLocked() {
+	cap := s.liftCap
+	if cap <= 0 {
+		cap = DefaultLiftSampleCap
+	}
+	if len(s.liftNS) > cap {
+		s.liftNS = append(s.liftNS[:0], s.liftNS[len(s.liftNS)-cap:]...)
+	}
 }
 
 // ReportCache returns the session's cross-deployment report cache.
@@ -341,15 +539,12 @@ func (s *Session) EnsureBase(ctx context.Context) *synth.Base {
 // work happened to be done in), so either result is the same.
 func (s *Session) Simplify(seed logic.Term) *SimplifyOutcome {
 	seed = s.in.Intern(seed)
-	s.simps.mu.Lock()
-	if out, ok := s.simps.m[seed]; ok {
-		s.simps.mu.Unlock()
+	if out, ok := s.simps.get(seed); ok {
 		s.mu.Lock()
 		s.stats.SimplifyHits++
 		s.mu.Unlock()
 		return out
 	}
-	s.simps.mu.Unlock()
 	simp := rewrite.NewShared(s.nf)
 	out := &SimplifyOutcome{
 		Simplified: simp.Simplify(seed),
@@ -357,9 +552,7 @@ func (s *Session) Simplify(seed logic.Term) *SimplifyOutcome {
 		Trace:      append([]int(nil), simp.Trace...),
 		Stats:      simp.Stats,
 	}
-	s.simps.mu.Lock()
-	s.simps.m[seed] = out
-	s.simps.mu.Unlock()
+	s.simps.put(seed, out)
 	return out
 }
 
@@ -369,8 +562,10 @@ func (s *Session) Simplify(seed logic.Term) *SimplifyOutcome {
 // checkin. Every call is counted as a warm hit or miss.
 func (s *Session) CheckoutSolver(key string) *smt.Solver {
 	s.solvMu.Lock()
-	sv := s.solvers[key]
-	if sv != nil {
+	var sv *smt.Solver
+	if el, ok := s.solvers[key]; ok {
+		sv = el.Value.(solvEntry).sv
+		s.solvLRU.Remove(el)
 		delete(s.solvers, key)
 	}
 	s.solvMu.Unlock()
@@ -387,16 +582,65 @@ func (s *Session) CheckoutSolver(key string) *smt.Solver {
 // CheckinSolver parks a solver for later reuse under key. The solver
 // must be in the state the key promises: exactly the constraints the
 // keyed encoding asserts (learnt clauses and retracted guards on top
-// are fine — they are consequences, not new constraints). A solver
-// already pooled under the key is displaced (kept: the newer one,
-// which has seen more queries and is warmer).
+// are fine — they are consequences, not new constraints). Checkin
+// verifies the promise where it can: a solver that still holds active
+// guarded assertions — the signature of a query that was cancelled or
+// errored out between asserting a temporary constraint and retracting
+// it — is dropped instead of pooled, because its extra constraints
+// would silently change the verdicts of every later query under the
+// key. A solver already pooled under the key is displaced (kept: the
+// newer one, which has seen more queries and is warmer), and a full
+// pool evicts its least-recently-used key.
 func (s *Session) CheckinSolver(key string, sv *smt.Solver) {
 	if sv == nil {
 		return
 	}
+	if sv.ActiveGuards() > 0 {
+		// Not pristine: temporary constraints are still in force. The
+		// guard handles are gone, so the state cannot be restored —
+		// drop the solver rather than let it poison later queries.
+		s.mu.Lock()
+		s.stats.WarmSolverDropped++
+		s.mu.Unlock()
+		return
+	}
+	evicted := 0
 	s.solvMu.Lock()
-	s.solvers[key] = sv
+	if el, ok := s.solvers[key]; ok {
+		s.solvLRU.Remove(el)
+	}
+	s.solvers[key] = s.solvLRU.PushFront(solvEntry{key: key, sv: sv})
+	evicted = s.shedSolversLocked()
 	s.solvMu.Unlock()
+	if evicted > 0 {
+		s.mu.Lock()
+		s.stats.WarmSolverEvicted += evicted
+		s.mu.Unlock()
+	}
+}
+
+// shedSolversLocked evicts least-recently-used pooled solvers until
+// the pool respects its limit, returning how many were dropped. Caller
+// holds s.solvMu.
+func (s *Session) shedSolversLocked() int {
+	if s.solvLimit <= 0 {
+		return 0
+	}
+	n := 0
+	for s.solvLRU.Len() > s.solvLimit {
+		el := s.solvLRU.Back()
+		s.solvLRU.Remove(el)
+		delete(s.solvers, el.Value.(solvEntry).key)
+		n++
+	}
+	return n
+}
+
+// PooledSolvers reports how many idle solvers the warm pool holds.
+func (s *Session) PooledSolvers() int {
+	s.solvMu.Lock()
+	defer s.solvMu.Unlock()
+	return s.solvLRU.Len()
 }
 
 // AddSolverStats folds SAT-level effort (from a solver that has
@@ -414,6 +658,9 @@ func (s *Session) AddSolverStats(st sat.Stats) {
 	s.stats.BlockedRestarts += st.BlockedRestarts
 	s.stats.MinimizedLits += st.MinimizedLits
 	s.stats.LBDSum += st.LBDSum
+	for i := range st.LBDHist {
+		s.stats.LBDHist[i] += st.LBDHist[i]
+	}
 	s.stats.SatRaces += st.PortfolioRaces
 	for i := range st.PortfolioWins {
 		s.stats.SatWins[i] += st.PortfolioWins[i]
@@ -450,7 +697,10 @@ func (s *Session) AddProofStats(rep smt.ProofReport) {
 
 // AddLiftQueries records the latencies of individual lift-stage SMT
 // queries (vacuity, necessity, extendability probes), batched per
-// worker to keep the lock off the hot path.
+// worker to keep the lock off the hot path. The sample window is
+// bounded (CacheLimits.LiftSamples, DefaultLiftSampleCap by default):
+// the total query count keeps growing, the percentiles are computed
+// over the most recent window.
 func (s *Session) AddLiftQueries(ds []time.Duration) {
 	if len(ds) == 0 {
 		return
@@ -459,11 +709,22 @@ func (s *Session) AddLiftQueries(ds []time.Duration) {
 	for _, d := range ds {
 		s.liftNS = append(s.liftNS, d.Nanoseconds())
 	}
+	s.liftAll += len(ds)
+	s.trimLiftLocked()
 	s.mu.Unlock()
 }
 
+// LiftSamples returns a copy of the retained lift-latency sample
+// window (nanoseconds, unsorted). A pool aggregating several sessions
+// merges the windows and computes percentiles over the union.
+func (s *Session) LiftSamples() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int64(nil), s.liftNS...)
+}
+
 // Stats returns a snapshot of the merged statistics. The lift-query
-// latency percentiles are computed over every query recorded so far.
+// latency percentiles are computed over the retained sample window.
 func (s *Session) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -472,7 +733,9 @@ func (s *Session) Stats() Stats {
 	st.NormCacheMisses = s.nf.Misses()
 	st.NormCacheEntries = s.nf.Len()
 	st.ReportCacheHits, st.ReportCacheMisses = s.reports.Counters()
-	st.LiftQueries = len(s.liftNS)
+	st.ReportCacheEvictions = s.reports.Evictions()
+	st.SimplifyEntries, st.SimplifyEvictions = s.simps.counters()
+	st.LiftQueries = s.liftAll
 	if n := len(s.liftNS); n > 0 {
 		ns := append([]int64(nil), s.liftNS...)
 		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })

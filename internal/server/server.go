@@ -1,0 +1,627 @@
+// Package server implements netexplaind's HTTP serving layer: a JSON
+// API over the explanation pipeline, backed by a pool of warm
+// engine.Sessions, a content-addressed response cache, and admission
+// control that maps per-request deadlines onto engine.Budget.
+//
+// Endpoints:
+//
+//	POST /explain  {topology, configs, spec, ...}          → {"report": ...}
+//	POST /diff     {topology, configs, edited_configs, ...} → {"report", "summary", "stats"}
+//	GET  /metrics  engine.Stats + server counters as JSON (byte-stable)
+//	GET  /healthz  liveness probe
+//
+// Request texts are the same formats the CLIs consume
+// (topology.Parse, config.ParseDeployment, spec.Parse), and a served
+// report is byte-identical to `netexplain -all` over the same inputs:
+// the response cache can therefore ignore resource knobs (timeout,
+// sat_workers, lift_workers) — they never change a report byte.
+package server
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/spec"
+	"repro/internal/topology"
+)
+
+// Options configures a Server. The zero value of each field selects
+// the documented default.
+type Options struct {
+	// MaxInflight caps concurrently admitted explain/diff requests
+	// (default 4× GOMAXPROCS is the caller's business — the server
+	// defaults to 16). Requests beyond the cap queue; a request whose
+	// context ends while queued is turned away with 503.
+	MaxInflight int
+	// ResponseCacheSize caps the content-addressed response cache
+	// (default 256 entries, 0 < n; negative disables caching).
+	ResponseCacheSize int
+	// PoolSize caps the session pool (default 16 idle problems).
+	PoolSize int
+	// DefaultTimeout is the per-request deadline when the request sets
+	// none (default 2m). MaxTimeout clamps requested deadlines
+	// (default: DefaultTimeout).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxSatWorkers and MaxLiftWorkers clamp the per-request resource
+	// knobs (defaults 8). Requests asking for more are clamped, not
+	// rejected — the knobs never change response bytes.
+	MaxSatWorkers  int
+	MaxLiftWorkers int
+	// VerifyProofs turns on proof verification for every served query.
+	VerifyProofs bool
+	// CacheLimits bounds each pooled session's internal caches. The
+	// zero value applies serving defaults (reports 256, simplify 4096,
+	// solvers 32, lift samples DefaultLiftSampleCap) rather than the
+	// CLI's unlimited ones; set a field negative to make it unlimited.
+	CacheLimits engine.CacheLimits
+}
+
+// withDefaults resolves the zero values.
+func (o Options) withDefaults() Options {
+	if o.MaxInflight == 0 {
+		o.MaxInflight = 16
+	}
+	if o.ResponseCacheSize == 0 {
+		o.ResponseCacheSize = 256
+	}
+	if o.PoolSize == 0 {
+		o.PoolSize = 16
+	}
+	if o.DefaultTimeout == 0 {
+		o.DefaultTimeout = 2 * time.Minute
+	}
+	if o.MaxTimeout == 0 {
+		o.MaxTimeout = o.DefaultTimeout
+	}
+	if o.MaxSatWorkers == 0 {
+		o.MaxSatWorkers = 8
+	}
+	if o.MaxLiftWorkers == 0 {
+		o.MaxLiftWorkers = 8
+	}
+	o.CacheLimits = resolveLimits(o.CacheLimits)
+	return o
+}
+
+// resolveLimits maps the zero value of each cache limit to the serving
+// default and negative values to unlimited (engine zero).
+func resolveLimits(l engine.CacheLimits) engine.CacheLimits {
+	def := func(v, d int) int {
+		switch {
+		case v == 0:
+			return d
+		case v < 0:
+			return 0
+		}
+		return v
+	}
+	return engine.CacheLimits{
+		Reports:     def(l.Reports, 256),
+		Simplify:    def(l.Simplify, 4096),
+		Solvers:     def(l.Solvers, 32),
+		LiftSamples: def(l.LiftSamples, engine.DefaultLiftSampleCap),
+	}
+}
+
+// Server is the netexplaind request handler. Create with New; serve
+// via Handler.
+type Server struct {
+	opts Options
+	pool *engine.SessionPool
+	sem  chan struct{}
+
+	respMu   sync.Mutex
+	resp     map[string]*list.Element
+	respLRU  *list.List // of respEntry, front = most recent
+	inflight atomic.Int64
+
+	ctrMu sync.Mutex
+	ctr   counters
+}
+
+type respEntry struct {
+	key  string
+	body []byte
+}
+
+// counters are the server-level metrics (engine-level ones come from
+// the session pool).
+type counters struct {
+	Requests          int
+	ExplainRequests   int
+	DiffRequests      int
+	BadRequests       int
+	Errors            int
+	Rejected          int
+	ResponseCacheHits int
+	ResponseCacheMiss int
+	ResponseCacheEvic int
+}
+
+// New creates a server.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	return &Server{
+		opts:    opts,
+		pool:    engine.NewSessionPool(opts.PoolSize),
+		sem:     make(chan struct{}, opts.MaxInflight),
+		resp:    make(map[string]*list.Element),
+		respLRU: list.New(),
+	}
+}
+
+// Pool exposes the session pool (read-only use: gauges in tests and
+// the load harness).
+func (s *Server) Pool() *engine.SessionPool { return s.pool }
+
+// Handler returns the server's routed handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/explain", func(w http.ResponseWriter, r *http.Request) { s.serveQuery(w, r, false) })
+	mux.HandleFunc("/diff", func(w http.ResponseWriter, r *http.Request) { s.serveQuery(w, r, true) })
+	mux.HandleFunc("/metrics", s.serveMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// request is the JSON body of /explain and /diff.
+type request struct {
+	// Topology, Configs, and Spec are the problem texts (topology.Parse,
+	// config.ParseDeployment, spec.Parse formats).
+	Topology string `json:"topology"`
+	Configs  string `json:"configs"`
+	Spec     string `json:"spec"`
+	// EditedConfigs (diff only) is the edited deployment text; the
+	// report explains it, incrementally against the base problem.
+	EditedConfigs string `json:"edited_configs,omitempty"`
+	// TimeoutMS bounds the request's wall clock (0 = server default,
+	// clamped to the server max).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// SatWorkers and LiftWorkers tune the per-request solver portfolio
+	// width and lift worker pool (0 = default, clamped to the server
+	// maxima). They never change response bytes.
+	SatWorkers  int `json:"sat_workers,omitempty"`
+	LiftWorkers int `json:"lift_workers,omitempty"`
+	// NoLift skips subspecification lifting (reports show sizes only).
+	NoLift bool `json:"nolift,omitempty"`
+}
+
+// explainResponse is the /explain response body.
+type explainResponse struct {
+	Report string `json:"report"`
+}
+
+// diffResponse is the /diff response body.
+type diffResponse struct {
+	Report  string         `json:"report"`
+	Summary string         `json:"summary"`
+	Stats   core.DiffStats `json:"stats"`
+}
+
+// errorResponse is every non-200 body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) failRequest(w http.ResponseWriter, status int, err error) {
+	s.ctrMu.Lock()
+	if status == http.StatusBadRequest {
+		s.ctr.BadRequests++
+	} else if status == http.StatusServiceUnavailable {
+		s.ctr.Rejected++
+	} else {
+		s.ctr.Errors++
+	}
+	s.ctrMu.Unlock()
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// cacheKey content-addresses a request: endpoint plus every byte that
+// can influence the response body. The resource knobs (timeout,
+// workers) are deliberately excluded — reports are byte-identical
+// across them (pinned by the repo's worker-matrix golden tests).
+func cacheKey(endpoint string, req *request) string {
+	h := sha256.New()
+	for _, part := range []string{endpoint, req.Topology, req.Configs, req.Spec, req.EditedConfigs, fmt.Sprintf("lift=%t", !req.NoLift)} {
+		fmt.Fprintf(h, "%d:", len(part))
+		h.Write([]byte(part))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// problemKey names the problem a warm session is valid for: the
+// normalized (parse→print round-tripped) problem texts plus the lift
+// flag, which decides what the explainer's last report contains.
+func problemKey(net *topology.Network, dep config.Deployment, sp *spec.Spec, lift bool) string {
+	h := sha256.New()
+	for _, part := range []string{topology.Print(net), config.PrintDeployment(dep), spec.Print(sp), fmt.Sprintf("lift=%t", lift)} {
+		fmt.Fprintf(h, "%d:", len(part))
+		h.Write([]byte(part))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cachedResponse returns the cached body for key, updating recency.
+func (s *Server) cachedResponse(key string) ([]byte, bool) {
+	if s.opts.ResponseCacheSize < 0 {
+		return nil, false
+	}
+	s.respMu.Lock()
+	defer s.respMu.Unlock()
+	el, ok := s.resp[key]
+	if !ok {
+		return nil, false
+	}
+	s.respLRU.MoveToFront(el)
+	return el.Value.(respEntry).body, true
+}
+
+// storeResponse caches a successful response body.
+func (s *Server) storeResponse(key string, body []byte) {
+	if s.opts.ResponseCacheSize < 0 {
+		return
+	}
+	s.respMu.Lock()
+	defer s.respMu.Unlock()
+	if el, ok := s.resp[key]; ok {
+		el.Value = respEntry{key: key, body: body}
+		s.respLRU.MoveToFront(el)
+		return
+	}
+	s.resp[key] = s.respLRU.PushFront(respEntry{key: key, body: body})
+	for s.respLRU.Len() > s.opts.ResponseCacheSize {
+		el := s.respLRU.Back()
+		s.respLRU.Remove(el)
+		delete(s.resp, el.Value.(respEntry).key)
+		s.ctrMu.Lock()
+		s.ctr.ResponseCacheEvic++
+		s.ctrMu.Unlock()
+	}
+}
+
+// admit blocks until an in-flight slot frees up or the context ends.
+func (s *Server) admit(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server at capacity: %w", ctx.Err())
+	}
+}
+
+// budgetFor clamps the request's resource knobs against the server
+// limits and builds the per-request budget. MaxConflicts and MaxModels
+// stay zero: they are part of the lift splice signature, and varying
+// them per request would needlessly invalidate cached lift artifacts.
+func (s *Server) budgetFor(req *request) (engine.Budget, int, time.Duration) {
+	d := s.opts.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		d = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if d > s.opts.MaxTimeout {
+		d = s.opts.MaxTimeout
+	}
+	sat := req.SatWorkers
+	if sat < 1 {
+		sat = 1
+	}
+	if sat > s.opts.MaxSatWorkers {
+		sat = s.opts.MaxSatWorkers
+	}
+	lift := req.LiftWorkers
+	if lift < 0 {
+		lift = 0 // GOMAXPROCS
+	}
+	if lift > s.opts.MaxLiftWorkers {
+		lift = s.opts.MaxLiftWorkers
+	}
+	return engine.Budget{Deadline: time.Now().Add(d), SatWorkers: sat}, lift, d
+}
+
+// parseProblem parses the three problem texts.
+func parseProblem(req *request) (*topology.Network, config.Deployment, *spec.Spec, error) {
+	net, err := topology.Parse(req.Topology)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("topology: %w", err)
+	}
+	dep, err := config.ParseDeployment(req.Configs)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("configs: %w", err)
+	}
+	sp, err := spec.Parse(req.Spec)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("spec: %w", err)
+	}
+	if err := depMatchesNet(net, dep); err != nil {
+		return nil, nil, nil, fmt.Errorf("configs: %w", err)
+	}
+	return net, dep, sp, nil
+}
+
+// depMatchesNet rejects configurations for routers the topology does
+// not declare — a malformed problem, caught before any engine work.
+func depMatchesNet(net *topology.Network, dep config.Deployment) error {
+	for name := range dep {
+		if net.Router(name) == nil {
+			return fmt.Errorf("config for router %q not in the topology", name)
+		}
+	}
+	return nil
+}
+
+// explainerFor checks out (or builds) the explainer for the problem.
+// The returned item is leased exclusively; exactly one of
+// pool.Checkin/pool.Drop must follow.
+func (s *Server) explainerFor(key string, net *topology.Network, dep config.Deployment, sp *spec.Spec, lift bool) (*engine.PoolItem, *core.Explainer, error) {
+	if item, ok := s.pool.Checkout(key); ok {
+		return item, item.Value.(*core.Explainer), nil
+	}
+	opts := core.DefaultOptions()
+	opts.Lift = lift
+	opts.VerifyProofs = s.opts.VerifyProofs
+	e, err := core.NewExplainer(net, sp.Requirements(), dep, opts)
+	if err != nil {
+		s.pool.Drop(nil)
+		return nil, nil, err
+	}
+	e.Session.SetCacheLimits(s.opts.CacheLimits)
+	return &engine.PoolItem{Key: key, Session: e.Session, Value: e}, e, nil
+}
+
+// serveQuery handles /explain (diff=false) and /diff (diff=true).
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, diff bool) {
+	s.ctrMu.Lock()
+	s.ctr.Requests++
+	if diff {
+		s.ctr.DiffRequests++
+	} else {
+		s.ctr.ExplainRequests++
+	}
+	s.ctrMu.Unlock()
+
+	if r.Method != http.MethodPost {
+		s.failRequest(w, http.StatusBadRequest, errors.New("POST required"))
+		return
+	}
+	var req request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err := dec.Decode(&req); err != nil {
+		s.failRequest(w, http.StatusBadRequest, fmt.Errorf("request body: %w", err))
+		return
+	}
+	if req.Topology == "" || req.Configs == "" || req.Spec == "" {
+		s.failRequest(w, http.StatusBadRequest, errors.New("topology, configs, and spec are required"))
+		return
+	}
+	endpoint := "/explain"
+	if diff {
+		endpoint = "/diff"
+		if req.EditedConfigs == "" {
+			s.failRequest(w, http.StatusBadRequest, errors.New("edited_configs is required for /diff"))
+			return
+		}
+	}
+
+	key := cacheKey(endpoint, &req)
+	if body, ok := s.cachedResponse(key); ok {
+		s.ctrMu.Lock()
+		s.ctr.ResponseCacheHits++
+		s.ctrMu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", "hit")
+		w.Write(body)
+		return
+	}
+	s.ctrMu.Lock()
+	s.ctr.ResponseCacheMiss++
+	s.ctrMu.Unlock()
+
+	if err := s.admit(r.Context()); err != nil {
+		s.failRequest(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	s.inflight.Add(1)
+	defer func() {
+		s.inflight.Add(-1)
+		<-s.sem
+	}()
+
+	net, dep, sp, err := parseProblem(&req)
+	if err != nil {
+		s.failRequest(w, http.StatusBadRequest, err)
+		return
+	}
+	var edited config.Deployment
+	if diff {
+		edited, err = config.ParseDeployment(req.EditedConfigs)
+		if err == nil {
+			err = depMatchesNet(net, edited)
+		}
+		if err != nil {
+			s.failRequest(w, http.StatusBadRequest, fmt.Errorf("edited_configs: %w", err))
+			return
+		}
+	}
+
+	budget, liftWorkers, timeout := s.budgetFor(&req)
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	lift := !req.NoLift
+	item, e, err := s.explainerFor(problemKey(net, dep, sp, lift), net, dep, sp, lift)
+	if err != nil {
+		s.failRequest(w, http.StatusBadRequest, err)
+		return
+	}
+	// The lease is exclusive: the per-request knobs can be set directly.
+	// MaxConflicts/MaxModels stay zero so the lift splice signature is
+	// constant across requests (see budgetFor).
+	e.Opts.Lift = lift
+	e.Opts.Budget = budget
+	e.Opts.LiftWorkers = liftWorkers
+	e.Session.Budget = budget
+
+	var body []byte
+	if diff {
+		dr, derr := s.runDiff(ctx, e, edited)
+		if derr != nil {
+			// The session survives failed queries (failed encodes are not
+			// cached; non-pristine solvers are dropped at checkin) — but
+			// ReExplain may have retargeted the explainer, so re-key.
+			s.checkinCurrent(item, e, sp, lift)
+			s.failRequest(w, statusFor(derr), derr)
+			return
+		}
+		s.checkinCurrent(item, e, sp, lift)
+		body = mustJSON(diffResponse{Report: dr.Report, Summary: dr.Summary, Stats: dr.Stats})
+	} else {
+		report, rerr := e.ReportContext(ctx)
+		if rerr != nil {
+			s.pool.Checkin(item)
+			s.failRequest(w, statusFor(rerr), rerr)
+			return
+		}
+		s.pool.Checkin(item)
+		body = mustJSON(explainResponse{Report: report})
+	}
+
+	s.storeResponse(key, body)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", "miss")
+	w.Write(body)
+}
+
+// runDiff produces the incremental report for the edited deployment.
+// A pooled explainer carries its base report from the request that
+// warmed it; a fresh one renders the base report first (warming every
+// cache the splice sweep draws from).
+func (s *Server) runDiff(ctx context.Context, e *core.Explainer, edited config.Deployment) (*core.DiffReport, error) {
+	if _, err := e.ReportContext(ctx); err != nil {
+		return nil, fmt.Errorf("base report: %w", err)
+	}
+	dr, err := e.ReExplainContext(ctx, core.Delta{Deployment: edited})
+	if err != nil {
+		return nil, fmt.Errorf("re-explain: %w", err)
+	}
+	return dr, nil
+}
+
+// checkinCurrent returns the explainer to the pool under the key of
+// whatever problem it now targets (ReExplain retargets it at the
+// edited deployment, making the warm state reusable by follow-up
+// requests for that problem).
+func (s *Server) checkinCurrent(item *engine.PoolItem, e *core.Explainer, sp *spec.Spec, lift bool) {
+	item.Key = problemKey(e.Net, e.Deployment, sp, lift)
+	item.Session = e.Session
+	s.pool.Checkin(item)
+}
+
+// statusFor maps a query error to an HTTP status: deadline and
+// cancellation are the client's budget running out (504), everything
+// else is a server-side failure (500).
+func statusFor(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusInternalServerError
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	return append(b, '\n')
+}
+
+// Metrics is the /metrics payload. A fixed struct (no maps, no
+// timestamps), so repeated scrapes of a quiescent server are
+// byte-stable — pinned by TestMetricsDeterministic.
+type Metrics struct {
+	Server struct {
+		Requests               int `json:"requests"`
+		ExplainRequests        int `json:"explain_requests"`
+		DiffRequests           int `json:"diff_requests"`
+		BadRequests            int `json:"bad_requests"`
+		Errors                 int `json:"errors"`
+		Rejected               int `json:"rejected"`
+		Inflight               int `json:"inflight"`
+		ResponseCacheHits      int `json:"response_cache_hits"`
+		ResponseCacheMisses    int `json:"response_cache_misses"`
+		ResponseCacheEntries   int `json:"response_cache_entries"`
+		ResponseCacheEvictions int `json:"response_cache_evictions"`
+		Pool                   struct {
+			Idle      int `json:"idle"`
+			Leased    int `json:"leased"`
+			Hits      int `json:"hits"`
+			Misses    int `json:"misses"`
+			Evictions int `json:"evictions"`
+		} `json:"pool"`
+	} `json:"server"`
+	// Engine aggregates engine.Stats across the pool (retired + idle
+	// sessions); lift percentiles are recomputed over the union of the
+	// idle sessions' sample windows.
+	Engine engine.Stats `json:"engine"`
+}
+
+// Snapshot assembles the current metrics.
+func (s *Server) Snapshot() Metrics {
+	var m Metrics
+	s.ctrMu.Lock()
+	c := s.ctr
+	s.ctrMu.Unlock()
+	s.respMu.Lock()
+	entries := s.respLRU.Len()
+	s.respMu.Unlock()
+	g := s.pool.Gauges()
+
+	m.Server.Requests = c.Requests
+	m.Server.ExplainRequests = c.ExplainRequests
+	m.Server.DiffRequests = c.DiffRequests
+	m.Server.BadRequests = c.BadRequests
+	m.Server.Errors = c.Errors
+	m.Server.Rejected = c.Rejected
+	m.Server.Inflight = int(s.inflight.Load())
+	m.Server.ResponseCacheHits = c.ResponseCacheHits
+	m.Server.ResponseCacheMisses = c.ResponseCacheMiss
+	m.Server.ResponseCacheEntries = entries
+	m.Server.ResponseCacheEvictions = c.ResponseCacheEvic
+	m.Server.Pool.Idle = g.Idle
+	m.Server.Pool.Leased = g.Leased
+	m.Server.Pool.Hits = g.Hits
+	m.Server.Pool.Misses = g.Misses
+	m.Server.Pool.Evictions = g.Evictions
+	m.Engine = s.pool.StatsSnapshot()
+	return m
+}
+
+// serveMetrics renders the metrics JSON. Scraping is side-effect-free:
+// /metrics requests are not counted anywhere, so two back-to-back
+// scrapes of an idle server serve identical bytes.
+func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}

@@ -1,0 +1,370 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/netgen"
+	"repro/internal/scenarios"
+	"repro/internal/spec"
+	"repro/internal/synth"
+	"repro/internal/topology"
+)
+
+// problemTexts renders scenario1's problem in the wire formats, plus
+// an edited variant for diff requests.
+func problemTexts(t *testing.T) (topo, configs, spc, edited string) {
+	t.Helper()
+	sc := scenarios.Scenario1()
+	res, err := synth.Synthesize(sc.Net, sc.Sketch, sc.Requirements(), synth.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	editedDep, edits := netgen.Perturb(res.Deployment, 1, 1)
+	if len(edits) == 0 {
+		t.Fatal("no edit sites")
+	}
+	return topology.Print(sc.Net), config.PrintDeployment(res.Deployment),
+		spec.Print(sc.Spec), config.PrintDeployment(editedDep)
+}
+
+// wantReport renders the ground-truth report for the given problem
+// texts through the same core API the netexplain CLI prints verbatim.
+func wantReport(t *testing.T, topo, configs, spc string) string {
+	t.Helper()
+	net, err := topology.Parse(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := config.ParseDeployment(configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := spec.Parse(spc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewExplainer(net, sp.Requirements(), dep, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func post(t *testing.T, h http.Handler, path string, req request) *httptest.ResponseRecorder {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body)))
+	return w
+}
+
+func get(h http.Handler, path string) *httptest.ResponseRecorder {
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, path, nil))
+	return w
+}
+
+func decodeExplain(t *testing.T, w *httptest.ResponseRecorder) explainResponse {
+	t.Helper()
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body: %s", w.Code, w.Body.String())
+	}
+	var resp explainResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestServerExplainServesAndCaches(t *testing.T) {
+	topo, configs, spc, _ := problemTexts(t)
+	want := wantReport(t, topo, configs, spc)
+	s := New(Options{})
+	h := s.Handler()
+	req := request{Topology: topo, Configs: configs, Spec: spc}
+
+	w1 := post(t, h, "/explain", req)
+	if got := decodeExplain(t, w1).Report; got != want {
+		t.Fatalf("served report diverges from direct core report\n-- served --\n%s\n-- want --\n%s", got, want)
+	}
+	if hc := w1.Header().Get("X-Cache"); hc != "miss" {
+		t.Fatalf("first request X-Cache = %q, want miss", hc)
+	}
+
+	// The identical request is served verbatim from the response cache.
+	w2 := post(t, h, "/explain", req)
+	if hc := w2.Header().Get("X-Cache"); hc != "hit" {
+		t.Fatalf("repeat request X-Cache = %q, want hit", hc)
+	}
+	if !bytes.Equal(w1.Body.Bytes(), w2.Body.Bytes()) {
+		t.Fatal("cached body differs from the original response")
+	}
+
+	// Resource knobs are excluded from the cache key: same problem at a
+	// different worker setting is still a hit (reports are
+	// byte-identical across knobs).
+	w3 := post(t, h, "/explain", request{Topology: topo, Configs: configs, Spec: spc, SatWorkers: 2, LiftWorkers: 2})
+	if hc := w3.Header().Get("X-Cache"); hc != "hit" {
+		t.Fatalf("knob-varied request X-Cache = %q, want hit", hc)
+	}
+
+	// But nolift changes the report and must miss.
+	w4 := post(t, h, "/explain", request{Topology: topo, Configs: configs, Spec: spc, NoLift: true})
+	if hc := w4.Header().Get("X-Cache"); hc != "miss" {
+		t.Fatalf("nolift request X-Cache = %q, want miss", hc)
+	}
+	if decodeExplain(t, w4).Report == want {
+		t.Fatal("nolift report identical to lifted report")
+	}
+
+	m := s.Snapshot()
+	if m.Server.ResponseCacheHits != 2 || m.Server.ResponseCacheMisses != 2 {
+		t.Fatalf("response cache hits/misses = %d/%d, want 2/2",
+			m.Server.ResponseCacheHits, m.Server.ResponseCacheMisses)
+	}
+	if m.Server.Pool.Leased != 0 {
+		t.Fatalf("pool leased = %d at quiescence, want 0", m.Server.Pool.Leased)
+	}
+	if m.Engine.Encodes == 0 || m.Engine.Solves == 0 {
+		t.Fatalf("engine stats empty after serving: %+v", m.Engine)
+	}
+}
+
+func TestServerDiffMatchesColdReport(t *testing.T) {
+	topo, configs, spc, edited := problemTexts(t)
+	want := wantReport(t, topo, edited, spc)
+	s := New(Options{})
+	h := s.Handler()
+
+	w := post(t, h, "/diff", request{Topology: topo, Configs: configs, Spec: spc, EditedConfigs: edited})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body: %s", w.Code, w.Body.String())
+	}
+	var resp diffResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Report != want {
+		t.Fatalf("diff report diverges from cold report of the edited problem\n-- served --\n%s\n-- want --\n%s", resp.Report, want)
+	}
+	if !strings.Contains(resp.Summary, "WHAT-IF DELTA SUMMARY") {
+		t.Fatalf("malformed summary:\n%s", resp.Summary)
+	}
+	if resp.Stats.Routers == 0 {
+		t.Fatal("diff stats empty")
+	}
+
+	// The diff retargeted and pooled the explainer under the edited
+	// problem: a follow-up /explain of the edited problem is a pool hit.
+	w2 := post(t, h, "/explain", request{Topology: topo, Configs: edited, Spec: spc})
+	if got := decodeExplain(t, w2).Report; got != want {
+		t.Fatal("follow-up explain of the edited problem diverges")
+	}
+	g := s.Pool().Gauges()
+	if g.Hits == 0 {
+		t.Fatalf("follow-up explain missed the session pool: %+v", g)
+	}
+	if g.Leased != 0 {
+		t.Fatalf("pool leased = %d at quiescence, want 0", g.Leased)
+	}
+}
+
+func TestServerBadRequests(t *testing.T) {
+	topo, configs, spc, _ := problemTexts(t)
+	s := New(Options{})
+	h := s.Handler()
+	cases := []struct {
+		name string
+		path string
+		req  request
+	}{
+		{"missing topology", "/explain", request{Configs: configs, Spec: spc}},
+		{"missing configs", "/explain", request{Topology: topo, Spec: spc}},
+		{"missing spec", "/explain", request{Topology: topo, Configs: configs}},
+		{"bad topology", "/explain", request{Topology: "not a topology", Configs: configs, Spec: spc}},
+		{"bad configs", "/explain", request{Topology: topo, Configs: "router bgp bogus", Spec: spc}},
+		{"diff without edit", "/diff", request{Topology: topo, Configs: configs, Spec: spc}},
+	}
+	for _, tc := range cases {
+		if w := post(t, h, tc.path, tc.req); w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (body: %s)", tc.name, w.Code, w.Body.String())
+		}
+	}
+	if w := get(h, "/explain"); w.Code != http.StatusBadRequest {
+		t.Errorf("GET /explain: status = %d, want 400", w.Code)
+	}
+	if w := get(h, "/healthz"); w.Code != http.StatusOK || w.Body.String() != "ok\n" {
+		t.Errorf("healthz = %d %q", w.Code, w.Body.String())
+	}
+	if m := s.Snapshot(); m.Server.BadRequests != len(cases)+1 {
+		t.Errorf("BadRequests = %d, want %d", m.Server.BadRequests, len(cases)+1)
+	}
+	// Failed requests leak no leases.
+	if g := s.Pool().Gauges(); g.Leased != 0 {
+		t.Errorf("pool leased = %d after bad requests, want 0", g.Leased)
+	}
+}
+
+// TestServerConcurrentMixedTraffic is the -race pin for the serving
+// layer: goroutines hammer one server with mixed explain, diff,
+// repeat (cache-hitting), and pre-cancelled requests. Every 200
+// response must be byte-identical to the single-threaded ground truth,
+// and the pool must return to idle with no leaked leases.
+func TestServerConcurrentMixedTraffic(t *testing.T) {
+	topo, configs, spc, edited := problemTexts(t)
+	wantBase := wantReport(t, topo, configs, spc)
+	wantEdited := wantReport(t, topo, edited, spc)
+	s := New(Options{MaxInflight: 4, PoolSize: 2})
+	h := s.Handler()
+
+	const goroutines = 8
+	const iters = 3
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch (g + i) % 4 {
+				case 0: // explain base
+					w := post(t, h, "/explain", request{Topology: topo, Configs: configs, Spec: spc})
+					if w.Code != http.StatusOK {
+						t.Errorf("g%d i%d explain: %d %s", g, i, w.Code, w.Body.String())
+						return
+					}
+					var resp explainResponse
+					json.Unmarshal(w.Body.Bytes(), &resp)
+					if resp.Report != wantBase {
+						t.Errorf("g%d i%d: base report diverged under concurrency", g, i)
+					}
+				case 1: // diff base -> edited
+					w := post(t, h, "/diff", request{Topology: topo, Configs: configs, Spec: spc, EditedConfigs: edited})
+					if w.Code != http.StatusOK {
+						t.Errorf("g%d i%d diff: %d %s", g, i, w.Code, w.Body.String())
+						return
+					}
+					var resp diffResponse
+					json.Unmarshal(w.Body.Bytes(), &resp)
+					if resp.Report != wantEdited {
+						t.Errorf("g%d i%d: diff report diverged under concurrency", g, i)
+					}
+				case 2: // explain edited
+					w := post(t, h, "/explain", request{Topology: topo, Configs: edited, Spec: spc})
+					if w.Code != http.StatusOK {
+						t.Errorf("g%d i%d explain edited: %d %s", g, i, w.Code, w.Body.String())
+						return
+					}
+					var resp explainResponse
+					json.Unmarshal(w.Body.Bytes(), &resp)
+					if resp.Report != wantEdited {
+						t.Errorf("g%d i%d: edited report diverged under concurrency", g, i)
+					}
+				case 3: // pre-cancelled request: must fail fast, leak nothing
+					body, _ := json.Marshal(request{Topology: topo, Configs: configs, Spec: spc})
+					ctx, cancel := context.WithCancel(context.Background())
+					cancel()
+					r := httptest.NewRequest(http.MethodPost, "/explain", bytes.NewReader(body)).WithContext(ctx)
+					w := httptest.NewRecorder()
+					h.ServeHTTP(w, r)
+					// Either served from cache (200) or aborted — never a hang.
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	g := s.Pool().Gauges()
+	if g.Leased != 0 {
+		t.Fatalf("pool leased = %d after traffic, want 0 (leaked lease)", g.Leased)
+	}
+	if int64(s.inflight.Load()) != 0 {
+		t.Fatalf("inflight = %d after traffic, want 0", s.inflight.Load())
+	}
+	m := s.Snapshot()
+	if m.Server.ResponseCacheHits == 0 {
+		t.Fatal("no response-cache hits under repeated identical traffic")
+	}
+
+	// Zero leaked pooled solvers: every idle session's warm pool is
+	// consistent — nothing is leased mid-air, so every pooled solver is
+	// checked in. Metrics scrapes at quiescence are byte-stable.
+	m1 := get(h, "/metrics").Body.String()
+	m2 := get(h, "/metrics").Body.String()
+	if m1 != m2 {
+		t.Fatalf("metrics not byte-stable at quiescence:\n-- 1 --\n%s\n-- 2 --\n%s", m1, m2)
+	}
+}
+
+// TestMetricsDeterministic pins the /metrics wire format with a golden
+// body for a fresh server: fixed struct fields in declaration order,
+// no maps, no timestamps. If this test fails after an intentional
+// field addition, update the golden.
+func TestMetricsDeterministic(t *testing.T) {
+	s := New(Options{})
+	w := get(s.Handler(), "/metrics")
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics status = %d", w.Code)
+	}
+	var m Metrics
+	if err := json.Unmarshal(w.Body.Bytes(), &m); err != nil {
+		t.Fatalf("metrics not valid JSON: %v", err)
+	}
+	golden := `{
+  "server": {
+    "requests": 0,
+    "explain_requests": 0,
+    "diff_requests": 0,
+    "bad_requests": 0,
+    "errors": 0,
+    "rejected": 0,
+    "inflight": 0,
+    "response_cache_hits": 0,
+    "response_cache_misses": 0,
+    "response_cache_entries": 0,
+    "response_cache_evictions": 0,
+    "pool": {
+      "idle": 0,
+      "leased": 0,
+      "hits": 0,
+      "misses": 0,
+      "evictions": 0
+    }
+  },
+  "engine": ` + goldenEngineJSON() + `
+}
+`
+	if got := w.Body.String(); got != golden {
+		t.Fatalf("metrics golden mismatch:\n-- got --\n%s\n-- want --\n%s", got, golden)
+	}
+}
+
+// goldenEngineJSON renders the all-zero engine.Stats the way the
+// metrics encoder nests it (two-space indent at depth 1). Deriving it
+// from the struct keeps the golden in lockstep with intentional
+// engine.Stats field additions while still pinning order and shape —
+// any map-backed or otherwise order-unstable field would break the
+// byte-for-byte scrape comparison in TestServerConcurrentMixedTraffic.
+func goldenEngineJSON() string {
+	b, err := json.MarshalIndent(engine.Stats{}, "  ", "  ")
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}

@@ -340,6 +340,11 @@ func (s *Solver) SolveContext(ctx context.Context, assumptions ...logic.Term) (s
 	defer atomic.StoreInt32(&s.busy, 0)
 	s.lastAssumed = assumptions
 	s.lastLits = s.lastLits[:0]
+	// Reset the recorded verdict before anything can fail: an early
+	// error return below must not leave a stale Unsat from a previous
+	// solve paired with the new (inconsistent) assumption state, where
+	// Core()/VerifyLastUnsat would mis-attribute the old verdict.
+	s.lastStatus = sat.Unknown
 	for _, a := range assumptions {
 		if !a.Sort().IsBool() {
 			return sat.Unknown, fmt.Errorf("smt: assumption of sort %v", a.Sort())
