@@ -6,6 +6,7 @@
 //	netbench -table seed            # one experiment
 //	netbench -quick                 # trimmed scaling sweep
 //	netbench -benchjson BENCH_x.json  # machine-readable pipeline timings
+//	netbench -scalejson BENCH_scale.json  # whole-network streaming-report scaling
 //	netbench -cpuprofile cpu.pprof  # profile the run
 package main
 
@@ -39,6 +40,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration (e.g. 30s, 5m; 0 = no limit)")
 	benchJSON := fs.String("benchjson", "", "write machine-readable pipeline measurements (scenario, wall time, SAT conflicts, cache hits) to this file and exit")
 	diffJSON := fs.String("diffjson", "", "write machine-readable incremental re-explanation measurements (cold vs incremental wall time, dirty sets, cache hit rates) to this file and exit")
+	scaleJSON := fs.String("scalejson", "", "write machine-readable whole-network streaming-report measurements (wall time, peak heap, streamed bytes, scoped-encode stats) to this file and exit; -quick trims the sweep")
 	serveJSON := fs.String("servejson", "", "write machine-readable serving-layer measurements (throughput, latency percentiles, response-cache hit rate, CLI byte-identity) to this file and exit")
 	satWorkers := fs.Int("satworkers", 1, "SAT portfolio width: diversified search workers racing per solve with clause sharing (1 = plain single search; affects -table sat and -benchjson)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -101,6 +103,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "wrote %s\n", *diffJSON)
+		return 0
+	}
+	if *scaleJSON != "" {
+		if err := bench.WriteScaleJSON(ctx, *scaleJSON, *quick); err != nil {
+			fmt.Fprintln(stderr, "netbench:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *scaleJSON)
 		return 0
 	}
 	if *serveJSON != "" {

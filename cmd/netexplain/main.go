@@ -34,7 +34,7 @@ func main() {
 // the shared cmd convention: 0 success, 1 operational failure,
 // 2 usage error (bad flags, malformed -var, unknown scenario or
 // requirement block).
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("netexplain", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	scenario := fs.String("scenario", "scenario1", "paper scenario: scenario1, scenario2, scenario3")
@@ -49,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	interp2 := fs.Bool("interp2", false, "synthesize and explain under interpretation 2 (unlisted preference paths as last resorts)")
 	rules := fs.Bool("rules", false, "list the 15 simplification rules and exit")
 	timeout := fs.Duration("timeout", 0, "abort synthesis and explanation after this duration (e.g. 30s; 0 = no limit)")
+	outPath := fs.String("o", "", `write output to FILE instead of stdout ("-" = stdout); with -all the report streams as router sections complete`)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -62,6 +63,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	out := stdout
+	if *outPath != "" && *outPath != "-" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return fail(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil && code == 0 {
+				code = fail(err)
+			}
+		}()
+		out = f
+	}
+
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -71,7 +86,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *rules {
 		for _, r := range rewrite.AllRules {
-			fmt.Fprintf(stdout, "%-20s %s\n", r, rewrite.Describe(r))
+			fmt.Fprintf(out, "%-20s %s\n", r, rewrite.Describe(r))
 		}
 		return 0
 	}
@@ -124,9 +139,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(fmt.Errorf("re-explaining %s: %w", rest[1], err))
 		}
-		fmt.Fprint(stdout, dr.Report)
-		fmt.Fprintln(stdout)
-		fmt.Fprint(stdout, dr.Summary)
+		fmt.Fprint(out, dr.Report)
+		fmt.Fprintln(out)
+		fmt.Fprint(out, dr.Summary)
 		return 0
 	}
 
@@ -140,11 +155,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *all {
-		report, err := explainer.ReportContext(ctx)
-		if err != nil {
+		// Stream the report: sections reach the writer in router order
+		// as the worker pool completes them, so wide networks produce
+		// output long before the last router is explained. On error the
+		// stream ends cleanly at a section boundary.
+		if _, err := explainer.WriteReport(ctx, out); err != nil {
 			return fail(err)
 		}
-		fmt.Fprint(stdout, report)
 		return 0
 	}
 	if *complement {
@@ -152,12 +169,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(err)
 		}
-		fmt.Fprintf(stdout, "holding %s fixed, the rest of the network must guarantee:\n", *router)
-		fmt.Fprintf(stdout, "(seed %d atoms -> %d after %d passes)\n\n", comp.SeedSize, comp.SimplifiedSize, comp.Passes)
+		fmt.Fprintf(out, "holding %s fixed, the rest of the network must guarantee:\n", *router)
+		fmt.Fprintf(out, "(seed %d atoms -> %d after %d passes)\n\n", comp.SeedSize, comp.SimplifiedSize, comp.Passes)
 		for _, r := range comp.Routers() {
-			fmt.Fprintf(stdout, "--- %s ---\n", r)
+			fmt.Fprintf(out, "--- %s ---\n", r)
 			for _, c := range comp.Assumptions[r] {
-				fmt.Fprintf(stdout, "  %s\n", c)
+				fmt.Fprintf(out, "  %s\n", c)
 			}
 		}
 		return 0
@@ -180,31 +197,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	fmt.Fprintf(stdout, "router %s: %d symbolic variables\n", ex.Router, len(ex.HoleVars))
+	fmt.Fprintf(out, "router %s: %d symbolic variables\n", ex.Router, len(ex.HoleVars))
 	names := make([]string, 0, len(ex.Replaced))
 	for name := range ex.Replaced {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		fmt.Fprintf(stdout, "  %s (was %s)\n", name, ex.Replaced[name])
+		fmt.Fprintf(out, "  %s (was %s)\n", name, ex.Replaced[name])
 	}
-	fmt.Fprintf(stdout, "\nseed specification: %d constraints, %d atoms\n", ex.SeedConstraints, ex.SeedSize)
-	fmt.Fprintf(stdout, "simplified (%d passes): %d atoms, reduction %.0fx\n", ex.Passes, ex.SimplifiedSize, ex.Reduction())
-	fmt.Fprintf(stdout, "\nresidual constraints on %s's variables:\n%s\n", ex.Router, indent(ex.ResidualText()))
+	fmt.Fprintf(out, "\nseed specification: %d constraints, %d atoms\n", ex.SeedConstraints, ex.SeedSize)
+	fmt.Fprintf(out, "simplified (%d passes): %d atoms, reduction %.0fx\n", ex.Passes, ex.SimplifiedSize, ex.Reduction())
+	fmt.Fprintf(out, "\nresidual constraints on %s's variables:\n%s\n", ex.Router, indent(ex.ResidualText()))
 	if ex.Subspec != nil {
-		fmt.Fprintf(stdout, "\nsubspecification:\n%s", spec.PrintBlock(ex.Subspec))
+		fmt.Fprintf(out, "\nsubspecification:\n%s", spec.PrintBlock(ex.Subspec))
 		if ex.SubspecComplete {
-			fmt.Fprintln(stdout, "(verified complete: necessary and sufficient)")
+			fmt.Fprintln(out, "(verified complete: necessary and sufficient)")
 		} else {
-			fmt.Fprintln(stdout, "(necessary; sufficiency not fully verified)")
+			fmt.Fprintln(out, "(necessary; sufficiency not fully verified)")
 		}
 		if *validate && !ex.Subspec.IsEmpty() {
 			checks, err := explainer.CheckSubspecContext(ctx, *router, ex.Subspec)
 			if err != nil {
 				return fail(err)
 			}
-			fmt.Fprintf(stdout, "\nvalidating the deployed configuration against the subspecification:\n%s", core.FormatChecks(checks))
+			fmt.Fprintf(out, "\nvalidating the deployed configuration against the subspecification:\n%s", core.FormatChecks(checks))
 		}
 	}
 	return 0

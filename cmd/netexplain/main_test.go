@@ -127,3 +127,33 @@ func TestRunDiff(t *testing.T) {
 		t.Fatalf("-diff with missing file: exit %d, want 1", code)
 	}
 }
+
+// TestRunAllToFile pins the -o flag: the streamed -all report lands in
+// the file, byte-identical to the stdout report.
+func TestRunAllToFile(t *testing.T) {
+	var want, errOut strings.Builder
+	if code := run([]string{"-scenario", "scenario1", "-all"}, &want, &errOut); code != 0 {
+		t.Fatalf("-all exit %d (stderr: %s)", code, errOut.String())
+	}
+	path := filepath.Join(t.TempDir(), "report.txt")
+	var out strings.Builder
+	errOut.Reset()
+	if code := run([]string{"-scenario", "scenario1", "-all", "-o", path}, &out, &errOut); code != 0 {
+		t.Fatalf("-all -o exit %d (stderr: %s)", code, errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("-o still wrote to stdout: %q", out.String())
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != want.String() {
+		t.Errorf("-o report differs from stdout report:\n%s", string(got))
+	}
+	// An unwritable path is an operational failure, not a usage error.
+	errOut.Reset()
+	if code := run([]string{"-all", "-o", filepath.Join(path, "nope")}, &out, &errOut); code != 1 {
+		t.Fatalf("bad -o path: exit %d, want 1", code)
+	}
+}

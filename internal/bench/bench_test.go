@@ -202,21 +202,6 @@ func TestDiffTableQuick(t *testing.T) {
 	}
 }
 
-func TestScaleTableQuick(t *testing.T) {
-	tbl, err := ScaleTable(context.Background(), true)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(tbl.Rows) < 3 {
-		t.Fatalf("rows = %d, want >= 3", len(tbl.Rows))
-	}
-	for _, row := range tbl.Rows {
-		if row[len(row)-1] != "true" {
-			t.Errorf("%s: verification failed", row[0])
-		}
-	}
-}
-
 func TestTableRender(t *testing.T) {
 	tbl := &Table{ID: "x", Caption: "c", Columns: []string{"a", "bb"}}
 	tbl.AddRow(1, "hello")

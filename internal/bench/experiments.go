@@ -4,18 +4,15 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"time"
 
 	"repro/internal/bgp"
 	"repro/internal/core"
 	"repro/internal/logic"
-	"repro/internal/netgen"
 	"repro/internal/rewrite"
 	"repro/internal/scenarios"
 	"repro/internal/smt"
 	"repro/internal/spec"
 	"repro/internal/synth"
-	"repro/internal/verify"
 )
 
 // synthesizeScenario synthesizes one scenario (shared helper).
@@ -357,88 +354,6 @@ func ComplementTable(ctx context.Context) (*Table, error) {
 		for _, r := range routers {
 			t.AddRow(sc.Name, comp.SeedSize, comp.SimplifiedSize, r, len(comp.Assumptions[r]))
 		}
-	}
-	return t, nil
-}
-
-// ScaleTable runs the scalability extension (the paper leaves this
-// "untested"): grid and random topologies of growing size, measuring
-// encoding size, synthesis time, and the time to explain every
-// configured router through one engine session (whose statistics show
-// the shared base encode and candidate reuse). quick trims the sweep
-// for test runs.
-func ScaleTable(ctx context.Context, quick bool) (*Table, error) {
-	t := &Table{
-		ID:      "scale (extension Ext-1)",
-		Caption: "Scalability on larger topologies (no-transit workload; MaxCandidatesPerNode=8). explain-ms covers every configured router through one session; base-enc/encodes/reused-cands are the session's encoding statistics. The paper: 'scalability ... remains untested'.",
-		Columns: []string{"workload", "routers", "links", "seed-atoms", "truncated", "synth-ms", "explain-ms", "base-enc", "encodes", "reused-cands", "verified"},
-	}
-	var workloads []*netgen.Workload
-	gridSizes := [][2]int{{2, 2}, {3, 2}, {3, 3}, {4, 3}}
-	randSizes := []int{6, 10, 14}
-	fatTrees := []int{2, 4}
-	if quick {
-		gridSizes = gridSizes[:2]
-		randSizes = randSizes[:1]
-		fatTrees = fatTrees[:1]
-	}
-	for _, g := range gridSizes {
-		wl, err := netgen.Grid(g[0], g[1], false)
-		if err != nil {
-			return nil, err
-		}
-		workloads = append(workloads, wl)
-	}
-	for _, n := range randSizes {
-		wl, err := netgen.Random(n, 2.5, 42, false)
-		if err != nil {
-			return nil, err
-		}
-		workloads = append(workloads, wl)
-	}
-	for _, k := range fatTrees {
-		wl, err := netgen.FatTree(k, false)
-		if err != nil {
-			return nil, err
-		}
-		workloads = append(workloads, wl)
-	}
-	opts := synth.DefaultOptions()
-	opts.MaxPathLen = 7
-	opts.MaxCandidatesPerNode = 8
-	for _, wl := range workloads {
-		start := time.Now()
-		res, err := synth.SynthesizeContext(ctx, wl.Net, wl.Sketch, wl.Requirements(), opts)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", wl.Name, err)
-		}
-		synthMS := time.Since(start).Milliseconds()
-
-		ok, err := verify.SatisfiesContext(ctx, wl.Net, res.Deployment, wl.Requirements())
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", wl.Name, err)
-		}
-
-		// Explain every configured router through one session: the
-		// base structure is encoded once and every per-router seed is
-		// derived from it.
-		copts := core.DefaultOptions()
-		copts.Synth = opts
-		copts.Lift = false
-		ex, err := core.NewExplainer(wl.Net, wl.Requirements(), res.Deployment, copts)
-		if err != nil {
-			return nil, err
-		}
-		start = time.Now()
-		if _, err := ex.ReportContext(ctx); err != nil {
-			return nil, fmt.Errorf("%s: %w", wl.Name, err)
-		}
-		explainMS := time.Since(start).Milliseconds()
-		st := ex.Stats()
-
-		t.AddRow(wl.Name, len(wl.Net.Internals()), wl.Net.NumLinks(),
-			res.Encoding.Stats.ConstraintSize, res.Encoding.Stats.TruncatedPaths,
-			synthMS, explainMS, st.BaseEncodes, st.Encodes, st.ReusedCandidates, ok)
 	}
 	return t, nil
 }

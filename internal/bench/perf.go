@@ -83,6 +83,12 @@ type PerfEntry struct {
 	// InternedTerms is the size of the shared hash-cons table after the
 	// run (cumulative across entries: the table is process-wide).
 	InternedTerms int `json:"interned_terms"`
+	// PeakHeapBytes is the largest runtime.MemStats.HeapAlloc sampled
+	// while the report streamed (absolute process heap, cumulative
+	// across entries like InternedTerms); StreamedBytes is the report
+	// size that reached the writer.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+	StreamedBytes int64  `json:"streamed_bytes"`
 }
 
 // PerfReport is the payload written by netbench -benchjson.
@@ -110,11 +116,14 @@ func Perf(ctx context.Context, satWorkers int) (*PerfReport, error) {
 		if err != nil {
 			return nil, err
 		}
+		cw := &countingWriter{}
+		hw := startHeapWatcher()
 		start := time.Now()
-		if _, err := ex.ReportContext(ctx); err != nil {
+		if _, err := ex.WriteReport(ctx, cw); err != nil {
 			return nil, err
 		}
 		wallMS := float64(time.Since(start).Microseconds()) / 1000
+		peakHeap := hw.Peak()
 
 		st := ex.Stats()
 		avgLBD := 0.0
@@ -154,6 +163,8 @@ func Perf(ctx context.Context, satWorkers int) (*PerfReport, error) {
 			NormCacheMisses:     st.NormCacheMisses,
 			NormCacheEntries:    st.NormCacheEntries,
 			InternedTerms:       logic.Default().Size(),
+			PeakHeapBytes:       peakHeap,
+			StreamedBytes:       cw.n,
 		})
 	}
 	return rep, nil

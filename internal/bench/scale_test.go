@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netgen"
+	"repro/internal/synth"
+)
+
+// TestScaleTableQuick runs the trimmed scaling sweep end to end: every
+// quick workload synthesizes, streams its whole-network report, passes
+// the cold-arm byte-identity check where armed, and verifies.
+func TestScaleTableQuick(t *testing.T) {
+	tbl, err := ScaleTable(context.Background(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 3 {
+		t.Fatalf("rows = %d, want >= 3", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[len(row)-1] != "true" {
+			t.Errorf("%s: verification failed", row[0])
+		}
+		if id := row[len(row)-2]; id != "-" && id != "true" {
+			t.Errorf("%s: cold-vs-scoped streams differ", row[0])
+		}
+	}
+}
+
+// TestScaleSmoke streams a whole-network report over a 400-router
+// populated grid — the CI-sized pin that per-router encode work rides
+// the cone-scoped path and the stream covers every router.
+func TestScaleSmoke(t *testing.T) {
+	e, err := runScaleCase(context.Background(), scaleCase{
+		build:      func() (*netgen.Workload, error) { return netgen.Grid(20, 20, false) },
+		maxPathLen: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Routers < 400 {
+		t.Fatalf("routers = %d, want >= 400", e.Routers)
+	}
+	if e.Sections != e.Routers {
+		t.Errorf("sections = %d, want %d (every router explained)", e.Sections, e.Routers)
+	}
+	if e.ScopedEncodes != e.Sections {
+		t.Errorf("scoped encodes = %d, want %d (every section through the scoped path)", e.ScopedEncodes, e.Sections)
+	}
+	if e.ScopedGroupsCopied <= e.ScopedGroupsEncoded {
+		t.Errorf("groups copied = %d <= encoded = %d: scoping is not localizing work",
+			e.ScopedGroupsCopied, e.ScopedGroupsEncoded)
+	}
+	if e.StreamedBytes == 0 || e.PeakHeapBytes == 0 {
+		t.Errorf("missing measurements: streamed=%d peakHeap=%d", e.StreamedBytes, e.PeakHeapBytes)
+	}
+}
+
+// TestScaleByteIdentity pins cold-vs-scoped byte-identity on the
+// netgen preset shapes, with proof verification on and across the
+// SatWorkers x LiftWorkers matrix on the lifted workload. The seed
+// scenarios have the same pin in internal/core (golden worker-matrix
+// reports run through the streaming path).
+func TestScaleByteIdentity(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		name   string
+		build  func() (*netgen.Workload, error)
+		mpl    int
+		lift   bool
+		matrix bool
+	}{
+		{"grid_3x3_lift", func() (*netgen.Workload, error) { return netgen.Grid(3, 3, false) }, 7, true, true},
+		{"fattree_4", func() (*netgen.Workload, error) { return netgen.FatTree(4, false) }, 4, false, false},
+		{"rand_20", func() (*netgen.Workload, error) { return netgen.Random(20, 2.5, 42, false) }, 7, false, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wl, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			netgen.Populate(wl)
+			sopts := synth.DefaultOptions()
+			sopts.MaxPathLen = tc.mpl
+			sopts.MaxCandidatesPerNode = 8
+			res, err := synth.SynthesizeContext(ctx, wl.Net, wl.Sketch, wl.Requirements(), sopts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			report := func(satWorkers, liftWorkers int, scoped bool) string {
+				opts := core.DefaultOptions()
+				opts.Synth = sopts
+				opts.Lift = tc.lift
+				opts.VerifyProofs = true
+				opts.Budget.SatWorkers = satWorkers
+				opts.LiftWorkers = liftWorkers
+				ex, err := core.NewExplainer(wl.Net, wl.Requirements(), res.Deployment, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !scoped {
+					ex.Session.DisableScopedEncoding()
+				}
+				var sb strings.Builder
+				if _, err := ex.WriteReport(ctx, &sb); err != nil {
+					t.Fatal(err)
+				}
+				if st := ex.Stats(); scoped && st.ScopedEncodes == 0 {
+					t.Error("scoped run performed no scoped encodes")
+				} else if !scoped && st.ScopedEncodes != 0 {
+					t.Error("cold run performed scoped encodes")
+				}
+				return sb.String()
+			}
+
+			want := report(1, 1, false)
+			configs := [][2]int{{1, 1}}
+			if tc.matrix {
+				configs = [][2]int{{1, 1}, {2, 1}, {1, 2}, {2, 2}}
+			}
+			for _, c := range configs {
+				if got := report(c[0], c[1], true); got != want {
+					t.Errorf("satWorkers=%d liftWorkers=%d: scoped report differs from cold report", c[0], c[1])
+				}
+			}
+		})
+	}
+}

@@ -141,9 +141,7 @@ func (e *Explainer) ReExplainContext(ctx context.Context, delta Delta) (*DiffRep
 		st.ModelChanged = bd.Changed
 	}
 
-	e.reportMu.Lock()
-	prior := e.lastReport
-	e.reportMu.Unlock()
+	prior := e.loadLastReport()
 	e.Deployment = newDep
 	e.Reqs = reqs
 	e.Session = newSess
@@ -157,15 +155,20 @@ func (e *Explainer) ReExplainContext(ctx context.Context, delta Delta) (*DiffRep
 	// seed — hence its whole explanation — is unchanged, and the
 	// previous report stands verbatim.
 	if !reqsChanged && modeledSame && bd.Comparable && bd.Identical && prior != "" {
-		e.reportMu.Lock()
-		e.lastReport = prior
-		e.reportMu.Unlock()
+		// The successor session shares the report cache, so the retained
+		// identity still resolves; re-store to refresh its LRU position.
+		e.storeLastReport(prior)
 		st.FastPath = true
 		st.Spliced = len(newDep)
 		return &DiffReport{Report: prior, Summary: renderDiffSummary(st), Stats: st}, nil
 	}
 
 	routers := e.reportRouters()
+	if len(routers) > 1 {
+		// Whole-network sweep ahead: record the scoped encode so each
+		// router's derived encode splices its out-of-cone constraints.
+		newSess.PrepareScoped(ctx)
+	}
 	e.spliceLift = true
 	e.diffInfo = make(map[string]*routerDelta, len(routers))
 	defer func() {
@@ -178,9 +181,7 @@ func (e *Explainer) ReExplainContext(ctx context.Context, delta Delta) (*DiffRep
 		return nil, err
 	}
 	out := e.renderReport(routers, exs)
-	e.reportMu.Lock()
-	e.lastReport = out
-	e.reportMu.Unlock()
+	e.storeLastReport(out)
 
 	for i, r := range routers {
 		if exs[i].liftSpliced {

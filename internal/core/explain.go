@@ -139,13 +139,20 @@ type Explainer struct {
 	// so a query never re-locks on its own call path.
 	mu sync.RWMutex
 
-	// lastReport is the most recent whole-deployment report rendered by
-	// ReportContext, reused verbatim by ReExplain's fast path when an
-	// edit provably changes nothing the encoder models. Guarded by
-	// reportMu (a leaf lock: concurrent ReportContext calls share mu
-	// but still race on this field without it).
-	reportMu   sync.Mutex
-	lastReport string
+	// lastReportKey/Sum/Len identify the most recent whole-deployment
+	// report: the rendered bytes live in the session's byte-capped
+	// report cache under lastReportKey, the explainer holds only the
+	// key, a sha256 content hash, and the length. ReExplain's fast path
+	// reloads the bytes through loadLastReport, which verifies the hash
+	// — an evicted or displaced entry costs a re-sweep, never a wrong
+	// report, and the explainer itself no longer pins a full document
+	// in memory. Guarded by reportMu (a leaf lock: concurrent
+	// ReportContext calls share mu but still race on these fields
+	// without it).
+	reportMu      sync.Mutex
+	lastReportKey string
+	lastReportSum [32]byte
+	lastReportLen int64
 
 	// spliceLift, set only for the duration of a ReExplain sweep,
 	// lets explain() serve a router's lift stage from the report cache
@@ -403,7 +410,7 @@ func (e *Explainer) explain(ctx context.Context, router string, targets []Target
 		if cache != nil {
 			// Refresh even on a splice: the entry's raw seed must track
 			// the current generation so the next delta diffs against it.
-			cache.Put(liftKey, &liftEntry{
+			ent := &liftEntry{
 				seed:       enc.Constraints,
 				simplified: ex.Simplified,
 				holes:      ex.HoleVars,
@@ -411,7 +418,8 @@ func (e *Explainer) explain(ctx context.Context, router string, targets []Target
 				optsSig:    e.liftOptsSig(),
 				block:      ex.Subspec,
 				complete:   ex.SubspecComplete,
-			})
+			}
+			cache.Put(liftKey, ent, ent.size())
 		}
 	}
 	// Every Unsat verdict this explanation rests on was re-validated by
@@ -439,6 +447,30 @@ type liftEntry struct {
 	optsSig    string
 	block      *spec.Block
 	complete   bool
+}
+
+// size estimates the marginal bytes retaining the entry costs the
+// report cache. Terms and hole variables are hash-consed and alive in
+// the session's interner regardless, so they count at pointer size;
+// the slices, strings, and the lifted block are what the entry pins.
+func (ent *liftEntry) size() int64 {
+	size := int64(256) // struct, map and slice headers
+	size += int64(len(ent.seed)) * 8
+	size += int64(len(ent.holes)) * 48
+	for i := range ent.paths {
+		p := &ent.paths[i]
+		size += 96 + int64(len(p.Prefix)) + int64(len(p.EdgeConds))*8
+		for _, n := range p.Path {
+			size += 24 + int64(len(n))
+		}
+	}
+	if ent.block != nil {
+		size += 64
+		for _, r := range ent.block.Reqs {
+			size += int64(len(r.String())) + 48
+		}
+	}
+	return size
 }
 
 // liftOptsSig captures every option the lift stage's outcome depends

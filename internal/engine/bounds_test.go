@@ -157,13 +157,13 @@ func TestSessionTrim(t *testing.T) {
 
 func TestReportCacheLRU(t *testing.T) {
 	rc := engine.NewReportCache()
-	rc.SetLimit(2)
-	rc.Put("a", 1)
-	rc.Put("b", 2)
+	rc.SetMaxBytes(200)
+	rc.Put("a", 1, 100)
+	rc.Put("b", 2, 100)
 	if _, ok := rc.Get("a"); !ok { // a is now most recent
 		t.Fatal("a missing before overflow")
 	}
-	rc.Put("c", 3) // must evict b
+	rc.Put("c", 3, 100) // over the byte cap: must evict b
 	if _, ok := rc.Get("b"); ok {
 		t.Fatal("LRU entry b survived eviction")
 	}
@@ -179,14 +179,39 @@ func TestReportCacheLRU(t *testing.T) {
 	if rc.Len() != 2 {
 		t.Fatalf("Len = %d, want 2", rc.Len())
 	}
-	// Shrinking the limit sheds immediately.
-	rc.SetLimit(1)
-	if rc.Len() != 1 {
-		t.Fatalf("Len after shrink = %d, want 1", rc.Len())
+	if rc.Bytes() != 200 {
+		t.Fatalf("Bytes = %d, want 200", rc.Bytes())
+	}
+	// Shrinking the cap sheds immediately: c was read last, so it
+	// survives and a goes.
+	rc.SetMaxBytes(100)
+	if rc.Len() != 1 || rc.Bytes() != 100 {
+		t.Fatalf("after shrink: Len = %d, Bytes = %d; want 1, 100", rc.Len(), rc.Bytes())
+	}
+	// An entry larger than the whole cap is dropped, not stored: the
+	// cap is a heap bound.
+	rc.Put("big", 9, 500)
+	if _, ok := rc.Get("big"); ok {
+		t.Fatal("oversized entry survived")
+	}
+	if rc.Bytes() != 0 || rc.Len() != 0 {
+		t.Fatalf("after oversized put: Len = %d, Bytes = %d; want 0, 0", rc.Len(), rc.Bytes())
 	}
 	hits, misses := rc.Counters()
-	if hits != 3 || misses != 1 {
-		t.Fatalf("counters = %d hits, %d misses; want 3, 1", hits, misses)
+	if hits != 3 || misses != 2 {
+		t.Fatalf("counters = %d hits, %d misses; want 3, 2", hits, misses)
+	}
+}
+
+func TestReportCacheDisplacementAccounting(t *testing.T) {
+	rc := engine.NewReportCache()
+	rc.Put("k", 1, 50)
+	rc.Put("k", 2, 80) // displaces: accounted size follows the new value
+	if rc.Bytes() != 80 {
+		t.Fatalf("Bytes after displacement = %d, want 80", rc.Bytes())
+	}
+	if rc.Len() != 1 {
+		t.Fatalf("Len after displacement = %d, want 1", rc.Len())
 	}
 }
 
@@ -339,7 +364,7 @@ func TestNewSessionFromInheritsLimits(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := engine.NewSession(sc.Net, sc.Requirements(), res.Deployment, synth.DefaultOptions())
-	s.SetCacheLimits(engine.CacheLimits{Reports: 3, Simplify: 3, Solvers: 1, LiftSamples: 5})
+	s.SetCacheLimits(engine.CacheLimits{ReportBytes: 300, Simplify: 3, Solvers: 1, LiftSamples: 5})
 	succ := engine.NewSessionFrom(s, sc.Requirements(), res.Deployment)
 	// Solver limit traveled: a second checkin evicts.
 	succ.CheckinSolver("a", smt.NewSolver())
@@ -362,9 +387,9 @@ func TestNewSessionFromInheritsLimits(t *testing.T) {
 		t.Fatal("successor does not share the report cache")
 	}
 	for i := 0; i < 5; i++ {
-		rc.Put(fmt.Sprintf("k%d", i), i)
+		rc.Put(fmt.Sprintf("k%d", i), i, 100)
 	}
 	if rc.Len() != 3 {
-		t.Fatalf("shared report cache Len = %d, want 3 (limit inherited)", rc.Len())
+		t.Fatalf("shared report cache Len = %d, want 3 (byte cap inherited)", rc.Len())
 	}
 }

@@ -76,8 +76,10 @@ func (b Budget) ModelCap() int {
 // encoding effort (and how much of it the cache absorbed) plus
 // SAT-level solving effort reported back by the explanation pipeline.
 type Stats struct {
-	// BaseEncodes counts base (invariant-structure) encodes. A session
-	// performs at most one unless the first attempt fails.
+	// BaseEncodes counts whole-network (invariant-structure) encodes:
+	// the shared base, plus the scoped recording when a report sweep
+	// prepares one (PrepareScoped). A session performs at most one of
+	// each unless an attempt fails.
 	BaseEncodes int
 	// Encodes counts derived (per-query) encodes actually performed.
 	Encodes int
@@ -91,6 +93,15 @@ type Stats struct {
 	// EncodeTime is the wall-clock time spent encoding (base and
 	// derived, cache hits excluded).
 	EncodeTime time.Duration
+	// ScopedEncodes counts derived encodes answered by the cone-scoped
+	// splice path (Encoder.WithScope): recorded constraint groups copied
+	// verbatim, only the symbolized router's cone re-derived.
+	// ScopedGroupsCopied and ScopedGroupsEncoded total the constraint
+	// groups spliced versus re-encoded across those encodes — their
+	// ratio is the measured locality of the deployment's explanations.
+	ScopedEncodes       int
+	ScopedGroupsCopied  int
+	ScopedGroupsEncoded int
 	// Solves, Conflicts, Propagations, Decisions, and Learnt total the
 	// SAT-level effort reported via AddSolverStats. Every solver the
 	// pipeline runs — including per-worker clones and pooled warm
@@ -158,10 +169,12 @@ type Stats struct {
 	// cross-deployment report cache (per-router lift artifacts reused
 	// by delta re-explanation). Cumulative across the session chain:
 	// successor sessions share one cache. ReportCacheEvictions counts
-	// entries displaced by the cache's size cap.
+	// entries displaced by the cache's byte cap; ReportCacheBytes is
+	// the cache's current accounted size (a gauge).
 	ReportCacheHits      int
 	ReportCacheMisses    int
 	ReportCacheEvictions int
+	ReportCacheBytes     int64
 	// NormCacheHits and NormCacheMisses count subterm lookups in the
 	// session's shared normal-form cache (the rewrite engine's
 	// memoization table); NormCacheEntries is the number of distinct
@@ -205,6 +218,9 @@ func (s *Stats) Add(o Stats) {
 	s.Candidates += o.Candidates
 	s.ReusedCandidates += o.ReusedCandidates
 	s.EncodeTime += o.EncodeTime
+	s.ScopedEncodes += o.ScopedEncodes
+	s.ScopedGroupsCopied += o.ScopedGroupsCopied
+	s.ScopedGroupsEncoded += o.ScopedGroupsEncoded
 	s.Solves += o.Solves
 	s.Conflicts += o.Conflicts
 	s.Propagations += o.Propagations
@@ -248,6 +264,9 @@ func (s *Stats) Add(o Stats) {
 	s.ReportCacheHits += o.ReportCacheHits
 	s.ReportCacheMisses += o.ReportCacheMisses
 	s.ReportCacheEvictions += o.ReportCacheEvictions
+	if o.ReportCacheBytes > s.ReportCacheBytes {
+		s.ReportCacheBytes = o.ReportCacheBytes
+	}
 	s.NormCacheHits += o.NormCacheHits
 	s.NormCacheMisses += o.NormCacheMisses
 	if o.NormCacheEntries > s.NormCacheEntries {

@@ -30,9 +30,13 @@ const DefaultLiftSampleCap = 1 << 14
 // on the report and simplify caches travel with the caches themselves,
 // so successor sessions (NewSessionFrom) inherit them.
 type CacheLimits struct {
-	// Reports caps the cross-deployment report cache (per-router lift
-	// artifacts), evicted least-recently-used.
-	Reports int
+	// ReportBytes caps the cross-deployment report cache (per-router
+	// lift artifacts and rendered whole-network reports) by its total
+	// accounted byte size, evicted least-recently-used. Byte accounting
+	// — not entry counting — is what keeps a handful of 1000-router
+	// reports from pinning a server's heap while thousands of small
+	// lift entries still fit.
+	ReportBytes int64
 	// Simplify caps the per-seed simplification outcome cache, evicted
 	// least-recently-used.
 	Simplify int
@@ -41,6 +45,11 @@ type CacheLimits struct {
 	// LiftSamples caps the lift-latency sample window the percentile
 	// stats are computed over (most recent samples are kept).
 	LiftSamples int
+	// StreamWindow bounds how many rendered router sections a streaming
+	// report (core.Explainer.WriteReport) may hold buffered awaiting
+	// in-order flush. Zero picks a default proportional to the worker
+	// count.
+	StreamWindow int
 }
 
 // Session is the shared state of one deployment's explanation queries:
@@ -75,12 +84,26 @@ type Session struct {
 	baseMu   sync.Mutex
 	base     *synth.Base
 	baseDead bool // base build failed for a non-context reason; stop retrying
-	mu       sync.Mutex
+
+	// scoped is the recorded whole-network encoding the cone-scoped
+	// encode path splices from (see synth.ScopedBase). Built lazily by
+	// PrepareScoped — whole-network sweeps call it once up front; single
+	// queries never pay for it. scopedDead latches a non-context build
+	// failure; scopedOff disables the path entirely (cold benchmark
+	// arms, byte-identity tests).
+	scopedMu   sync.Mutex
+	scoped     *synth.ScopedBase
+	scopedDead bool
+	scopedOff  bool
+
+	mu sync.Mutex
 	entries  map[string]*entry
 	stats    Stats
-	liftNS   []int64 // recent per-query lift latencies, nanoseconds
-	liftAll  int     // every lift query ever recorded (window may be smaller)
-	liftCap  int     // sample-window cap (0 = DefaultLiftSampleCap)
+	liftNS  []int64 // recent per-query lift latencies, nanoseconds
+	liftAll int     // every lift query ever recorded (window may be smaller)
+	liftCap int     // sample-window cap (0 = DefaultLiftSampleCap)
+	// streamWin is CacheLimits.StreamWindow (0 = derive from workers).
+	streamWin int
 
 	// solvMu guards the warm-solver pool: idle solvers keyed by the
 	// encoding key they were built for. Checkout removes the solver
@@ -200,22 +223,29 @@ func (c *simpCache) counters() (entries, evictions int) {
 // are opaque to the engine (the core layer stores its lift outcomes
 // and re-validates them against the live encoding before splicing, so
 // a stale entry costs a recompute, never a wrong answer). Safe for
-// concurrent use. With a limit set (SetLimit) the cache evicts its
-// least-recently-used entry on overflow — an eviction costs a later
-// recompute, never a wrong answer, for the same reason.
+// concurrent use.
+//
+// Entries are accounted by the byte size the caller declares at Put
+// time; with a byte cap set (SetMaxBytes) the cache evicts least-
+// recently-used entries until it fits — an eviction costs a later
+// recompute, never a wrong answer, for the same reason. A single entry
+// larger than the whole cap is dropped rather than stored: the cap is
+// a heap bound, not a target.
 type ReportCache struct {
 	mu        sync.Mutex
 	m         map[string]*list.Element
 	lru       *list.List // of reportEntry, front = most recent
-	limit     int
+	maxBytes  int64
+	bytes     int64
 	hits      int
 	misses    int
 	evictions int
 }
 
 type reportEntry struct {
-	key string
-	v   any
+	key  string
+	v    any
+	size int64
 }
 
 // NewReportCache creates an empty, unbounded report cache.
@@ -223,11 +253,11 @@ func NewReportCache() *ReportCache {
 	return &ReportCache{m: make(map[string]*list.Element), lru: list.New()}
 }
 
-// SetLimit bounds the cache to n entries (0 = unlimited), evicting
-// immediately if it is already over.
-func (rc *ReportCache) SetLimit(n int) {
+// SetMaxBytes bounds the cache's total accounted size (0 = unlimited),
+// evicting immediately if it is already over.
+func (rc *ReportCache) SetMaxBytes(n int64) {
 	rc.mu.Lock()
-	rc.limit = n
+	rc.maxBytes = n
 	rc.shedLocked()
 	rc.mu.Unlock()
 }
@@ -246,28 +276,38 @@ func (rc *ReportCache) Get(key string) (any, bool) {
 	return el.Value.(reportEntry).v, true
 }
 
-// Put stores an entry under key, displacing any previous one and
-// evicting the least-recently-used entry when over the limit.
-func (rc *ReportCache) Put(key string, v any) {
+// Put stores an entry under key with its accounted byte size (the
+// caller's estimate of what retaining v costs), displacing any previous
+// entry under the key and evicting least-recently-used entries while
+// the cache exceeds its byte cap.
+func (rc *ReportCache) Put(key string, v any, size int64) {
+	if size < 0 {
+		size = 0
+	}
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	if el, ok := rc.m[key]; ok {
-		el.Value = reportEntry{key: key, v: v}
+		rc.bytes += size - el.Value.(reportEntry).size
+		el.Value = reportEntry{key: key, v: v, size: size}
 		rc.lru.MoveToFront(el)
+		rc.shedLocked()
 		return
 	}
-	rc.m[key] = rc.lru.PushFront(reportEntry{key: key, v: v})
+	rc.m[key] = rc.lru.PushFront(reportEntry{key: key, v: v, size: size})
+	rc.bytes += size
 	rc.shedLocked()
 }
 
 func (rc *ReportCache) shedLocked() {
-	if rc.limit <= 0 {
+	if rc.maxBytes <= 0 {
 		return
 	}
-	for rc.lru.Len() > rc.limit {
+	for rc.bytes > rc.maxBytes && rc.lru.Len() > 0 {
 		el := rc.lru.Back()
 		rc.lru.Remove(el)
-		delete(rc.m, el.Value.(reportEntry).key)
+		ent := el.Value.(reportEntry)
+		delete(rc.m, ent.key)
+		rc.bytes -= ent.size
 		rc.evictions++
 	}
 }
@@ -277,6 +317,22 @@ func (rc *ReportCache) Len() int {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	return rc.lru.Len()
+}
+
+// MaxBytes returns the cache's byte cap (0 = unlimited). Callers that
+// buffer a value before storing it (the streaming report tee) use it to
+// stop buffering early once the value cannot fit anyway.
+func (rc *ReportCache) MaxBytes() int64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.maxBytes
+}
+
+// Bytes returns the cache's current accounted size.
+func (rc *ReportCache) Bytes() int64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.bytes
 }
 
 // Counters returns the cumulative hit and miss counts (callers wanting
@@ -362,10 +418,17 @@ func NewSessionFrom(prev *Session, reqs []spec.Requirement, dep config.Deploymen
 	prev.solvMu.Unlock()
 	prev.mu.Lock()
 	s.liftCap = prev.liftCap
+	s.streamWin = prev.streamWin
 	prev.mu.Unlock()
 	prev.baseMu.Lock()
 	s.prevBase = prev.base
 	prev.baseMu.Unlock()
+	// The scoped recording is deployment-specific and does NOT carry
+	// over; the successor rebuilds its own on the next whole-network
+	// sweep. The off switch is a session-chain policy and does carry.
+	prev.scopedMu.Lock()
+	s.scopedOff = prev.scopedOff
+	prev.scopedMu.Unlock()
 	return s
 }
 
@@ -373,7 +436,7 @@ func NewSessionFrom(prev *Session, reqs []spec.Requirement, dep config.Deploymen
 // CacheLimits). Call before heavy traffic; limits on the shared report
 // and simplify caches apply to every session sharing them.
 func (s *Session) SetCacheLimits(l CacheLimits) {
-	s.reports.SetLimit(l.Reports)
+	s.reports.SetMaxBytes(l.ReportBytes)
 	s.simps.setLimit(l.Simplify)
 	s.solvMu.Lock()
 	s.solvLimit = l.Solvers
@@ -381,8 +444,18 @@ func (s *Session) SetCacheLimits(l CacheLimits) {
 	s.solvMu.Unlock()
 	s.mu.Lock()
 	s.liftCap = l.LiftSamples
+	s.streamWin = l.StreamWindow
 	s.trimLiftLocked()
 	s.mu.Unlock()
+}
+
+// StreamWindow returns the configured streaming-report buffer bound
+// (CacheLimits.StreamWindow); zero means the caller derives a default
+// from its worker count.
+func (s *Session) StreamWindow() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.streamWin
 }
 
 // Trim sheds the session's rebuildable warm state: the warm-solver
@@ -473,12 +546,14 @@ func (s *Session) Encode(ctx context.Context, sketch config.Deployment, key stri
 	return e.enc, e.err
 }
 
-// encode performs one derived encode, attaching the base when
-// available.
+// encode performs one derived encode, attaching the base — and, when
+// one has been prepared, the scoped recording — so the encoder can
+// splice instead of re-deriving the whole network.
 func (s *Session) encode(ctx context.Context, sketch config.Deployment) (*synth.Encoding, error) {
 	base := s.ensureBase(ctx)
+	scoped := s.currentScoped()
 	start := time.Now()
-	enc, err := synth.NewEncoder(s.net, sketch, s.opts).WithBase(base).WithInterner(s.in).EncodeContext(ctx, s.reqs)
+	enc, err := synth.NewEncoder(s.net, sketch, s.opts).WithBase(base).WithScope(scoped).WithInterner(s.in).EncodeContext(ctx, s.reqs)
 	if err != nil {
 		return nil, err
 	}
@@ -486,9 +561,71 @@ func (s *Session) encode(ctx context.Context, sketch config.Deployment) (*synth.
 	s.stats.Encodes++
 	s.stats.Candidates += enc.Stats.Candidates
 	s.stats.ReusedCandidates += enc.Stats.ReusedCandidates
+	if enc.Stats.ScopedGroupsCopied+enc.Stats.ScopedGroupsEncoded > 0 {
+		s.stats.ScopedEncodes++
+		s.stats.ScopedGroupsCopied += enc.Stats.ScopedGroupsCopied
+		s.stats.ScopedGroupsEncoded += enc.Stats.ScopedGroupsEncoded
+	}
 	s.stats.EncodeTime += time.Since(start)
 	s.mu.Unlock()
 	return enc, nil
+}
+
+// currentScoped returns the prepared scoped recording, nil when none
+// exists or the path is disabled.
+func (s *Session) currentScoped() *synth.ScopedBase {
+	s.scopedMu.Lock()
+	defer s.scopedMu.Unlock()
+	if s.scopedOff {
+		return nil
+	}
+	return s.scoped
+}
+
+// PrepareScoped builds the session's scoped recording once: a single
+// whole-network encode of the concrete deployment with per-group
+// constraint spans recorded (synth.NewScopedBase). Whole-network report
+// sweeps call it up front so every per-router encode splices instead of
+// re-deriving the network; single queries never call it and stay on the
+// plain path (one extra full encode would not amortize). Like
+// ensureBase, a failure for a non-context reason is latched and the
+// path degrades to whole-network encodes — never to a wrong answer.
+// Returns the recording, or nil when unavailable or disabled.
+func (s *Session) PrepareScoped(ctx context.Context) *synth.ScopedBase {
+	s.scopedMu.Lock()
+	defer s.scopedMu.Unlock()
+	if s.scopedOff || s.scopedDead {
+		return nil
+	}
+	if s.scoped != nil {
+		return s.scoped
+	}
+	base := s.ensureBase(ctx)
+	start := time.Now()
+	sb, err := synth.NewScopedBase(ctx, s.net, s.dep, s.opts, s.reqs, base, s.in)
+	if err != nil {
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			s.scopedDead = true
+		}
+		return nil
+	}
+	s.scoped = sb
+	s.mu.Lock()
+	s.stats.BaseEncodes++
+	s.stats.EncodeTime += time.Since(start)
+	s.mu.Unlock()
+	return sb
+}
+
+// DisableScopedEncoding forces every encode of this session (and its
+// successors) onto the whole-network path. Benchmark cold arms and
+// byte-identity tests use it; results are identical either way, only
+// slower.
+func (s *Session) DisableScopedEncoding() {
+	s.scopedMu.Lock()
+	s.scopedOff = true
+	s.scoped = nil
+	s.scopedMu.Unlock()
 }
 
 // ensureBase builds the base encoding once. Base construction is an
@@ -734,6 +871,7 @@ func (s *Session) Stats() Stats {
 	st.NormCacheEntries = s.nf.Len()
 	st.ReportCacheHits, st.ReportCacheMisses = s.reports.Counters()
 	st.ReportCacheEvictions = s.reports.Evictions()
+	st.ReportCacheBytes = s.reports.Bytes()
 	st.SimplifyEntries, st.SimplifyEvictions = s.simps.counters()
 	st.LiftQueries = s.liftAll
 	if n := len(s.liftNS); n > 0 {

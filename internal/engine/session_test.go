@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/config"
 	"repro/internal/engine"
 	"repro/internal/logic"
 	"repro/internal/sat"
@@ -96,6 +97,79 @@ func TestSessionSingleFlight(t *testing.T) {
 	}
 	if st.CacheHits != n-1 {
 		t.Errorf("CacheHits = %d, want %d", st.CacheHits, n-1)
+	}
+}
+
+func TestSessionScopedEncoding(t *testing.T) {
+	sc := scenarios.Scenario1()
+	res, err := synth.Synthesize(sc.Net, sc.Sketch, sc.Requirements(), synth.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Build a per-router symbolization for each sketchable router.
+	sketches := map[string]config.Deployment{}
+	for name, sym := range sc.Sketch {
+		if sym.Concrete() {
+			continue
+		}
+		sk := config.Deployment{}
+		for n, c := range res.Deployment {
+			sk[n] = c
+		}
+		sk[name] = sym
+		sketches[name] = sk
+	}
+	if len(sketches) == 0 {
+		t.Fatal("scenario1 has no symbolizable routers")
+	}
+
+	scopedSess := engine.NewSession(sc.Net, sc.Requirements(), res.Deployment, synth.DefaultOptions())
+	if sb := scopedSess.PrepareScoped(ctx); sb == nil {
+		t.Fatal("PrepareScoped returned nil for a concrete deployment")
+	}
+	coldSess := engine.NewSession(sc.Net, sc.Requirements(), res.Deployment, synth.DefaultOptions())
+	coldSess.DisableScopedEncoding()
+
+	for name, sk := range sketches {
+		scoped, err := scopedSess.Encode(ctx, sk, "r|"+name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := coldSess.Encode(ctx, sk, "r|"+name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cold.Constraints) != len(scoped.Constraints) {
+			t.Fatalf("%s: %d cold vs %d scoped constraints", name, len(cold.Constraints), len(scoped.Constraints))
+		}
+		for i := range cold.Constraints {
+			if cold.Constraints[i] != scoped.Constraints[i] {
+				t.Fatalf("%s: constraint %d differs", name, i)
+			}
+		}
+	}
+
+	st := scopedSess.Stats()
+	if st.ScopedEncodes != len(sketches) {
+		t.Errorf("ScopedEncodes = %d, want %d", st.ScopedEncodes, len(sketches))
+	}
+	if st.ScopedGroupsCopied == 0 {
+		t.Error("scoped encodes copied no constraint groups")
+	}
+	// PrepareScoped counts as a base-level encode; it runs once.
+	if st.BaseEncodes != 2 {
+		t.Errorf("BaseEncodes = %d, want 2 (plain base + scoped recording)", st.BaseEncodes)
+	}
+	if again := scopedSess.PrepareScoped(ctx); again == nil {
+		t.Fatal("second PrepareScoped returned nil")
+	}
+	if st := scopedSess.Stats(); st.BaseEncodes != 2 {
+		t.Errorf("repeat PrepareScoped re-encoded: BaseEncodes = %d", st.BaseEncodes)
+	}
+	if cst := coldSess.Stats(); cst.ScopedEncodes != 0 {
+		t.Errorf("disabled session recorded %d scoped encodes", cst.ScopedEncodes)
 	}
 }
 

@@ -182,6 +182,33 @@ Req2 {
 	return w, nil
 }
 
+// Populate gives every internal router the sketch leaves unconfigured
+// a minimal concrete config: a permit-all import map on each internal
+// neighbor session. The maps are semantically neutral (a single permit
+// clause with no matches or sets accepts exactly what an absent map
+// accepts), but they make every router a configured — hence
+// explainable — device. Whole-network report experiments at scale need
+// this: without it only the handful of sketch routers produce report
+// sections, no matter how large the topology is.
+func Populate(w *Workload) *Workload {
+	for _, r := range w.Net.Internals() {
+		if _, ok := w.Sketch[r.Name]; ok {
+			continue
+		}
+		c := config.New(r.Name)
+		for _, nb := range internalNeighbors(w.Net, r.Name) {
+			rm := &config.RouteMap{
+				Name:    fmt.Sprintf("%s_from_%s", r.Name, nb),
+				Clauses: []*config.Clause{{Seq: 10, Action: config.Permit}},
+			}
+			c.AddRouteMap(rm)
+			c.AddNeighbor(nb, rm.Name, "")
+		}
+		w.Sketch[r.Name] = c
+	}
+	return w
+}
+
 // Grid builds a no-transit workload on a w x h grid; withPref adds the
 // preference intent.
 func Grid(w, h int, withPref bool) (*Workload, error) {

@@ -3,6 +3,7 @@ package netgen
 import (
 	"testing"
 
+	"repro/internal/config"
 	"repro/internal/synth"
 	"repro/internal/topology"
 	"repro/internal/verify"
@@ -110,5 +111,45 @@ func TestMissingExternals(t *testing.T) {
 	bare.AddRouter("R0", 100)
 	if _, err := NoTransit("bare", bare); err == nil {
 		t.Fatal("topology without providers should fail")
+	}
+}
+
+// TestPopulate pins the scale-workload contract: after Populate every
+// internal router has a config, sketch routers are untouched, and the
+// added maps are the neutral permit-all shape (one concrete permit
+// clause per internal-neighbor import, no holes).
+func TestPopulate(t *testing.T) {
+	wl, err := Grid(4, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sketched := make(map[string]int)
+	for name, c := range wl.Sketch {
+		sketched[name] = len(c.RouteMapNames())
+	}
+	Populate(wl)
+	for _, r := range wl.Net.Internals() {
+		c, ok := wl.Sketch[r.Name]
+		if !ok {
+			t.Fatalf("router %s still unconfigured after Populate", r.Name)
+		}
+		if n, was := sketched[r.Name]; was {
+			if got := len(c.RouteMapNames()); got != n {
+				t.Errorf("sketch router %s changed: %d maps, had %d", r.Name, got, n)
+			}
+			continue
+		}
+		if !c.Concrete() {
+			t.Errorf("populated router %s has holes", r.Name)
+		}
+		if len(c.Neighbors) == 0 {
+			t.Errorf("populated router %s has no neighbor bindings", r.Name)
+		}
+		for _, rm := range c.RouteMaps {
+			if len(rm.Clauses) != 1 || rm.Clauses[0].Action != config.Permit ||
+				len(rm.Clauses[0].Matches) != 0 || len(rm.Clauses[0].Sets) != 0 {
+				t.Errorf("router %s map %s is not a bare permit-all", r.Name, rm.Name)
+			}
+		}
 	}
 }

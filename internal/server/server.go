@@ -6,6 +6,7 @@
 // Endpoints:
 //
 //	POST /explain  {topology, configs, spec, ...}          → {"report": ...}
+//	POST /explain  {..., "stream": true}                    → text/plain report, sections flushed as explained
 //	POST /diff     {topology, configs, edited_configs, ...} → {"report", "summary", "stats"}
 //	GET  /metrics  engine.Stats + server counters as JSON (byte-stable)
 //	GET  /healthz  liveness probe
@@ -63,9 +64,10 @@ type Options struct {
 	// VerifyProofs turns on proof verification for every served query.
 	VerifyProofs bool
 	// CacheLimits bounds each pooled session's internal caches. The
-	// zero value applies serving defaults (reports 256, simplify 4096,
-	// solvers 32, lift samples DefaultLiftSampleCap) rather than the
-	// CLI's unlimited ones; set a field negative to make it unlimited.
+	// zero value applies serving defaults (report bytes 64 MiB,
+	// simplify 4096, solvers 32, lift samples DefaultLiftSampleCap,
+	// stream window 4x workers) rather than the CLI's unlimited ones;
+	// set a field negative to make it unlimited.
 	CacheLimits engine.CacheLimits
 }
 
@@ -108,11 +110,21 @@ func resolveLimits(l engine.CacheLimits) engine.CacheLimits {
 		}
 		return v
 	}
+	def64 := func(v, d int64) int64 {
+		switch {
+		case v == 0:
+			return d
+		case v < 0:
+			return 0
+		}
+		return v
+	}
 	return engine.CacheLimits{
-		Reports:     def(l.Reports, 256),
-		Simplify:    def(l.Simplify, 4096),
-		Solvers:     def(l.Solvers, 32),
-		LiftSamples: def(l.LiftSamples, engine.DefaultLiftSampleCap),
+		ReportBytes:  def64(l.ReportBytes, 64<<20),
+		Simplify:     def(l.Simplify, 4096),
+		Solvers:      def(l.Solvers, 32),
+		LiftSamples:  def(l.LiftSamples, engine.DefaultLiftSampleCap),
+		StreamWindow: l.StreamWindow,
 	}
 }
 
@@ -200,6 +212,15 @@ type request struct {
 	LiftWorkers int `json:"lift_workers,omitempty"`
 	// NoLift skips subspecification lifting (reports show sizes only).
 	NoLift bool `json:"nolift,omitempty"`
+	// Stream (explain only) streams the report as text/plain instead of
+	// a JSON envelope: router sections are flushed to the client in
+	// order as the worker pool completes them, so wide networks produce
+	// output long before the last router is explained. The bytes are
+	// exactly the JSON response's report field. A failure after the
+	// first byte aborts the connection (the status line is already
+	// committed); the client has received whole sections only. Ignored
+	// on /diff.
+	Stream bool `json:"stream,omitempty"`
 }
 
 // explainResponse is the /explain response body.
@@ -246,7 +267,7 @@ func (s *Server) failRequest(w http.ResponseWriter, status int, err error) {
 // across them (pinned by the repo's worker-matrix golden tests).
 func cacheKey(endpoint string, req *request) string {
 	h := sha256.New()
-	for _, part := range []string{endpoint, req.Topology, req.Configs, req.Spec, req.EditedConfigs, fmt.Sprintf("lift=%t", !req.NoLift)} {
+	for _, part := range []string{endpoint, req.Topology, req.Configs, req.Spec, req.EditedConfigs, fmt.Sprintf("lift=%t,stream=%t", !req.NoLift, req.Stream)} {
 		fmt.Fprintf(h, "%d:", len(part))
 		h.Write([]byte(part))
 	}
@@ -426,12 +447,17 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, diff bool) {
 		}
 	}
 
+	stream := req.Stream && !diff
+	contentType := "application/json"
+	if stream {
+		contentType = "text/plain; charset=utf-8"
+	}
 	key := cacheKey(endpoint, &req)
 	if body, ok := s.cachedResponse(key); ok {
 		s.ctrMu.Lock()
 		s.ctr.ResponseCacheHits++
 		s.ctrMu.Unlock()
-		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Type", contentType)
 		w.Header().Set("X-Cache", "hit")
 		w.Write(body)
 		return
@@ -485,6 +511,33 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, diff bool) {
 	e.Opts.LiftWorkers = liftWorkers
 	e.Session.Budget = budget
 
+	if stream {
+		sr := &streamRecorder{w: w, cap: streamCacheCap, contentType: contentType}
+		if f, ok := w.(http.Flusher); ok {
+			sr.f = f
+		}
+		_, rerr := e.WriteReport(ctx, sr)
+		s.pool.Checkin(item)
+		if rerr != nil {
+			if !sr.wrote {
+				s.failRequest(w, statusFor(rerr), rerr)
+				return
+			}
+			// The status line went out with the first section; the only
+			// honest failure signal left is killing the connection. The
+			// client holds whole sections only (WriteReport stops at a
+			// section boundary).
+			s.ctrMu.Lock()
+			s.ctr.Errors++
+			s.ctrMu.Unlock()
+			panic(http.ErrAbortHandler)
+		}
+		if sr.buf != nil {
+			s.storeResponse(key, sr.buf)
+		}
+		return
+	}
+
 	var body []byte
 	if diff {
 		dr, derr := s.runDiff(ctx, e, edited)
@@ -513,6 +566,46 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, diff bool) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", "miss")
 	w.Write(body)
+}
+
+// streamCacheCap bounds the streamed bodies retained in the response
+// cache: a report too large to be worth pinning in the entry-capped
+// LRU is streamed and forgotten (a repeat request re-explains against
+// the warm session instead).
+const streamCacheCap = 8 << 20
+
+// streamRecorder adapts the ResponseWriter for a streamed report: it
+// commits the text content type on the first byte, flushes after every
+// section so the client sees progress, and records the body for the
+// response cache until it outgrows streamCacheCap.
+type streamRecorder struct {
+	w           http.ResponseWriter
+	f           http.Flusher
+	contentType string
+	buf         []byte
+	cap         int
+	wrote       bool
+}
+
+func (sr *streamRecorder) Write(p []byte) (int, error) {
+	if !sr.wrote {
+		sr.w.Header().Set("Content-Type", sr.contentType)
+		sr.w.Header().Set("X-Cache", "miss")
+		sr.wrote = true
+		sr.buf = make([]byte, 0, 4096)
+	}
+	m, err := sr.w.Write(p)
+	if sr.buf != nil {
+		if len(sr.buf)+m > sr.cap {
+			sr.buf = nil
+		} else {
+			sr.buf = append(sr.buf, p[:m]...)
+		}
+	}
+	if sr.f != nil {
+		sr.f.Flush()
+	}
+	return m, err
 }
 
 // runDiff produces the incremental report for the edited deployment.

@@ -368,3 +368,86 @@ func goldenEngineJSON() string {
 	}
 	return string(b)
 }
+
+// TestServerExplainStream pins the streaming mode: the text/plain body
+// is exactly the JSON response's report field, and a repeat request is
+// served from the response cache with the streaming content type.
+func TestServerExplainStream(t *testing.T) {
+	topo, configs, spc, _ := problemTexts(t)
+	want := wantReport(t, topo, configs, spc)
+	s := New(Options{})
+	h := s.Handler()
+	req := request{Topology: topo, Configs: configs, Spec: spc, Stream: true}
+
+	w := post(t, h, "/explain", req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body: %s", w.Code, w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q, want text/plain", ct)
+	}
+	if got := w.Body.String(); got != want {
+		t.Errorf("streamed body differs from report:\n%s", got)
+	}
+	if w.Header().Get("X-Cache") != "miss" {
+		t.Errorf("first stream X-Cache = %q, want miss", w.Header().Get("X-Cache"))
+	}
+	if !w.Flushed {
+		t.Error("streamed response was never flushed")
+	}
+
+	w = post(t, h, "/explain", req)
+	if w.Header().Get("X-Cache") != "hit" {
+		t.Errorf("repeat stream X-Cache = %q, want hit", w.Header().Get("X-Cache"))
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("cached stream Content-Type = %q, want text/plain", ct)
+	}
+	if got := w.Body.String(); got != want {
+		t.Error("cached streamed body differs")
+	}
+
+	// The JSON and streamed variants are cached under distinct keys:
+	// a JSON request after a streamed one is a cache miss that still
+	// returns the same report.
+	jw := post(t, h, "/explain", request{Topology: topo, Configs: configs, Spec: spc})
+	if got := decodeExplain(t, jw).Report; got != want {
+		t.Error("JSON report differs from streamed report")
+	}
+	if jw.Header().Get("X-Cache") != "miss" {
+		t.Errorf("JSON after stream X-Cache = %q, want miss (distinct cache keys)", jw.Header().Get("X-Cache"))
+	}
+}
+
+// TestServerStreamError pins mid-stream failure behavior: a deadline
+// that expires after the first section aborts the connection rather
+// than appending a partial section or a misleading status.
+func TestServerStreamError(t *testing.T) {
+	topo, configs, spc, _ := problemTexts(t)
+	s := New(Options{})
+	h := s.Handler()
+
+	// An immediately-cancelled request context fails before the first
+	// byte: a clean JSON error, not an abort.
+	body, err := json.Marshal(request{Topology: topo, Configs: configs, Spec: spc, Stream: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w := httptest.NewRecorder()
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("pre-byte failure panicked: %v", r)
+			}
+		}()
+		h.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/explain", bytes.NewReader(body)).WithContext(ctx))
+	}()
+	if w.Code == http.StatusOK {
+		t.Fatalf("cancelled stream returned 200, body: %s", w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("pre-byte failure Content-Type = %q, want JSON error", ct)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/config"
 	"repro/internal/logic"
@@ -80,6 +81,12 @@ type EncStats struct {
 	// route state were taken from a Base instead of being recomputed
 	// (see WithBase). Always <= Candidates.
 	ReusedCandidates int
+	// ScopedGroupsCopied / ScopedGroupsEncoded count, for a scoped
+	// encode (see Encoder.WithScope), the constraint groups spliced
+	// verbatim from the recorded whole-network encoding versus
+	// re-derived inside the dirty cone. Zero on whole-network encodes.
+	ScopedGroupsCopied  int
+	ScopedGroupsEncoded int
 }
 
 // Encoding is the output of Encode: the constraint system plus the
@@ -93,7 +100,11 @@ type Encoding struct {
 	// Stats summarizes encoding size.
 	Stats EncStats
 
-	paths []PathInfo
+	// paths is materialized on first PathInfos call (lifting needs it;
+	// whole-network sweeps with lifting disabled never pay for it).
+	pathsOnce  sync.Once
+	paths      []PathInfo
+	buildPaths func() []PathInfo
 }
 
 // Conjunction returns the constraints as a single term.
@@ -123,6 +134,14 @@ type Encoder struct {
 	// so reuse is exact: the encoding is identical to a fresh one.
 	base  *Base
 	dirty map[string]bool
+
+	// scope, when set via WithScope, replaces the whole-network encode
+	// with a cone-scoped splice against a recorded concrete encoding:
+	// only constraint groups touching a dirty router are re-encoded,
+	// the rest are copied span-by-span (see encodeScoped). scopeDirty
+	// is the dirty set relative to the scope's deployment.
+	scope      *ScopedBase
+	scopeDirty map[string]bool
 }
 
 // NewEncoder creates an encoder over a topology and a (possibly
@@ -183,6 +202,36 @@ func (e *Encoder) WithBase(b *Base) *Encoder {
 	return e
 }
 
+// WithScope attaches a recorded whole-network encoding (see
+// NewScopedBase): when the sketch differs from the scope's deployment
+// only at a few routers — the explanation case, which symbolizes one
+// router at a time — EncodeContext splices the recorded constraint list
+// instead of re-encoding the network, re-deriving only the constraint
+// groups whose candidates cross a dirty router. The scope is ignored
+// (silently, falling back to a full encode) when it was built over a
+// different topology, options, or requirement list, so attaching one
+// never changes the encoding — only the work done to produce it.
+// Returns the encoder for chaining.
+func (e *Encoder) WithScope(sb *ScopedBase) *Encoder {
+	if sb == nil || sb.net != e.net || sb.opts != e.opts {
+		return e
+	}
+	dirty := make(map[string]bool)
+	for name, c := range e.sketch {
+		if sb.dep[name] != c {
+			dirty[name] = true
+		}
+	}
+	for name := range sb.dep {
+		if _, ok := e.sketch[name]; !ok {
+			dirty[name] = true
+		}
+	}
+	e.scope = sb
+	e.scopeDirty = dirty
+	return e
+}
+
 // Encode builds the constraint system for the requirements.
 func (e *Encoder) Encode(reqs []spec.Requirement) (*Encoding, error) {
 	return e.EncodeContext(context.Background(), reqs)
@@ -193,6 +242,9 @@ func (e *Encoder) Encode(reqs []spec.Requirement) (*Encoding, error) {
 func (e *Encoder) EncodeContext(ctx context.Context, reqs []spec.Requirement) (*Encoding, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if e.scope != nil && e.scope.matchesReqs(reqs) {
+		return e.encodeScoped(ctx, reqs)
 	}
 	if err := e.declareAllHoles(); err != nil {
 		return nil, err
@@ -205,34 +257,50 @@ func (e *Encoder) EncodeContext(ctx context.Context, reqs []spec.Requirement) (*
 	}
 	e.encodeSelection()
 	for _, r := range reqs {
-		switch q := r.(type) {
-		case *spec.Forbid:
-			if err := e.encodeForbid(q); err != nil {
-				return nil, err
-			}
-		case *spec.Allow:
-			if err := e.encodeAllow(q); err != nil {
-				return nil, err
-			}
-		case *spec.Preference:
-			if err := e.encodePreference(q); err != nil {
-				return nil, err
-			}
-		default:
-			return nil, fmt.Errorf("synth: unsupported requirement %T", r)
+		if err := e.encodeRequirement(r); err != nil {
+			return nil, err
 		}
 	}
+	e.finishStats()
+	return e.finishEncoding(), nil
+}
+
+// encodeRequirement dispatches one requirement to its encoder.
+func (e *Encoder) encodeRequirement(r spec.Requirement) error {
+	switch q := r.(type) {
+	case *spec.Forbid:
+		return e.encodeForbid(q)
+	case *spec.Allow:
+		return e.encodeAllow(q)
+	case *spec.Preference:
+		return e.encodePreference(q)
+	default:
+		return fmt.Errorf("synth: unsupported requirement %T", r)
+	}
+}
+
+// finishStats fills the size fields computed from the final constraint
+// list. The candidate-enumeration fields are already in place.
+func (e *Encoder) finishStats() {
 	e.stats.Constraints = len(e.constraints)
 	for _, c := range e.constraints {
 		e.stats.ConstraintSize += logic.Size(c)
 	}
 	e.stats.HoleVars = len(e.holeVars)
-	return &Encoding{
+}
+
+// finishEncoding packages the encoder's state. Path infos build lazily
+// on first use: the candidate graph is immutable once encoded, and the
+// sync.Once makes the materialization safe under the session cache's
+// concurrent readers.
+func (e *Encoder) finishEncoding() *Encoding {
+	enc := &Encoding{
 		Constraints: e.constraints,
 		HoleVars:    e.holeVars,
 		Stats:       e.stats,
-		paths:       e.buildPathInfos(),
-	}, nil
+	}
+	enc.buildPaths = e.buildPathInfos
+	return enc
 }
 
 // declareAllHoles walks the sketch and creates a variable for every
@@ -244,6 +312,12 @@ func (e *Encoder) declareAllHoles() error {
 		routers = append(routers, r)
 	}
 	sort.Strings(routers)
+	return e.declareHolesOf(routers)
+}
+
+// declareHolesOf declares the holes of the named sketch routers, in the
+// given order.
+func (e *Encoder) declareHolesOf(routers []string) error {
 	for _, router := range routers {
 		c := e.sketch[router]
 		for _, name := range c.RouteMapNames() {
@@ -425,46 +499,59 @@ func contains(path []string, node string) bool {
 // encodeSelection ties selection variables to availability and to the
 // BGP decision process at every (router, prefix).
 func (e *Encoder) encodeSelection() {
+	e.forEachSelectionGroup(func(prefix, node string, cands []*candidate) {
+		e.encodeSelectionGroup(cands)
+	})
+}
+
+// forEachSelectionGroup visits every non-origin (prefix, router)
+// candidate group in the canonical emission order: vocabulary prefix
+// order, then router name order. Both the whole-network encode and the
+// scoped splice derive their constraint layout from this walk, which is
+// what makes span-copying sound (see ScopedBase).
+func (e *Encoder) forEachSelectionGroup(f func(prefix, node string, cands []*candidate)) {
 	for _, prefix := range e.vocab.prefixes {
 		byNode := e.cands[prefix]
-		nodes := make([]string, 0, len(byNode))
-		for n := range byNode {
-			nodes = append(nodes, n)
-		}
-		sort.Strings(nodes)
-		for _, node := range nodes {
+		for _, node := range sortedNodes(byNode) {
 			cands := byNode[node]
 			if len(cands) == 1 && cands[0].sel == nil {
 				continue // origin
 			}
-			var avails, sels []logic.Term
-			for _, c := range cands {
-				avails = append(avails, c.availTerm())
-				sels = append(sels, c.sel)
-				// sel implies avail.
-				e.assert(logic.Implies(c.sel, c.availTerm()))
+			f(prefix, node, cands)
+		}
+	}
+}
+
+// encodeSelectionGroup emits the selection constraints of one
+// (prefix, router) candidate group: sel-implies-avail, at-most-one,
+// availability-implies-selection, and the decision process.
+func (e *Encoder) encodeSelectionGroup(cands []*candidate) {
+	var avails, sels []logic.Term
+	for _, c := range cands {
+		avails = append(avails, c.availTerm())
+		sels = append(sels, c.sel)
+		// sel implies avail.
+		e.assert(logic.Implies(c.sel, c.availTerm()))
+	}
+	// At most one selected.
+	for i := range cands {
+		for j := i + 1; j < len(cands); j++ {
+			e.assert(logic.Or(logic.Not(sels[i]), logic.Not(sels[j])))
+		}
+	}
+	// Some candidate available implies one selected.
+	e.assert(logic.Implies(logic.Or(avails...), logic.Or(sels...)))
+	// Decision process: a selected candidate must be at least
+	// as good as every available one.
+	for i, ci := range cands {
+		for j, cj := range cands {
+			if i == j {
+				continue
 			}
-			// At most one selected.
-			for i := range cands {
-				for j := i + 1; j < len(cands); j++ {
-					e.assert(logic.Or(logic.Not(sels[i]), logic.Not(sels[j])))
-				}
-			}
-			// Some candidate available implies one selected.
-			e.assert(logic.Implies(logic.Or(avails...), logic.Or(sels...)))
-			// Decision process: a selected candidate must be at least
-			// as good as every available one.
-			for i, ci := range cands {
-				for j, cj := range cands {
-					if i == j {
-						continue
-					}
-					e.assert(logic.Implies(
-						logic.And(sels[i], avails[j]),
-						betterOrEqual(ci, cj, e.net),
-					))
-				}
-			}
+			e.assert(logic.Implies(
+				logic.And(sels[i], avails[j]),
+				betterOrEqual(ci, cj, e.net),
+			))
 		}
 	}
 }

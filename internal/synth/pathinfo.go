@@ -33,8 +33,16 @@ type PathInfo struct {
 func (p PathInfo) Traffic() []string { return reverse(p.Path) }
 
 // PathInfos lists every candidate of the encoding, sorted by prefix
-// then path, rebuilt from the encoder's candidate graph.
+// then path, rebuilt from the encoder's candidate graph. The list is
+// materialized on first call (concurrency-safe) and cached; callers get
+// a fresh copy of the slice header each time.
 func (enc *Encoding) PathInfos() []PathInfo {
+	enc.pathsOnce.Do(func() {
+		if enc.buildPaths != nil {
+			enc.paths = enc.buildPaths()
+			enc.buildPaths = nil
+		}
+	})
 	out := append([]PathInfo(nil), enc.paths...)
 	return out
 }

@@ -1,0 +1,157 @@
+package synth
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/scenarios"
+	"repro/internal/spec"
+)
+
+// scopedScenario synthesizes a scenario and returns its pieces for the
+// scoped-encode tests.
+func scopedScenario(t *testing.T, sc *scenarios.Scenario) (config.Deployment, []spec.Requirement) {
+	t.Helper()
+	res, err := Synthesize(sc.Net, sc.Sketch, sc.Requirements(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Deployment, sc.Requirements()
+}
+
+// TestScopedEncodeIdentical is the localization claim at the constraint
+// level: for every router, symbolizing it and encoding through a
+// ScopedBase yields a constraint list element-wise pointer-identical to
+// the whole-network encode of the same sketch (terms are hash-consed,
+// so pointer equality is structural equality).
+func TestScopedEncodeIdentical(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name string
+		sc   *scenarios.Scenario
+	}{
+		{"scenario1", scenarios.Scenario1()},
+		{"scenario2", scenarios.Scenario2()},
+		{"scenario3", scenarios.Scenario3()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dep, reqs := scopedScenario(t, tc.sc)
+			opts := DefaultOptions()
+			base, err := NewBase(ctx, tc.sc.Net, dep, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sb, err := NewScopedBase(ctx, tc.sc.Net, dep, opts, reqs, base, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name := range dep {
+				sym, ok := tc.sc.Sketch[name]
+				if !ok || sym.Concrete() {
+					continue // nothing to symbolize back to
+				}
+				sketch := config.Deployment{}
+				for n, c := range dep {
+					sketch[n] = c
+				}
+				sketch[name] = sym
+
+				cold, err := NewEncoder(tc.sc.Net, sketch, opts).WithBase(base).EncodeContext(ctx, reqs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				scoped, err := NewEncoder(tc.sc.Net, sketch, opts).WithScope(sb).EncodeContext(ctx, reqs)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				if scoped.Stats.ScopedGroupsCopied == 0 {
+					t.Fatalf("%s: scoped encode copied no groups (scope not taken?)", name)
+				}
+				if len(cold.Constraints) != len(scoped.Constraints) {
+					t.Fatalf("%s: %d cold vs %d scoped constraints", name, len(cold.Constraints), len(scoped.Constraints))
+				}
+				for i := range cold.Constraints {
+					if cold.Constraints[i] != scoped.Constraints[i] {
+						t.Fatalf("%s: constraint %d differs:\ncold:   %s\nscoped: %s",
+							name, i, cold.Constraints[i], scoped.Constraints[i])
+					}
+				}
+				if len(cold.HoleVars) != len(scoped.HoleVars) {
+					t.Fatalf("%s: hole vars differ: %d vs %d", name, len(cold.HoleVars), len(scoped.HoleVars))
+				}
+				for n, v := range cold.HoleVars {
+					if scoped.HoleVars[n] != v {
+						t.Fatalf("%s: hole var %s differs", name, n)
+					}
+				}
+				cs, ss := cold.Stats, scoped.Stats
+				if cs.Constraints != ss.Constraints || cs.ConstraintSize != ss.ConstraintSize ||
+					cs.HoleVars != ss.HoleVars || cs.SelVars != ss.SelVars ||
+					cs.Candidates != ss.Candidates || cs.TruncatedPaths != ss.TruncatedPaths ||
+					cs.ReusedCandidates != ss.ReusedCandidates {
+					t.Fatalf("%s: stats differ:\ncold:   %+v\nscoped: %+v", name, cs, ss)
+				}
+
+				cp, sp := cold.PathInfos(), scoped.PathInfos()
+				if len(cp) != len(sp) {
+					t.Fatalf("%s: %d cold vs %d scoped path infos", name, len(cp), len(sp))
+				}
+				for i := range cp {
+					a, b := &cp[i], &sp[i]
+					if a.Prefix != b.Prefix || a.Sel != b.Sel || a.LP != b.LP {
+						t.Fatalf("%s: path info %d differs", name, i)
+					}
+					for j := range a.EdgeConds {
+						if a.EdgeConds[j] != b.EdgeConds[j] {
+							t.Fatalf("%s: path info %d edge cond %d differs", name, i, j)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestScopedFallsBackOnDifferentReqs pins the safety property: a scope
+// recorded for one requirement list silently falls back to the
+// whole-network encode for another, producing an identical encoding.
+func TestScopedFallsBackOnDifferentReqs(t *testing.T) {
+	ctx := context.Background()
+	sc := scenarios.Scenario1()
+	dep, reqs := scopedScenario(t, sc)
+	opts := DefaultOptions()
+	sb, err := NewScopedBase(ctx, sc.Net, dep, opts, reqs, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := []spec.Requirement{&spec.Forbid{Path: spec.NewPath("P2", spec.Wildcard, "C")}}
+	cold, err := NewEncoder(sc.Net, dep, opts).EncodeContext(ctx, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scoped, err := NewEncoder(sc.Net, dep, opts).WithScope(sb).EncodeContext(ctx, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scoped.Stats.ScopedGroupsCopied != 0 || scoped.Stats.ScopedGroupsEncoded != 0 {
+		t.Fatal("scope must not be taken for a different requirement list")
+	}
+	if len(cold.Constraints) != len(scoped.Constraints) {
+		t.Fatalf("fallback encode differs: %d vs %d constraints", len(cold.Constraints), len(scoped.Constraints))
+	}
+	for i := range cold.Constraints {
+		if cold.Constraints[i] != scoped.Constraints[i] {
+			t.Fatalf("fallback constraint %d differs", i)
+		}
+	}
+}
+
+// TestScopedBaseRejectsHoles pins the concreteness requirement.
+func TestScopedBaseRejectsHoles(t *testing.T) {
+	sc := scenarios.Scenario1()
+	if _, err := NewScopedBase(context.Background(), sc.Net, sc.Sketch, DefaultOptions(), sc.Requirements(), nil, nil); err == nil {
+		t.Fatal("a sketch with holes must be rejected")
+	}
+}
